@@ -1,0 +1,590 @@
+//! Shared decision-tree representation for the software HiCuts and HyperCuts
+//! classifiers.
+//!
+//! Both algorithms produce the same kind of structure — a tree whose internal
+//! nodes cut the covered region into equal-width children along one or more
+//! dimensions and whose leaves hold at most `binth` rules — so the tree
+//! container, the lookup procedure, the memory model and the statistics are
+//! implemented once here.  The two builders differ only in how they choose
+//! the dimensions and the number of cuts; those policies live in
+//! [`crate::hicuts`] and [`crate::hypercuts`].
+
+use crate::counters::LookupStats;
+use pclass_types::{Dimension, DimensionSpec, FieldRange, MatchResult, PacketHeader, Rule, RuleId, RuleSet, FIELD_COUNT};
+
+/// Index of a node inside a [`DecisionTree`].
+pub type NodeId = u32;
+
+/// A cut specification at an internal node: how many equal-width children
+/// each dimension is divided into (1 = not cut).  The child array is indexed
+/// in mixed radix with the *first* cut dimension as the most significant
+/// digit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutSpec {
+    /// Number of partitions per dimension (all ≥ 1; product = child count).
+    pub parts: [u32; FIELD_COUNT],
+}
+
+impl CutSpec {
+    /// A cut specification that does not cut anything.
+    pub fn unit() -> CutSpec {
+        CutSpec { parts: [1; FIELD_COUNT] }
+    }
+
+    /// Cut a single dimension into `n` parts (the HiCuts case).
+    pub fn single(dim: Dimension, n: u32) -> CutSpec {
+        let mut parts = [1u32; FIELD_COUNT];
+        parts[dim.index()] = n;
+        CutSpec { parts }
+    }
+
+    /// Total number of children this cut produces.
+    pub fn child_count(&self) -> u64 {
+        self.parts.iter().map(|&p| u64::from(p)).product()
+    }
+
+    /// Dimensions that are actually cut (parts > 1).
+    pub fn cut_dimensions(&self) -> Vec<Dimension> {
+        Dimension::ALL
+            .iter()
+            .copied()
+            .filter(|d| self.parts[d.index()] > 1)
+            .collect()
+    }
+
+    /// Mixed-radix child index for a packet, relative to `region`.
+    ///
+    /// Returns `None` when the packet lies outside the region in a cut
+    /// dimension (possible only when region compaction shrank the region) —
+    /// in that case no rule stored below this node can match.
+    pub fn child_index(&self, region: &[FieldRange; FIELD_COUNT], pkt: &PacketHeader) -> Option<u64> {
+        let mut idx: u64 = 0;
+        for d in Dimension::ALL {
+            let parts = self.parts[d.index()];
+            if parts <= 1 {
+                continue;
+            }
+            let r = region[d.index()];
+            let v = pkt.fields[d.index()];
+            if !r.contains(v) {
+                return None;
+            }
+            idx = idx * u64::from(parts) + u64::from(r.index_of(parts, v));
+        }
+        Some(idx)
+    }
+
+    /// Region of the `i`-th child (mixed-radix decomposition of `i`).
+    pub fn child_region(&self, region: &[FieldRange; FIELD_COUNT], mut i: u64) -> [FieldRange; FIELD_COUNT] {
+        let mut out = *region;
+        // Decompose from the least significant digit (last cut dimension).
+        for d in Dimension::ALL.iter().rev() {
+            let parts = self.parts[d.index()];
+            if parts <= 1 {
+                continue;
+            }
+            let digit = (i % u64::from(parts)) as u32;
+            i /= u64::from(parts);
+            out[d.index()] = region[d.index()].split_child(parts, digit);
+        }
+        out
+    }
+}
+
+/// Kind-specific payload of a tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An internal node that cuts its region.
+    Internal {
+        /// How the region is cut.
+        cuts: CutSpec,
+        /// Children in mixed-radix cut order; always `cuts.child_count()`
+        /// entries, possibly referring to shared/merged nodes.
+        children: Vec<NodeId>,
+        /// Rules common to every child that were pushed up to this node
+        /// (HyperCuts heuristic); searched linearly during traversal.
+        stored_rules: Vec<RuleId>,
+        /// The (possibly compacted) region the cuts apply to.  Equal to the
+        /// node's covered region unless the HyperCuts region-compaction
+        /// heuristic shrank it.
+        cut_region: [FieldRange; FIELD_COUNT],
+    },
+    /// A leaf holding at most `binth` rules (in priority order).
+    Leaf {
+        /// Rule ids stored in this leaf, ascending (priority order).
+        rules: Vec<RuleId>,
+    },
+}
+
+/// One node of the decision tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The region of header space this node covers.
+    pub region: [FieldRange; FIELD_COUNT],
+    /// Depth of the node (root = 0).
+    pub depth: u32,
+    /// Payload.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// `true` if the node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+}
+
+/// Memory model used to account the size of *software* search structures
+/// (the "Software" columns of Table 2).
+///
+/// The constants approximate a C implementation on a 32-bit network
+/// processor:
+///
+/// * an internal node stores its cut description and a child-pointer array —
+///   [`MemoryModel::INTERNAL_HEADER_BYTES`] plus
+///   [`MemoryModel::CHILD_POINTER_BYTES`] per child slot;
+/// * a leaf stores a rule count plus one pointer per rule —
+///   [`MemoryModel::LEAF_HEADER_BYTES`] plus
+///   [`MemoryModel::RULE_POINTER_BYTES`] per stored rule reference;
+/// * the ruleset itself is stored once at
+///   [`MemoryModel::RULE_BYTES`] per rule (five 32-bit lo/hi pairs packed to
+///   18 bytes the way the paper's 144-bit software rule images are).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel;
+
+impl MemoryModel {
+    /// Bytes per internal node excluding the child pointer array.
+    pub const INTERNAL_HEADER_BYTES: usize = 16;
+    /// Bytes per child pointer slot.
+    pub const CHILD_POINTER_BYTES: usize = 4;
+    /// Bytes per leaf node excluding the rule pointer array.
+    pub const LEAF_HEADER_BYTES: usize = 8;
+    /// Bytes per rule pointer stored in a leaf (or in an internal node's
+    /// pushed-up rule list).
+    pub const RULE_POINTER_BYTES: usize = 4;
+    /// Bytes per rule of the stored ruleset.
+    pub const RULE_BYTES: usize = 18;
+}
+
+/// Aggregate statistics of a built tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of internal nodes.
+    pub internal_nodes: usize,
+    /// Number of leaf nodes (after merging, i.e. distinct leaves).
+    pub leaf_nodes: usize,
+    /// Total rule references stored in leaves and pushed-up lists.
+    pub stored_rule_refs: usize,
+    /// Maximum depth (root = 0).
+    pub max_depth: u32,
+    /// Maximum number of rules in any leaf.
+    pub max_leaf_rules: usize,
+    /// Worst-case memory accesses of a lookup: internal nodes on the longest
+    /// path (including the root) plus one access per rule of the largest leaf
+    /// on that path plus any pushed-up rules checked along the way.
+    pub worst_case_accesses: u64,
+}
+
+/// A decision tree over a ruleset, produced by a HiCuts- or HyperCuts-style
+/// builder.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    spec: DimensionSpec,
+    rules: Vec<Rule>,
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl DecisionTree {
+    /// Assembles a tree from parts.  `nodes[root]` must exist and every
+    /// child index must be in bounds (checked in debug builds).
+    pub fn new(ruleset: &RuleSet, nodes: Vec<Node>, root: NodeId) -> DecisionTree {
+        debug_assert!((root as usize) < nodes.len());
+        DecisionTree {
+            spec: *ruleset.spec(),
+            rules: ruleset.rules().to_vec(),
+            nodes,
+            root,
+        }
+    }
+
+    /// The tree's nodes (for encoders and diagnostics).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The geometry of the ruleset the tree was built over.
+    pub fn spec(&self) -> &DimensionSpec {
+        &self.spec
+    }
+
+    /// The rules the tree classifies against (copied from the ruleset at
+    /// build time so the tree is self-contained).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Classifies a packet, optionally recording work into `stats`.
+    pub fn classify(&self, pkt: &PacketHeader, mut stats: Option<&mut LookupStats>) -> MatchResult {
+        let mut best: Option<RuleId> = None;
+        let mut node_id = self.root;
+        loop {
+            let node = &self.nodes[node_id as usize];
+            if let Some(s) = stats.as_deref_mut() {
+                s.memory_accesses += 1;
+                s.ops.loads += 2; // node header + cut description
+                s.ops.alu += 4;
+                s.ops.branches += 1;
+            }
+            match &node.kind {
+                NodeKind::Leaf { rules } => {
+                    self.scan_rules(rules, pkt, &mut best, stats.as_deref_mut());
+                    break;
+                }
+                NodeKind::Internal {
+                    cuts,
+                    children,
+                    stored_rules,
+                    cut_region,
+                } => {
+                    if let Some(s) = stats.as_deref_mut() {
+                        s.nodes_visited += 1;
+                    }
+                    if !stored_rules.is_empty() {
+                        self.scan_rules(stored_rules, pkt, &mut best, stats.as_deref_mut());
+                    }
+                    match cuts.child_index(cut_region, pkt) {
+                        Some(idx) => {
+                            if let Some(s) = stats.as_deref_mut() {
+                                // Index arithmetic: one mul/add/compare per cut dimension
+                                // plus the child-pointer load.
+                                let dims = cuts.cut_dimensions().len() as u64;
+                                s.ops.alu += 3 * dims;
+                                s.ops.muls += dims;
+                                s.ops.loads += 1;
+                            }
+                            node_id = children[idx as usize];
+                        }
+                        None => break, // outside the compacted region: nothing below can match
+                    }
+                }
+            }
+        }
+        match best {
+            Some(id) => MatchResult::Matched(id),
+            None => MatchResult::NoMatch,
+        }
+    }
+
+    /// Linear scan of a rule-id list, updating the best (lowest id) match.
+    fn scan_rules(
+        &self,
+        ids: &[RuleId],
+        pkt: &PacketHeader,
+        best: &mut Option<RuleId>,
+        mut stats: Option<&mut LookupStats>,
+    ) {
+        for &id in ids {
+            if let Some(s) = stats.as_deref_mut() {
+                s.rules_compared += 1;
+                s.memory_accesses += 1;
+                s.ops.loads += 5; // five range pairs (packed words)
+                s.ops.alu += 10;
+                s.ops.branches += 5;
+            }
+            // Rules are stored in ascending id order, so the first hit in a
+            // list is the best within that list; still guard against an
+            // earlier stored-rule hit from a shallower node.
+            if best.map_or(true, |b| id < b) && self.rules[id as usize].matches(pkt) {
+                *best = Some(best.map_or(id, |b| b.min(id)));
+                break;
+            }
+            // Once the ids exceed the current best there is no point
+            // continuing: everything later has lower priority.
+            if let Some(b) = *best {
+                if id >= b {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Memory footprint of the structure plus the stored ruleset under the
+    /// software [`MemoryModel`].
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.rules.len() * MemoryModel::RULE_BYTES;
+        for node in &self.nodes {
+            match &node.kind {
+                NodeKind::Internal { children, stored_rules, .. } => {
+                    bytes += MemoryModel::INTERNAL_HEADER_BYTES
+                        + children.len() * MemoryModel::CHILD_POINTER_BYTES
+                        + stored_rules.len() * MemoryModel::RULE_POINTER_BYTES;
+                }
+                NodeKind::Leaf { rules } => {
+                    bytes += MemoryModel::LEAF_HEADER_BYTES + rules.len() * MemoryModel::RULE_POINTER_BYTES;
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Aggregate statistics (node counts, depth, worst-case accesses).
+    pub fn stats(&self) -> TreeStats {
+        let mut internal = 0usize;
+        let mut leaves = 0usize;
+        let mut refs = 0usize;
+        let mut max_depth = 0u32;
+        let mut max_leaf_rules = 0usize;
+        for node in &self.nodes {
+            max_depth = max_depth.max(node.depth);
+            match &node.kind {
+                NodeKind::Internal { stored_rules, .. } => {
+                    internal += 1;
+                    refs += stored_rules.len();
+                }
+                NodeKind::Leaf { rules } => {
+                    leaves += 1;
+                    refs += rules.len();
+                    max_leaf_rules = max_leaf_rules.max(rules.len());
+                }
+            }
+        }
+        TreeStats {
+            internal_nodes: internal,
+            leaf_nodes: leaves,
+            stored_rule_refs: refs,
+            max_depth,
+            max_leaf_rules,
+            worst_case_accesses: self.worst_case_accesses(self.root, 0),
+        }
+    }
+
+    /// Worst-case memory accesses from `node_id` to any leaf below it.
+    fn worst_case_accesses(&self, node_id: NodeId, mut pushed: u64) -> u64 {
+        let node = &self.nodes[node_id as usize];
+        match &node.kind {
+            NodeKind::Leaf { rules } => 1 + pushed + rules.len() as u64,
+            NodeKind::Internal { children, stored_rules, .. } => {
+                pushed += stored_rules.len() as u64;
+                let mut worst = 0u64;
+                let mut seen: Vec<NodeId> = Vec::new();
+                for &c in children {
+                    if seen.contains(&c) {
+                        continue;
+                    }
+                    seen.push(c);
+                    worst = worst.max(self.worst_case_accesses(c, pushed));
+                }
+                1 + worst
+            }
+        }
+    }
+
+    /// Renders the tree as an indented text dump (used by the quickstart
+    /// example to reproduce Figures 1 and 3 of the paper).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn dump_node(&self, node_id: NodeId, indent: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let node = &self.nodes[node_id as usize];
+        let pad = "  ".repeat(indent);
+        match &node.kind {
+            NodeKind::Leaf { rules } => {
+                let names: Vec<String> = rules.iter().map(|r| format!("R{r}")).collect();
+                let _ = writeln!(out, "{pad}leaf [{}]", names.join(" "));
+            }
+            NodeKind::Internal { cuts, children, stored_rules, .. } => {
+                let desc: Vec<String> = cuts
+                    .cut_dimensions()
+                    .iter()
+                    .map(|d| format!("{} x{}", d.name(), cuts.parts[d.index()]))
+                    .collect();
+                let stored = if stored_rules.is_empty() {
+                    String::new()
+                } else {
+                    format!(" stored={:?}", stored_rules)
+                };
+                let _ = writeln!(out, "{pad}node cut[{}]{stored}", desc.join(", "));
+                let mut seen: Vec<NodeId> = Vec::new();
+                for &c in children {
+                    if seen.contains(&c) {
+                        continue;
+                    }
+                    seen.push(c);
+                    self.dump_node(c, indent + 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// Returns the ids of `candidates` whose rules intersect `region`
+/// (in ascending id order).  Shared by every tree builder.
+pub fn rules_intersecting(
+    rules: &[Rule],
+    candidates: &[RuleId],
+    region: &[FieldRange; FIELD_COUNT],
+) -> Vec<RuleId> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|&id| rules[id as usize].intersects_region(region))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclass_types::toy;
+
+    /// Hand-builds a tiny tree over the Table 1 ruleset:
+    /// root cuts field 0 into 4, children are leaves.
+    fn tiny_tree() -> DecisionTree {
+        let rs = toy::table1_ruleset();
+        let region = rs.full_region();
+        let cuts = CutSpec::single(Dimension::SrcIp, 4);
+        let rules: Vec<RuleId> = (0..rs.len() as u32).collect();
+        let mut nodes = vec![Node {
+            region,
+            depth: 0,
+            kind: NodeKind::Leaf { rules: vec![] }, // placeholder, replaced below
+        }];
+        let mut children = Vec::new();
+        for i in 0..4u64 {
+            let child_region = cuts.child_region(&region, i);
+            let child_rules = rules_intersecting(rs.rules(), &rules, &child_region);
+            let id = nodes.len() as NodeId;
+            nodes.push(Node {
+                region: child_region,
+                depth: 1,
+                kind: NodeKind::Leaf { rules: child_rules },
+            });
+            children.push(id);
+        }
+        nodes[0] = Node {
+            region,
+            depth: 0,
+            kind: NodeKind::Internal {
+                cuts,
+                children,
+                stored_rules: vec![],
+                cut_region: region,
+            },
+        };
+        DecisionTree::new(&rs, nodes, 0)
+    }
+
+    #[test]
+    fn cutspec_child_count_and_dims() {
+        let c = CutSpec::single(Dimension::DstIp, 8);
+        assert_eq!(c.child_count(), 8);
+        assert_eq!(c.cut_dimensions(), vec![Dimension::DstIp]);
+        let mut multi = CutSpec::unit();
+        multi.parts[0] = 2;
+        multi.parts[4] = 2;
+        assert_eq!(multi.child_count(), 4);
+        assert_eq!(multi.cut_dimensions(), vec![Dimension::SrcIp, Dimension::Protocol]);
+        assert_eq!(CutSpec::unit().child_count(), 1);
+    }
+
+    #[test]
+    fn child_regions_partition_parent() {
+        let rs = toy::table1_ruleset();
+        let region = rs.full_region();
+        let mut cuts = CutSpec::unit();
+        cuts.parts[0] = 2;
+        cuts.parts[4] = 2;
+        let mut covered: u64 = 0;
+        for i in 0..4u64 {
+            let child = cuts.child_region(&region, i);
+            covered += child[0].len() * child[4].len();
+            // Uncut dimensions keep the full region.
+            assert_eq!(child[1], region[1]);
+        }
+        assert_eq!(covered, region[0].len() * region[4].len());
+    }
+
+    #[test]
+    fn child_index_matches_region() {
+        let rs = toy::table1_ruleset();
+        let region = rs.full_region();
+        let mut cuts = CutSpec::unit();
+        cuts.parts[0] = 4;
+        cuts.parts[4] = 2;
+        for f0 in [0u32, 63, 64, 200, 255] {
+            for f4 in [0u32, 127, 128, 255] {
+                let pkt = PacketHeader::from_fields([f0, 0, 0, 0, f4]);
+                let idx = cuts.child_index(&region, &pkt).unwrap();
+                let child = cuts.child_region(&region, idx);
+                assert!(child[0].contains(f0) && child[4].contains(f4));
+            }
+        }
+    }
+
+    #[test]
+    fn child_index_outside_compacted_region_is_none() {
+        let cuts = CutSpec::single(Dimension::SrcIp, 2);
+        let mut region = toy::table1_ruleset().full_region();
+        region[0] = FieldRange::new(100, 200);
+        let pkt = PacketHeader::from_fields([50, 0, 0, 0, 0]);
+        assert_eq!(cuts.child_index(&region, &pkt), None);
+    }
+
+    #[test]
+    fn tiny_tree_agrees_with_linear_search() {
+        let rs = toy::table1_ruleset();
+        let tree = tiny_tree();
+        // Exhaustive-ish sweep over a grid of the toy space.
+        for f0 in (0..256).step_by(7) {
+            for f4 in (0..256).step_by(13) {
+                let pkt = PacketHeader::from_fields([f0, 80, 40, 180, f4]);
+                assert_eq!(tree.classify(&pkt, None), rs.classify_linear(&pkt), "packet {pkt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_memory_are_sane() {
+        let tree = tiny_tree();
+        let stats = tree.stats();
+        assert_eq!(stats.internal_nodes, 1);
+        assert_eq!(stats.leaf_nodes, 4);
+        assert_eq!(stats.max_depth, 1);
+        assert!(stats.max_leaf_rules >= 3);
+        assert!(stats.worst_case_accesses >= 2);
+        let bytes = tree.memory_bytes();
+        // 10 rules * 18 + 1 internal (16 + 4*4) + leaves.
+        assert!(bytes > 10 * MemoryModel::RULE_BYTES);
+        assert!(bytes < 1_000);
+    }
+
+    #[test]
+    fn lookup_stats_are_recorded() {
+        let tree = tiny_tree();
+        let pkt = PacketHeader::from_fields([145, 100, 10, 10, 200]);
+        let mut stats = LookupStats::new();
+        let result = tree.classify(&pkt, Some(&mut stats));
+        assert_eq!(result, MatchResult::Matched(5));
+        assert!(stats.nodes_visited >= 1);
+        assert!(stats.rules_compared >= 1);
+        assert!(stats.memory_accesses >= 2);
+        assert!(stats.ops.loads > 0);
+    }
+
+    #[test]
+    fn dump_mentions_cut_dimension_and_leaves() {
+        let tree = tiny_tree();
+        let dump = tree.dump();
+        assert!(dump.contains("src_ip x4"));
+        assert!(dump.contains("leaf ["));
+    }
+}

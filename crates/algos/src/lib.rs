@@ -1,0 +1,70 @@
+//! Software packet-classification baselines.
+//!
+//! The paper compares its hardware accelerator against software algorithms
+//! running on the processing engine of a programmable network processor
+//! (a StrongARM SA-1100 in the companion study [12]).  This crate implements
+//! those baselines, fully instrumented so that the energy models in
+//! `pclass-energy` can translate their work into joules:
+//!
+//! * [`linear::LinearClassifier`] — priority-ordered linear search, the
+//!   correctness reference.
+//! * [`hicuts::HiCutsClassifier`] — the *original* HiCuts algorithm
+//!   (Gupta & McKeown), cuts starting at 2 and doubling under the spfac
+//!   space constraint (Eq. 1 of the paper).
+//! * [`hypercuts::HyperCutsClassifier`] — the *original* HyperCuts algorithm
+//!   (Singh et al.), multi-dimensional cuts with the region-compaction and
+//!   push-common-rule-subsets-upwards heuristics the paper later removes.
+//! * [`rfc::RfcClassifier`] — Recursive Flow Classification, the fastest
+//!   software algorithm in the paper's comparison (§5.2 quotes a ×546
+//!   speed-up of the ASIC over RFC).
+//!
+//! The *modified*, hardware-oriented HiCuts/HyperCuts variants live in
+//! `pclass-core`; they share the [`counters`] instrumentation defined here so
+//! that build-energy comparisons (Table 3) use identical accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod dtree;
+pub mod hicuts;
+pub mod hypercuts;
+pub mod linear;
+pub mod rfc;
+
+pub use counters::{BuildStats, LookupStats, OpCounters};
+pub use hicuts::{HiCutsClassifier, HiCutsConfig};
+pub use hypercuts::{HyperCutsClassifier, HyperCutsConfig};
+pub use linear::LinearClassifier;
+pub use rfc::{RfcClassifier, RfcConfig, RfcError};
+
+use pclass_types::{MatchResult, PacketHeader};
+
+/// Common interface of every software classifier in the workspace.
+///
+/// All implementations return exactly the same decision as
+/// [`pclass_types::RuleSet::classify_linear`]; the integration tests enforce
+/// this equivalence on generated rulesets and traces.
+pub trait Classifier {
+    /// Short algorithm name used in reports (e.g. `"hicuts"`).
+    fn name(&self) -> &'static str;
+
+    /// Classifies one packet.
+    fn classify(&self, pkt: &PacketHeader) -> MatchResult;
+
+    /// Classifies one packet and records the work performed (memory accesses,
+    /// comparisons, ALU operations) into `stats`.
+    fn classify_with_stats(&self, pkt: &PacketHeader, stats: &mut LookupStats) -> MatchResult;
+
+    /// Bytes of memory occupied by the search structure *and* the stored
+    /// ruleset, using the software memory model documented in
+    /// [`dtree::MemoryModel`].
+    fn memory_bytes(&self) -> usize;
+
+    /// Worst-case number of memory accesses a single classification can
+    /// perform (the software column of Table 8), when the structure makes a
+    /// static bound available.
+    fn worst_case_memory_accesses(&self) -> Option<u64> {
+        None
+    }
+}

@@ -1,0 +1,104 @@
+//! Priority-ordered linear search — the correctness reference baseline.
+
+use crate::counters::LookupStats;
+use crate::Classifier;
+use pclass_types::{MatchResult, PacketHeader, RuleSet};
+
+/// A classifier that scans the ruleset in priority order for every packet.
+///
+/// Linear search is the slowest but simplest classifier; every other
+/// implementation in the workspace is validated against it, and it provides a
+/// lower bound for the software throughput comparison of Table 7.
+#[derive(Debug, Clone)]
+pub struct LinearClassifier {
+    ruleset: RuleSet,
+}
+
+impl LinearClassifier {
+    /// Wraps a ruleset.
+    pub fn new(ruleset: RuleSet) -> LinearClassifier {
+        LinearClassifier { ruleset }
+    }
+
+    /// The wrapped ruleset.
+    pub fn ruleset(&self) -> &RuleSet {
+        &self.ruleset
+    }
+}
+
+impl Classifier for LinearClassifier {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn classify(&self, pkt: &PacketHeader) -> MatchResult {
+        self.ruleset.classify_linear(pkt)
+    }
+
+    fn classify_with_stats(&self, pkt: &PacketHeader, stats: &mut LookupStats) -> MatchResult {
+        for rule in self.ruleset.rules() {
+            stats.rules_compared += 1;
+            stats.memory_accesses += 1;
+            stats.ops.loads += 5;
+            stats.ops.alu += 10;
+            stats.ops.branches += 5;
+            if rule.matches(pkt) {
+                return MatchResult::Matched(rule.id);
+            }
+        }
+        MatchResult::NoMatch
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // The ruleset stored once, 18 bytes per rule (same constant as the
+        // tree memory model so the comparison is apples-to-apples).
+        self.ruleset.len() * crate::dtree::MemoryModel::RULE_BYTES
+    }
+
+    fn worst_case_memory_accesses(&self) -> Option<u64> {
+        Some(self.ruleset.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclass_types::toy;
+
+    #[test]
+    fn matches_ruleset_reference() {
+        let rs = toy::table1_ruleset();
+        let lin = LinearClassifier::new(rs.clone());
+        for f0 in (0..=255u32).step_by(9) {
+            let pkt = PacketHeader::from_fields([f0, 80, 40, 180, 100]);
+            assert_eq!(lin.classify(&pkt), rs.classify_linear(&pkt));
+        }
+        assert_eq!(lin.name(), "linear");
+        assert_eq!(lin.ruleset().len(), 10);
+    }
+
+    #[test]
+    fn stats_count_scanned_rules() {
+        let rs = toy::table1_ruleset();
+        let lin = LinearClassifier::new(rs);
+        let mut stats = LookupStats::new();
+        // This packet matches nothing, so all 10 rules are scanned.
+        let pkt = PacketHeader::from_fields([0, 0, 0, 0, 255]);
+        assert_eq!(lin.classify_with_stats(&pkt, &mut stats), MatchResult::NoMatch);
+        assert_eq!(stats.rules_compared, 10);
+        assert_eq!(stats.memory_accesses, 10);
+        // This one matches R5, so the scan stops there.
+        let mut stats = LookupStats::new();
+        let pkt = PacketHeader::from_fields([145, 100, 10, 10, 200]);
+        assert_eq!(lin.classify_with_stats(&pkt, &mut stats), MatchResult::Matched(5));
+        assert_eq!(stats.rules_compared, 6);
+    }
+
+    #[test]
+    fn memory_and_worst_case() {
+        let rs = toy::table1_ruleset();
+        let lin = LinearClassifier::new(rs);
+        assert_eq!(lin.memory_bytes(), 180);
+        assert_eq!(lin.worst_case_memory_accesses(), Some(10));
+    }
+}

@@ -1,0 +1,643 @@
+//! Recursive Flow Classification (Gupta & McKeown, SIGCOMM 1999).
+//!
+//! RFC is the fastest pure-software algorithm in the paper's comparison
+//! (§5.2 quotes the ASIC accelerator as "up to 546 times" faster than RFC on
+//! the SA-1100, versus 4,269 times faster than HiCuts).  It trades memory for
+//! a fixed, small number of table lookups per packet:
+//!
+//! 1. **Phase 0** splits the 104-bit header into seven chunks (two 16-bit
+//!    halves of each address, the two ports and the protocol) and maps each
+//!    chunk value to an *equivalence-class id* through a direct-indexed
+//!    table.
+//! 2. **Later phases** combine pairs of class ids through cross-product
+//!    tables until a single id remains; that id directly yields the
+//!    highest-priority matching rule.
+//!
+//! Splitting a 32-bit address into two independent 16-bit chunks is only
+//! exact when the high and low halves constrain a rule independently.  That
+//! is true for prefixes but not for arbitrary address ranges that span
+//! several high-half values, so this implementation tracks a small per-rule
+//! *state* (outside / interior / low-edge / high-edge / single-column) for
+//! the high chunk and resolves it exactly when the two halves are combined in
+//! phase 1 — see [`HiState`].  The result is an exact classifier for every
+//! ruleset the workspace generators produce, verified against linear search
+//! by the integration tests.
+
+use crate::counters::LookupStats;
+use crate::Classifier;
+use pclass_types::{Dimension, MatchResult, PacketHeader, RuleSet};
+use std::collections::HashMap;
+
+/// Configuration of the RFC preprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RfcConfig {
+    /// Upper bound on the total number of cross-product table entries.  RFC
+    /// memory grows quickly with rule count; the preprocessor aborts with
+    /// [`RfcError::MemoryLimit`] instead of exhausting the host.
+    pub max_table_entries: usize,
+}
+
+impl Default for RfcConfig {
+    fn default() -> Self {
+        RfcConfig {
+            max_table_entries: 64 << 20, // 64 Mi entries ≈ 256 MB of u32 ids
+        }
+    }
+}
+
+/// Errors from RFC preprocessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RfcError {
+    /// The cross-product tables would exceed [`RfcConfig::max_table_entries`].
+    MemoryLimit {
+        /// Number of entries the offending table would need.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for RfcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RfcError::MemoryLimit { required } => {
+                write!(f, "RFC cross-product table needs {required} entries, over the configured limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RfcError {}
+
+/// Relationship between one high-half chunk value and one rule's address
+/// range, used to combine the two 16-bit halves of an address exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum HiState {
+    /// The rule cannot match any address with this high half.
+    Outside,
+    /// Every address with this high half is inside the rule's range.
+    Interior,
+    /// The high half equals the range's low endpoint: the low half must be
+    /// `>= lo & 0xFFFF`.
+    LowEdge,
+    /// The high half equals the range's high endpoint: the low half must be
+    /// `<= hi & 0xFFFF`.
+    HighEdge,
+    /// The range lies entirely within this single high-half column: the low
+    /// half must be within `[lo & 0xFFFF, hi & 0xFFFF]`.
+    SingleColumn,
+}
+
+/// A dense rule bitmap.
+type Bitmap = Vec<u64>;
+
+fn bitmap_new(bits: usize) -> Bitmap {
+    vec![0u64; bits.div_ceil(64)]
+}
+
+fn bitmap_set(b: &mut Bitmap, i: usize) {
+    b[i / 64] |= 1u64 << (i % 64);
+}
+
+fn bitmap_and(a: &Bitmap, b: &Bitmap) -> Bitmap {
+    a.iter().zip(b.iter()).map(|(x, y)| x & y).collect()
+}
+
+fn bitmap_first(b: &Bitmap) -> Option<usize> {
+    for (w, &word) in b.iter().enumerate() {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Assigns consecutive class ids to distinct keys.
+struct Classer<K> {
+    map: HashMap<K, u32>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> Classer<K> {
+    fn new() -> Self {
+        Classer { map: HashMap::new() }
+    }
+    fn id_of(&mut self, key: &K) -> u32 {
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        let id = self.map.len() as u32;
+        self.map.insert(key.clone(), id);
+        id
+    }
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+    /// Keys ordered by their assigned id.
+    fn keys_in_order(&self) -> Vec<K> {
+        let mut pairs: Vec<(&K, &u32)> = self.map.iter().collect();
+        pairs.sort_by_key(|(_, &id)| id);
+        pairs.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+}
+
+/// A direct-indexed phase table mapping a chunk value (or a pair of class
+/// ids) to a class id.
+#[derive(Debug, Clone)]
+struct PhaseTable {
+    entries: Vec<u32>,
+    classes: usize,
+}
+
+impl PhaseTable {
+    fn lookup(&self, idx: usize) -> u32 {
+        self.entries[idx]
+    }
+    fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The RFC classifier.
+#[derive(Debug, Clone)]
+pub struct RfcClassifier {
+    // Phase 0.
+    src_hi: PhaseTable,
+    src_lo: PhaseTable,
+    dst_hi: PhaseTable,
+    dst_lo: PhaseTable,
+    src_port: PhaseTable,
+    dst_port: PhaseTable,
+    proto: PhaseTable,
+    // Phase 1.
+    src_addr: PhaseTable, // (src_hi, src_lo)
+    dst_addr: PhaseTable, // (dst_hi, dst_lo)
+    ports: PhaseTable,    // (src_port, dst_port)
+    // Phase 2.
+    addrs: PhaseTable,      // (src_addr, dst_addr)
+    ports_proto: PhaseTable, // (ports, proto)
+    // Phase 3: the final table stores the matched rule id + 1 (0 = no match).
+    final_table: PhaseTable,
+    rule_count: usize,
+}
+
+impl RfcClassifier {
+    /// Preprocesses a ruleset into RFC tables with default limits.
+    pub fn build(ruleset: &RuleSet) -> Result<RfcClassifier, RfcError> {
+        RfcClassifier::build_with(ruleset, &RfcConfig::default())
+    }
+
+    /// Preprocesses a ruleset into RFC tables.
+    pub fn build_with(ruleset: &RuleSet, config: &RfcConfig) -> Result<RfcClassifier, RfcError> {
+        let n = ruleset.len();
+        let rules = ruleset.rules();
+
+        // ---- Phase 0: address high halves (state vectors) ----------------
+        let addr_hi = |dim: Dimension| -> (PhaseTable, Vec<Vec<HiState>>) {
+            let mut classer: Classer<Vec<HiState>> = Classer::new();
+            let mut entries = Vec::with_capacity(1 << 16);
+            // Boundary-compression: rule endpoints partition the 65536 values
+            // into runs with identical state vectors; we still emit a full
+            // direct-indexed table but only recompute the vector at
+            // boundaries.
+            let mut boundaries = vec![0u32, 1 << 16];
+            for r in rules {
+                let range = r.range(dim);
+                let (lo_hi, hi_hi) = (range.lo >> 16, range.hi >> 16);
+                boundaries.push(lo_hi);
+                boundaries.push(lo_hi + 1);
+                boundaries.push(hi_hi);
+                boundaries.push(hi_hi + 1);
+            }
+            boundaries.retain(|&b| b <= 1 << 16);
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            for w in boundaries.windows(2) {
+                let (start, end) = (w[0], w[1]);
+                if start >= end {
+                    continue;
+                }
+                let v = start;
+                let states: Vec<HiState> = rules
+                    .iter()
+                    .map(|r| {
+                        let range = r.range(dim);
+                        let (lo_hi, hi_hi) = (range.lo >> 16, range.hi >> 16);
+                        if v < lo_hi || v > hi_hi {
+                            HiState::Outside
+                        } else if lo_hi == hi_hi {
+                            HiState::SingleColumn
+                        } else if v == lo_hi {
+                            HiState::LowEdge
+                        } else if v == hi_hi {
+                            HiState::HighEdge
+                        } else {
+                            HiState::Interior
+                        }
+                    })
+                    .collect();
+                let id = classer.id_of(&states);
+                for _ in start..end {
+                    entries.push(id);
+                }
+            }
+            debug_assert_eq!(entries.len(), 1 << 16);
+            let classes = classer.len();
+            (
+                PhaseTable { entries, classes },
+                classer.keys_in_order(),
+            )
+        };
+
+        // ---- Phase 0: address low halves (pairs of booleans) -------------
+        let addr_lo = |dim: Dimension| -> (PhaseTable, Vec<Vec<(bool, bool)>>) {
+            let mut classer: Classer<Vec<(bool, bool)>> = Classer::new();
+            let mut entries = Vec::with_capacity(1 << 16);
+            let mut boundaries = vec![0u32, 1 << 16];
+            for r in rules {
+                let range = r.range(dim);
+                boundaries.push(range.lo & 0xFFFF);
+                boundaries.push((range.lo & 0xFFFF) + 1);
+                boundaries.push(range.hi & 0xFFFF);
+                boundaries.push((range.hi & 0xFFFF) + 1);
+            }
+            boundaries.retain(|&b| b <= 1 << 16);
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            for w in boundaries.windows(2) {
+                let (start, end) = (w[0], w[1]);
+                if start >= end {
+                    continue;
+                }
+                let v = start;
+                let flags: Vec<(bool, bool)> = rules
+                    .iter()
+                    .map(|r| {
+                        let range = r.range(dim);
+                        (v >= (range.lo & 0xFFFF), v <= (range.hi & 0xFFFF))
+                    })
+                    .collect();
+                let id = classer.id_of(&flags);
+                for _ in start..end {
+                    entries.push(id);
+                }
+            }
+            debug_assert_eq!(entries.len(), 1 << 16);
+            let classes = classer.len();
+            (
+                PhaseTable { entries, classes },
+                classer.keys_in_order(),
+            )
+        };
+
+        // ---- Phase 0: whole-chunk fields (rule bitmaps) -------------------
+        let whole_chunk = |dim: Dimension, bits: u32| -> (PhaseTable, Vec<Bitmap>) {
+            let size = 1usize << bits;
+            let mut classer: Classer<Bitmap> = Classer::new();
+            let mut entries = Vec::with_capacity(size);
+            let mut boundaries = vec![0u32, size as u32];
+            for r in rules {
+                let range = r.range(dim);
+                boundaries.push(range.lo);
+                boundaries.push(range.lo + 1);
+                boundaries.push(range.hi);
+                boundaries.push(range.hi + 1);
+            }
+            boundaries.retain(|&b| b <= size as u32);
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            for w in boundaries.windows(2) {
+                let (start, end) = (w[0], w[1]);
+                if start >= end {
+                    continue;
+                }
+                let v = start;
+                let mut bm = bitmap_new(n);
+                for (i, r) in rules.iter().enumerate() {
+                    if r.range(dim).contains(v) {
+                        bitmap_set(&mut bm, i);
+                    }
+                }
+                let id = classer.id_of(&bm);
+                for _ in start..end {
+                    entries.push(id);
+                }
+            }
+            debug_assert_eq!(entries.len(), size);
+            let classes = classer.len();
+            (
+                PhaseTable { entries, classes },
+                classer.keys_in_order(),
+            )
+        };
+
+        let (src_hi, src_hi_states) = addr_hi(Dimension::SrcIp);
+        let (src_lo, src_lo_flags) = addr_lo(Dimension::SrcIp);
+        let (dst_hi, dst_hi_states) = addr_hi(Dimension::DstIp);
+        let (dst_lo, dst_lo_flags) = addr_lo(Dimension::DstIp);
+        let (src_port, src_port_bms) = whole_chunk(Dimension::SrcPort, 16);
+        let (dst_port, dst_port_bms) = whole_chunk(Dimension::DstPort, 16);
+        let (proto, proto_bms) = whole_chunk(Dimension::Protocol, 8);
+
+        let check = |required: usize| -> Result<(), RfcError> {
+            if required > config.max_table_entries {
+                Err(RfcError::MemoryLimit { required })
+            } else {
+                Ok(())
+            }
+        };
+
+        // ---- Phase 1: combine address halves exactly ----------------------
+        let combine_addr = |hi: &PhaseTable,
+                            hi_states: &[Vec<HiState>],
+                            lo: &PhaseTable,
+                            lo_flags: &[Vec<(bool, bool)>]|
+         -> Result<(PhaseTable, Vec<Bitmap>), RfcError> {
+            let required = hi.classes * lo.classes;
+            check(required)?;
+            let mut classer: Classer<Bitmap> = Classer::new();
+            let mut entries = Vec::with_capacity(required);
+            for hs in hi_states {
+                for lf in lo_flags {
+                    let mut bm = bitmap_new(n);
+                    for i in 0..n {
+                        let (ge_lo, le_hi) = lf[i];
+                        let hit = match hs[i] {
+                            HiState::Outside => false,
+                            HiState::Interior => true,
+                            HiState::LowEdge => ge_lo,
+                            HiState::HighEdge => le_hi,
+                            HiState::SingleColumn => ge_lo && le_hi,
+                        };
+                        if hit {
+                            bitmap_set(&mut bm, i);
+                        }
+                    }
+                    entries.push(classer.id_of(&bm));
+                }
+            }
+            let classes = classer.len();
+            Ok((PhaseTable { entries, classes }, classer.keys_in_order()))
+        };
+
+        // ---- Generic bitmap cross-product ---------------------------------
+        let combine_bitmaps = |a: &PhaseTable, a_bms: &[Bitmap], b: &PhaseTable, b_bms: &[Bitmap]|
+         -> Result<(PhaseTable, Vec<Bitmap>), RfcError> {
+            let required = a.classes * b.classes;
+            check(required)?;
+            let mut classer: Classer<Bitmap> = Classer::new();
+            let mut entries = Vec::with_capacity(required);
+            for abm in a_bms {
+                for bbm in b_bms {
+                    let bm = bitmap_and(abm, bbm);
+                    entries.push(classer.id_of(&bm));
+                }
+            }
+            let classes = classer.len();
+            Ok((PhaseTable { entries, classes }, classer.keys_in_order()))
+        };
+
+        let (src_addr, src_addr_bms) = combine_addr(&src_hi, &src_hi_states, &src_lo, &src_lo_flags)?;
+        let (dst_addr, dst_addr_bms) = combine_addr(&dst_hi, &dst_hi_states, &dst_lo, &dst_lo_flags)?;
+        let (ports, ports_bms) = combine_bitmaps(&src_port, &src_port_bms, &dst_port, &dst_port_bms)?;
+        let (addrs, addrs_bms) = combine_bitmaps(&src_addr, &src_addr_bms, &dst_addr, &dst_addr_bms)?;
+        let (ports_proto, ports_proto_bms) = combine_bitmaps(&ports, &ports_bms, &proto, &proto_bms)?;
+
+        // ---- Phase 3: final table stores rule id + 1 -----------------------
+        let required = addrs.classes * ports_proto.classes;
+        check(required)?;
+        let mut final_entries = Vec::with_capacity(required);
+        for abm in &addrs_bms {
+            for pbm in &ports_proto_bms {
+                let bm = bitmap_and(abm, pbm);
+                final_entries.push(match bitmap_first(&bm) {
+                    Some(i) => i as u32 + 1,
+                    None => 0,
+                });
+            }
+        }
+        let final_table = PhaseTable {
+            classes: 0,
+            entries: final_entries,
+        };
+
+        Ok(RfcClassifier {
+            src_hi,
+            src_lo,
+            dst_hi,
+            dst_lo,
+            src_port,
+            dst_port,
+            proto,
+            src_addr,
+            dst_addr,
+            ports,
+            addrs,
+            ports_proto,
+            final_table,
+            rule_count: n,
+        })
+    }
+
+    /// Number of rules the classifier was built for.
+    pub fn rule_count(&self) -> usize {
+        self.rule_count
+    }
+
+    /// Total number of table entries across all phases (each entry is one
+    /// 32-bit word in this implementation).
+    pub fn table_entries(&self) -> usize {
+        [
+            &self.src_hi,
+            &self.src_lo,
+            &self.dst_hi,
+            &self.dst_lo,
+            &self.src_port,
+            &self.dst_port,
+            &self.proto,
+            &self.src_addr,
+            &self.dst_addr,
+            &self.ports,
+            &self.addrs,
+            &self.ports_proto,
+            &self.final_table,
+        ]
+        .iter()
+        .map(|t| t.entry_count())
+        .sum()
+    }
+
+    #[inline]
+    fn lookup_ids(&self, pkt: &PacketHeader) -> u32 {
+        let src = pkt.src_ip();
+        let dst = pkt.dst_ip();
+        let a = self.src_hi.lookup((src >> 16) as usize);
+        let b = self.src_lo.lookup((src & 0xFFFF) as usize);
+        let c = self.dst_hi.lookup((dst >> 16) as usize);
+        let d = self.dst_lo.lookup((dst & 0xFFFF) as usize);
+        let e = self.src_port.lookup(pkt.src_port() as usize);
+        let f = self.dst_port.lookup(pkt.dst_port() as usize);
+        let g = self.proto.lookup(pkt.protocol() as usize);
+
+        let sa = self.src_addr.lookup(a as usize * self.src_lo.classes + b as usize);
+        let da = self.dst_addr.lookup(c as usize * self.dst_lo.classes + d as usize);
+        let pp = self.ports.lookup(e as usize * self.dst_port.classes + f as usize);
+
+        let ad = self.addrs.lookup(sa as usize * self.dst_addr.classes + da as usize);
+        let pg = self.ports_proto.lookup(pp as usize * self.proto.classes + g as usize);
+
+        self.final_table.lookup(ad as usize * self.ports_proto.classes + pg as usize)
+    }
+}
+
+impl Classifier for RfcClassifier {
+    fn name(&self) -> &'static str {
+        "rfc"
+    }
+
+    fn classify(&self, pkt: &PacketHeader) -> MatchResult {
+        match self.lookup_ids(pkt) {
+            0 => MatchResult::NoMatch,
+            id => MatchResult::Matched(id - 1),
+        }
+    }
+
+    fn classify_with_stats(&self, pkt: &PacketHeader, stats: &mut LookupStats) -> MatchResult {
+        // 13 table reads: 7 phase-0, 3 phase-1, 2 phase-2, 1 final.
+        stats.memory_accesses += 13;
+        stats.ops.loads += 13;
+        stats.ops.alu += 20; // index arithmetic
+        stats.ops.muls += 6;
+        self.classify(pkt)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Every table entry is stored as a 16-bit class id in a production
+        // implementation (class counts stay far below 65536); count 2 bytes
+        // per entry the way the paper's companion study does.
+        self.table_entries() * 2
+    }
+
+    fn worst_case_memory_accesses(&self) -> Option<u64> {
+        Some(13)
+    }
+}
+
+// Keep clippy quiet about the unused `classes` field on the final table: it
+// is a `PhaseTable` only for uniformity.
+#[allow(dead_code)]
+fn _final_table_classes_unused(t: &PhaseTable) -> usize {
+    t.classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclass_types::{FieldRange, Rule, RuleBuilder};
+
+    fn five_tuple_set() -> RuleSet {
+        let rules = vec![
+            RuleBuilder::new(0)
+                .src_prefix(0x0A00_0000, 8)
+                .dst_prefix(0xC0A8_0100, 24)
+                .dst_port(80)
+                .protocol(6)
+                .build(),
+            RuleBuilder::new(1)
+                .src_prefix(0x0A01_0000, 16)
+                .dst_port_range(1024, 65535)
+                .protocol(6)
+                .build(),
+            RuleBuilder::new(2).dst_prefix(0xC0A8_0000, 16).protocol(17).build(),
+            // A rule whose source address is an arbitrary range spanning
+            // several high-half columns — the case the HiState machinery
+            // exists for.
+            Rule::new(
+                3,
+                [
+                    FieldRange::new(0x0A01_FFF0, 0x0A03_0010),
+                    FieldRange::full(32),
+                    FieldRange::full(16),
+                    FieldRange::full(16),
+                    FieldRange::exact(6),
+                ],
+            ),
+            RuleBuilder::new(4).build(), // default rule
+        ];
+        RuleSet::new("rfc_test", pclass_types::DimensionSpec::FIVE_TUPLE, rules).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_linear_search_on_crafted_packets() {
+        let rs = five_tuple_set();
+        let rfc = RfcClassifier::build(&rs).unwrap();
+        let packets = [
+            PacketHeader::five_tuple(0x0A01_0203, 0xC0A8_0105, 40000, 80, 6),
+            PacketHeader::five_tuple(0x0A01_0203, 0xC0A8_0105, 40000, 8080, 6),
+            PacketHeader::five_tuple(0x0B01_0203, 0xC0A8_0105, 40000, 53, 17),
+            PacketHeader::five_tuple(0x0A02_0000, 0x01020304, 1, 1, 6), // inside rule 3's range
+            PacketHeader::five_tuple(0x0A03_0011, 0x01020304, 1, 1, 6), // just outside rule 3
+            PacketHeader::five_tuple(0x0A01_FFEF, 0x01020304, 1, 1, 6), // just below rule 3
+            PacketHeader::five_tuple(0x0A01_FFF0, 0x01020304, 1, 1, 6), // exactly rule 3's lower bound
+            PacketHeader::five_tuple(0xFFFF_FFFF, 0xFFFF_FFFF, 65535, 65535, 255),
+            PacketHeader::five_tuple(0, 0, 0, 0, 0),
+        ];
+        for pkt in packets {
+            assert_eq!(rfc.classify(&pkt), rs.classify_linear(&pkt), "packet {pkt}");
+        }
+    }
+
+    #[test]
+    fn boundary_sweep_around_arbitrary_range() {
+        let rs = five_tuple_set();
+        let rfc = RfcClassifier::build(&rs).unwrap();
+        // Sweep addresses around the awkward range of rule 3 in steps that
+        // cross the 16-bit column boundaries.
+        let mut addr: u64 = 0x0A01_FF00;
+        while addr <= 0x0A03_0100 {
+            let pkt = PacketHeader::five_tuple(addr as u32, 0x0102_0304, 7, 7, 6);
+            assert_eq!(rfc.classify(&pkt), rs.classify_linear(&pkt), "addr {addr:#x}");
+            addr += 0x33;
+        }
+    }
+
+    #[test]
+    fn priority_is_respected() {
+        let rs = five_tuple_set();
+        let rfc = RfcClassifier::build(&rs).unwrap();
+        // Matches rules 0, 1 (ports) and 4 — rule 0 must win.
+        let pkt = PacketHeader::five_tuple(0x0A01_0203, 0xC0A8_0105, 40000, 80, 6);
+        assert_eq!(rfc.classify(&pkt), MatchResult::Matched(0));
+    }
+
+    #[test]
+    fn stats_and_metadata() {
+        let rs = five_tuple_set();
+        let rfc = RfcClassifier::build(&rs).unwrap();
+        assert_eq!(rfc.name(), "rfc");
+        assert_eq!(rfc.rule_count(), 5);
+        assert_eq!(rfc.worst_case_memory_accesses(), Some(13));
+        assert!(rfc.memory_bytes() > 7 * (1 << 16)); // at least the phase-0 tables
+        let mut stats = LookupStats::new();
+        let pkt = PacketHeader::five_tuple(0, 0, 0, 0, 0);
+        rfc.classify_with_stats(&pkt, &mut stats);
+        assert_eq!(stats.memory_accesses, 13);
+    }
+
+    #[test]
+    fn memory_limit_is_enforced() {
+        let rs = five_tuple_set();
+        let config = RfcConfig { max_table_entries: 10 };
+        match RfcClassifier::build_with(&rs, &config) {
+            Err(RfcError::MemoryLimit { required }) => assert!(required > 10),
+            other => panic!("expected memory-limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_ruleset_never_matches() {
+        let rs = RuleSet::new("empty", pclass_types::DimensionSpec::FIVE_TUPLE, vec![]).unwrap();
+        let rfc = RfcClassifier::build(&rs).unwrap();
+        assert_eq!(
+            rfc.classify(&PacketHeader::five_tuple(1, 2, 3, 4, 5)),
+            MatchResult::NoMatch
+        );
+    }
+}

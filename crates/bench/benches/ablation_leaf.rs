@@ -1,0 +1,49 @@
+//! Ablation bench: leaf size (binth) and the speed parameter.
+//!
+//! The paper stores whole rules in leaves (30 per memory word) and offers a
+//! speed/memory trade-off (Eqs. 5–7); this bench measures how the leaf
+//! threshold and packing mode change end-to-end classification cost in the
+//! accelerator model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use pclass_bench::{acl_ruleset, trace_for};
+use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
+use pclass_core::hw::Accelerator;
+use pclass_core::program::HardwareProgram;
+
+fn bench_leaf_ablation(c: &mut Criterion) {
+    let rs = acl_ruleset(2_191);
+    let trace = trace_for(&rs, 4_000);
+    let pkts: Vec<_> = trace.headers().copied().collect();
+    let mut group = c.benchmark_group("ablation_leaf");
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+
+    for &binth in &[8usize, 16, 30] {
+        let mut cfg = BuildConfig::paper_defaults(CutAlgorithm::HyperCuts);
+        cfg.binth = binth;
+        let program = HardwareProgram::build_with_capacity(&rs, &cfg, 4096).unwrap();
+        let engine = Accelerator::new(&program);
+        group.bench_with_input(BenchmarkId::new("binth", binth), &pkts, |b, pkts| {
+            b.iter(|| pkts.iter().map(|p| engine.classify_packet(p).1.visible_cycles() as u64).sum::<u64>())
+        });
+    }
+
+    for speed in [SpeedMode::MemoryEfficient, SpeedMode::Throughput] {
+        let mut cfg = BuildConfig::paper_defaults(CutAlgorithm::HyperCuts);
+        cfg.speed = speed;
+        let program = HardwareProgram::build_with_capacity(&rs, &cfg, 4096).unwrap();
+        let engine = Accelerator::new(&program);
+        group.bench_with_input(BenchmarkId::new("speed", speed.as_u8()), &pkts, |b, pkts| {
+            b.iter(|| pkts.iter().map(|p| engine.classify_packet(p).1.visible_cycles() as u64).sum::<u64>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_leaf_ablation
+}
+criterion_main!(benches);

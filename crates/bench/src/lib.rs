@@ -1,0 +1,160 @@
+//! Shared workload construction and measurement helpers for the benchmark
+//! harness (`reproduce` binary and the criterion benches).
+//!
+//! Every table and figure of the paper's evaluation section is regenerated
+//! from these building blocks; see `EXPERIMENTS.md` at the workspace root
+//! for the experiment-by-experiment mapping and the recorded outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
+use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
+use pclass_algos::{Classifier, LookupStats, OpCounters};
+use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
+use pclass_core::hw::{Accelerator, ClassificationReport};
+use pclass_core::program::{HardwareProgram, ProgramStats};
+use pclass_core::builder::HwTree;
+use pclass_energy::sa1100::Sa1100Model;
+use pclass_types::{RuleSet, Trace};
+
+/// Deterministic seed used for every generated workload so tables are
+/// reproducible run to run.
+pub const WORKLOAD_SEED: u64 = 20080414; // IPDPS 2008 week
+
+/// The ruleset sizes of the acl1 column used by Tables 2, 3, 6, 7 and 8.
+pub const ACL_TABLE_SIZES: [usize; 6] = pclass_classbench::PAPER_ACL_SIZES;
+
+/// Builds the ACL-style ruleset of a given size used by the acl1-based
+/// tables (generated once at the largest size and truncated, the way the
+/// paper's acl1 subsets nest).
+pub fn acl_ruleset(size: usize) -> RuleSet {
+    let full = ClassBenchGenerator::new(SeedStyle::Acl, WORKLOAD_SEED).generate(2_191.max(size));
+    full.truncated(size, format!("acl1_{size}"))
+}
+
+/// Builds a ruleset of the given style and size (used by Table 4).
+pub fn styled_ruleset(style: SeedStyle, size: usize) -> RuleSet {
+    ClassBenchGenerator::new(style, WORKLOAD_SEED).generate(size)
+}
+
+/// Builds the packet trace used with a ruleset.
+pub fn trace_for(ruleset: &RuleSet, packets: usize) -> Trace {
+    TraceGenerator::new(ruleset, WORKLOAD_SEED ^ 0xF00D).generate(packets)
+}
+
+/// Result of measuring one software classifier over a trace.
+#[derive(Debug, Clone)]
+pub struct SoftwareMeasurement {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Memory occupied by its search structure plus the ruleset (bytes).
+    pub memory_bytes: usize,
+    /// Average operation mix per packet.
+    pub avg_ops: OpCounters,
+    /// Energy per packet on the SA-1100 model (normalised, joules).
+    pub energy_per_packet_j: f64,
+    /// Packets per second on the SA-1100 model.
+    pub packets_per_second: f64,
+    /// Worst-case memory accesses of a lookup.
+    pub worst_case_accesses: u64,
+}
+
+/// Measures a software classifier over a trace with the SA-1100 model.
+pub fn measure_software(classifier: &dyn Classifier, trace: &Trace) -> SoftwareMeasurement {
+    let model = Sa1100Model::new();
+    let mut total = LookupStats::new();
+    for entry in trace.entries() {
+        classifier.classify_with_stats(&entry.header, &mut total);
+    }
+    let n = trace.len().max(1) as u64;
+    let avg_ops = OpCounters {
+        loads: total.ops.loads / n,
+        stores: total.ops.stores / n,
+        alu: total.ops.alu / n,
+        branches: total.ops.branches / n,
+        muls: total.ops.muls / n,
+        divs: total.ops.divs / n,
+    };
+    SoftwareMeasurement {
+        name: classifier.name(),
+        memory_bytes: classifier.memory_bytes(),
+        avg_ops,
+        energy_per_packet_j: model.normalized_energy_j(&avg_ops),
+        packets_per_second: model.packets_per_second(&avg_ops),
+        worst_case_accesses: classifier.worst_case_memory_accesses().unwrap_or(0),
+    }
+}
+
+/// Result of measuring the hardware accelerator over a trace.
+#[derive(Debug, Clone)]
+pub struct HardwareMeasurement {
+    /// Cut algorithm used to build the structure.
+    pub algorithm: CutAlgorithm,
+    /// Layout statistics of the program.
+    pub stats: ProgramStats,
+    /// Trace replay report.
+    pub report: ClassificationReport,
+}
+
+/// Builds the hardware program (12-bit address space) and replays the trace.
+pub fn measure_hardware(ruleset: &RuleSet, trace: &Trace, algorithm: CutAlgorithm) -> Option<HardwareMeasurement> {
+    let config = BuildConfig::paper_defaults(algorithm);
+    let program = HardwareProgram::build_with_capacity(ruleset, &config, 4096).ok()?;
+    let report = Accelerator::new(&program).classify_trace(trace);
+    Some(HardwareMeasurement {
+        algorithm,
+        stats: *program.stats(),
+        report,
+    })
+}
+
+/// Plans the hardware layout even when it exceeds the addressable capacity
+/// (used by Table 4 for the largest fw1-style sets).
+pub fn plan_hardware(ruleset: &RuleSet, algorithm: CutAlgorithm) -> Option<(ProgramStats, pclass_algos::BuildStats)> {
+    let config = BuildConfig::paper_defaults(algorithm);
+    let tree = HwTree::build(ruleset, &config).ok()?;
+    let build = tree.build_stats;
+    Some((HardwareProgram::plan_layout(&tree, SpeedMode::Throughput), build))
+}
+
+/// Builds the original (software) HiCuts classifier with paper parameters.
+pub fn software_hicuts(ruleset: &RuleSet) -> HiCutsClassifier {
+    HiCutsClassifier::build(ruleset, &HiCutsConfig::paper_defaults())
+}
+
+/// Builds the original (software) HyperCuts classifier with paper parameters.
+pub fn software_hypercuts(ruleset: &RuleSet) -> HyperCutsClassifier {
+    HyperCutsClassifier::build(ruleset, &HyperCutsConfig::paper_defaults())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acl_rulesets_nest() {
+        let small = acl_ruleset(60);
+        let large = acl_ruleset(150);
+        assert_eq!(small.len(), 60);
+        assert_eq!(large.len(), 150);
+        for (a, b) in small.rules().iter().zip(large.rules()) {
+            assert_eq!(a.ranges, b.ranges);
+        }
+    }
+
+    #[test]
+    fn measurement_helpers_produce_sane_numbers() {
+        let rs = acl_ruleset(150);
+        let trace = trace_for(&rs, 500);
+        let sw = measure_software(&software_hicuts(&rs), &trace);
+        assert!(sw.energy_per_packet_j > 0.0);
+        assert!(sw.packets_per_second > 1_000.0);
+        let hw = measure_hardware(&rs, &trace, CutAlgorithm::HyperCuts).expect("fits");
+        assert!(hw.stats.memory_bytes > 0);
+        assert_eq!(hw.report.packets(), 500);
+        let planned = plan_hardware(&rs, CutAlgorithm::HyperCuts).expect("plans");
+        assert_eq!(planned.0.total_words, hw.stats.total_words);
+    }
+}

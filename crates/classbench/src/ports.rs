@@ -1,0 +1,106 @@
+//! Port-range and protocol sampling.
+
+use pclass_types::FieldRange;
+use rand::Rng;
+
+/// Well-known destination ports weighted roughly by how often they appear in
+/// published filter-set studies (HTTP/HTTPS/DNS dominate).
+pub const WELL_KNOWN_PORTS: [(u16, u32); 12] = [
+    (80, 30),   // http
+    (443, 20),  // https
+    (53, 15),   // dns
+    (25, 8),    // smtp
+    (22, 6),    // ssh
+    (21, 5),    // ftp
+    (23, 4),    // telnet
+    (110, 3),   // pop3
+    (143, 3),   // imap
+    (161, 2),   // snmp
+    (123, 2),   // ntp
+    (3306, 2),  // mysql
+];
+
+/// Common transport protocols weighted by typical filter-set frequency.
+pub const PROTOCOLS: [(u8, u32); 4] = [
+    (6, 70),  // TCP
+    (17, 25), // UDP
+    (1, 4),   // ICMP
+    (47, 1),  // GRE
+];
+
+/// The ephemeral port range used for "high ports" specifications.
+pub const EPHEMERAL: FieldRange = FieldRange { lo: 1024, hi: 65_535 };
+
+/// Samples a value from a weighted table.
+pub fn weighted_pick<T: Copy, R: Rng + ?Sized>(rng: &mut R, table: &[(T, u32)]) -> T {
+    let total: u32 = table.iter().map(|(_, w)| w).sum();
+    let mut target = rng.gen_range(0..total);
+    for &(value, weight) in table {
+        if target < weight {
+            return value;
+        }
+        target -= weight;
+    }
+    table[table.len() - 1].0
+}
+
+/// Samples a well-known destination port.
+pub fn sample_well_known_port<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+    weighted_pick(rng, &WELL_KNOWN_PORTS)
+}
+
+/// Samples a transport protocol number.
+pub fn sample_protocol<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+    weighted_pick(rng, &PROTOCOLS)
+}
+
+/// Samples an arbitrary (non-trivial, non-prefix-aligned) port range — the
+/// kind that forces TCAM range expansion.
+pub fn sample_arbitrary_port_range<R: Rng + ?Sized>(rng: &mut R) -> FieldRange {
+    let lo = rng.gen_range(1u32..60_000);
+    let width = rng.gen_range(2u32..5_000);
+    FieldRange::new(lo, (lo + width).min(65_535))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_pick_respects_support() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let p = sample_well_known_port(&mut rng);
+            assert!(WELL_KNOWN_PORTS.iter().any(|&(v, _)| v == p));
+            let proto = sample_protocol(&mut rng);
+            assert!(PROTOCOLS.iter().any(|&(v, _)| v == proto));
+        }
+    }
+
+    #[test]
+    fn weighted_pick_is_skewed_toward_heavy_entries() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut http = 0;
+        let n = 2_000;
+        for _ in 0..n {
+            if sample_well_known_port(&mut rng) == 80 {
+                http += 1;
+            }
+        }
+        // 30/100 weight → expect roughly 30 %, allow a generous band.
+        assert!(http > n / 5, "http sampled only {http} times out of {n}");
+        assert!(http < n / 2);
+    }
+
+    #[test]
+    fn arbitrary_ranges_stay_in_port_space() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let r = sample_arbitrary_port_range(&mut rng);
+            assert!(r.hi <= 65_535);
+            assert!(r.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared prefix pools.
+//!
+//! Real filter sets re-use a limited number of address prefixes across many
+//! rules (a handful of subnets appear in hundreds of ACL entries).  The
+//! decision-tree algorithms are sensitive to exactly this property: the
+//! number of *distinct* range specifications per dimension drives HyperCuts'
+//! dimension selection and the amount of rule replication.  The generator
+//! therefore draws addresses from a bounded pool instead of sampling fresh
+//! random prefixes for every rule.
+
+use pclass_types::Prefix;
+use rand::Rng;
+
+/// A bounded pool of IPv4 prefixes with a skewed re-use distribution.
+#[derive(Debug, Clone)]
+pub struct PrefixPool {
+    prefixes: Vec<Prefix>,
+}
+
+impl PrefixPool {
+    /// Generates a pool of `size` prefixes whose lengths are drawn uniformly
+    /// from `len_range` and whose values cluster under a small number of
+    /// /8 "provider" blocks, mimicking the address locality of real sets.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, size: usize, len_range: (u8, u8)) -> PrefixPool {
+        assert!(size > 0, "prefix pool must not be empty");
+        // Provider /8 blocks the pool clusters under.  Real filter sets are
+        // clustered but spread over many networks, and the decision-tree
+        // algorithms rely on that spread (it is what lets one 256-way cut of
+        // the destination address thin a large ACL out to near-binth
+        // children); scale the number of blocks with the pool size.
+        let provider_count = (size / 3).clamp(16, 200);
+        let providers: Vec<u32> = (0..provider_count)
+            .map(|_| u32::from(rng.gen_range(1u8..224)) << 24)
+            .collect();
+        let mut prefixes = Vec::with_capacity(size);
+        for _ in 0..size {
+            let len = rng.gen_range(len_range.0..=len_range.1);
+            let base = if rng.gen_bool(0.85) {
+                providers[rng.gen_range(0..providers.len())]
+            } else {
+                u32::from(rng.gen_range(1u8..224)) << 24
+            };
+            let host_bits: u32 = rng.gen();
+            let addr = base | (host_bits & 0x00FF_FFFF);
+            prefixes.push(Prefix::ipv4(addr, len));
+        }
+        PrefixPool { prefixes }
+    }
+
+    /// Number of prefixes in the pool.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// `true` if the pool is empty (never the case for generated pools).
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Picks a prefix with a Zipf-like skew: low indices are much more
+    /// popular than high indices, so a few prefixes dominate the ruleset the
+    /// way a few subnets dominate real ACLs.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> Prefix {
+        let n = self.prefixes.len();
+        // Inverse-CDF sampling of an approximate Zipf(1.0) distribution via
+        // the power-law transform u^k scaled to the pool size.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = ((u.powf(2.0)) * n as f64) as usize;
+        self.prefixes[idx.min(n - 1)]
+    }
+
+    /// All prefixes (used by tests and diagnostics).
+    pub fn prefixes(&self) -> &[Prefix] {
+        &self.prefixes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn pool_respects_length_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let pool = PrefixPool::generate(&mut rng, 100, (16, 24));
+        assert_eq!(pool.len(), 100);
+        assert!(!pool.is_empty());
+        for p in pool.prefixes() {
+            assert!((16..=24).contains(&p.length));
+        }
+    }
+
+    #[test]
+    fn picks_are_skewed() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let pool = PrefixPool::generate(&mut rng, 50, (8, 32));
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for _ in 0..5_000 {
+            let p = pool.pick(&mut rng);
+            *counts.entry((u64::from(p.value) << 8) | u64::from(p.length)).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let min_nonzero = counts.values().copied().min().unwrap();
+        // The most popular prefix should be picked far more often than the
+        // least popular one that was picked at all.
+        assert!(max > 4 * min_nonzero, "max={max} min={min_nonzero}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        let pa = PrefixPool::generate(&mut a, 20, (8, 32));
+        let pb = PrefixPool::generate(&mut b, 20, (8, 32));
+        assert_eq!(pa.prefixes(), pb.prefixes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_pool_is_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        PrefixPool::generate(&mut rng, 0, (8, 32));
+    }
+}

@@ -1,0 +1,186 @@
+//! Seed styles and their structural parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The three ClassBench seed families used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeedStyle {
+    /// Access-control-list style (`acl1`): specific prefixes, exact services.
+    Acl,
+    /// Firewall style (`fw1`): many wildcards, heavy rule replication.
+    Fw,
+    /// IP-chain style (`ipc1`): a mixture of the two.
+    Ipc,
+}
+
+impl SeedStyle {
+    /// All styles, in the order Table 4 lists them.
+    pub const ALL: [SeedStyle; 3] = [SeedStyle::Acl, SeedStyle::Fw, SeedStyle::Ipc];
+
+    /// Short name matching the paper's ruleset naming (`acl1`, `fw1`, `ipc1`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SeedStyle::Acl => "acl1",
+            SeedStyle::Fw => "fw1",
+            SeedStyle::Ipc => "ipc1",
+        }
+    }
+
+    /// The structural parameters of this style.
+    pub fn parameters(self) -> StyleParameters {
+        match self {
+            SeedStyle::Acl => StyleParameters {
+                src_wildcard_prob: 0.06,
+                dst_wildcard_prob: 0.01,
+                src_prefix_len_range: (16, 32),
+                dst_prefix_len_range: (24, 32),
+                prefix_pool_fraction: 0.35,
+                src_port_any_prob: 0.92,
+                dst_port_exact_prob: 0.75,
+                dst_port_any_prob: 0.10,
+                proto_any_prob: 0.05,
+                arbitrary_range_prob: 0.02,
+            },
+            SeedStyle::Fw => StyleParameters {
+                src_wildcard_prob: 0.22,
+                dst_wildcard_prob: 0.12,
+                src_prefix_len_range: (8, 32),
+                dst_prefix_len_range: (8, 32),
+                prefix_pool_fraction: 0.25,
+                src_port_any_prob: 0.45,
+                dst_port_exact_prob: 0.45,
+                dst_port_any_prob: 0.20,
+                proto_any_prob: 0.12,
+                arbitrary_range_prob: 0.10,
+            },
+            SeedStyle::Ipc => StyleParameters {
+                src_wildcard_prob: 0.18,
+                dst_wildcard_prob: 0.08,
+                src_prefix_len_range: (8, 32),
+                dst_prefix_len_range: (16, 32),
+                prefix_pool_fraction: 0.30,
+                src_port_any_prob: 0.80,
+                dst_port_exact_prob: 0.60,
+                dst_port_any_prob: 0.20,
+                proto_any_prob: 0.10,
+                arbitrary_range_prob: 0.05,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for SeedStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tunable structural knobs of a synthetic seed style.
+///
+/// The values in [`SeedStyle::parameters`] were chosen so that the generated
+/// sets show the qualitative behaviour the paper reports for the real
+/// ClassBench sets: ACL sets stay compact and shallow, FW sets replicate
+/// rules heavily (large memory, deeper trees), IPC sets sit in between.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StyleParameters {
+    /// Probability that a rule's source address is a full wildcard.
+    pub src_wildcard_prob: f64,
+    /// Probability that a rule's destination address is a full wildcard.
+    pub dst_wildcard_prob: f64,
+    /// Inclusive range of source prefix lengths when not wildcarded.
+    pub src_prefix_len_range: (u8, u8),
+    /// Inclusive range of destination prefix lengths when not wildcarded.
+    pub dst_prefix_len_range: (u8, u8),
+    /// Fraction of the ruleset size used as the size of the shared prefix
+    /// pool; smaller pools mean more prefix sharing between rules (more
+    /// realistic distinct-range counts).
+    pub prefix_pool_fraction: f64,
+    /// Probability that the source port is a wildcard.
+    pub src_port_any_prob: f64,
+    /// Probability that the destination port is an exact well-known port.
+    pub dst_port_exact_prob: f64,
+    /// Probability that the destination port is a wildcard (the remainder is
+    /// split between the ephemeral range 1024–65535 and arbitrary ranges).
+    pub dst_port_any_prob: f64,
+    /// Probability that the protocol is a wildcard.
+    pub proto_any_prob: f64,
+    /// Probability that an IP field uses a one-off prefix drawn outside the
+    /// shared pool (an "odd" subnet that no other rule references).
+    pub arbitrary_range_prob: f64,
+}
+
+impl StyleParameters {
+    /// Sanity-checks that all probabilities are within [0, 1] and prefix
+    /// length bounds are ordered.  Used by tests and by custom styles.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("src_wildcard_prob", self.src_wildcard_prob),
+            ("dst_wildcard_prob", self.dst_wildcard_prob),
+            ("prefix_pool_fraction", self.prefix_pool_fraction),
+            ("src_port_any_prob", self.src_port_any_prob),
+            ("dst_port_exact_prob", self.dst_port_exact_prob),
+            ("dst_port_any_prob", self.dst_port_any_prob),
+            ("proto_any_prob", self.proto_any_prob),
+            ("arbitrary_range_prob", self.arbitrary_range_prob),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        for (name, (lo, hi)) in [
+            ("src_prefix_len_range", self.src_prefix_len_range),
+            ("dst_prefix_len_range", self.dst_prefix_len_range),
+        ] {
+            if lo > hi || hi > 32 {
+                return Err(format!("{name} = ({lo}, {hi}) is invalid"));
+            }
+        }
+        if self.dst_port_exact_prob + self.dst_port_any_prob > 1.0 {
+            return Err("dst port probabilities exceed 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_styles_are_valid() {
+        for style in SeedStyle::ALL {
+            style.parameters().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(SeedStyle::Acl.name(), "acl1");
+        assert_eq!(SeedStyle::Fw.name(), "fw1");
+        assert_eq!(SeedStyle::Ipc.name(), "ipc1");
+        assert_eq!(SeedStyle::Ipc.to_string(), "ipc1");
+    }
+
+    #[test]
+    fn fw_style_is_wilder_than_acl() {
+        let acl = SeedStyle::Acl.parameters();
+        let fw = SeedStyle::Fw.parameters();
+        assert!(fw.dst_wildcard_prob > acl.dst_wildcard_prob);
+        assert!(fw.proto_any_prob > acl.proto_any_prob);
+    }
+
+    #[test]
+    fn validate_catches_bad_parameters() {
+        let mut p = SeedStyle::Acl.parameters();
+        p.src_wildcard_prob = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = SeedStyle::Acl.parameters();
+        p.src_prefix_len_range = (20, 10);
+        assert!(p.validate().is_err());
+        let mut p = SeedStyle::Acl.parameters();
+        p.dst_port_exact_prob = 0.9;
+        p.dst_port_any_prob = 0.3;
+        assert!(p.validate().is_err());
+    }
+}

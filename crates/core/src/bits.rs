@@ -1,0 +1,168 @@
+//! Bit-level access to 4800-bit memory words.
+//!
+//! A memory word is represented as `[u64; WORD_LIMBS]` with bit 0 of limb 0
+//! being bit 0 of the word.  Fields written by the encoders never exceed 64
+//! bits, but they routinely straddle a limb boundary, so the helpers handle
+//! the two-limb case explicitly.
+
+use crate::WORD_LIMBS;
+
+/// One 4800-bit memory word.
+pub type Word = [u64; WORD_LIMBS];
+
+/// A zeroed memory word.
+pub fn zero_word() -> Word {
+    [0u64; WORD_LIMBS]
+}
+
+/// Writes `len` bits of `value` (little-endian bit order) at bit offset
+/// `offset` of the word.
+///
+/// # Panics
+/// Panics if `len` is 0 or greater than 64, if the field would run past the
+/// end of the word, or if `value` does not fit in `len` bits.
+pub fn set_bits(word: &mut Word, offset: usize, len: usize, value: u64) {
+    assert!((1..=64).contains(&len), "field length {len} out of range");
+    assert!(
+        offset + len <= WORD_LIMBS * 64,
+        "field [{offset}, {}) exceeds the word",
+        offset + len
+    );
+    if len < 64 {
+        assert!(value < (1u64 << len), "value {value:#x} does not fit in {len} bits");
+    }
+    let limb = offset / 64;
+    let bit = offset % 64;
+    if bit + len <= 64 {
+        let mask = if len == 64 { u64::MAX } else { ((1u64 << len) - 1) << bit };
+        word[limb] = (word[limb] & !mask) | (value << bit);
+    } else {
+        let low_len = 64 - bit;
+        let high_len = len - low_len;
+        let low_mask = ((1u64 << low_len) - 1) << bit;
+        word[limb] = (word[limb] & !low_mask) | ((value & ((1u64 << low_len) - 1)) << bit);
+        let high_mask = (1u64 << high_len) - 1;
+        word[limb + 1] = (word[limb + 1] & !high_mask) | (value >> low_len);
+    }
+}
+
+/// Reads `len` bits at bit offset `offset` of the word.
+///
+/// # Panics
+/// Panics if `len` is 0 or greater than 64 or the field runs past the word.
+pub fn get_bits(word: &Word, offset: usize, len: usize) -> u64 {
+    assert!((1..=64).contains(&len), "field length {len} out of range");
+    assert!(
+        offset + len <= WORD_LIMBS * 64,
+        "field [{offset}, {}) exceeds the word",
+        offset + len
+    );
+    let limb = offset / 64;
+    let bit = offset % 64;
+    if bit + len <= 64 {
+        let raw = word[limb] >> bit;
+        if len == 64 {
+            raw
+        } else {
+            raw & ((1u64 << len) - 1)
+        }
+    } else {
+        let low_len = 64 - bit;
+        let high_len = len - low_len;
+        let low = word[limb] >> bit;
+        let high = word[limb + 1] & ((1u64 << high_len) - 1);
+        low | (high << low_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_within_one_limb() {
+        let mut w = zero_word();
+        set_bits(&mut w, 3, 12, 0xABC);
+        assert_eq!(get_bits(&w, 3, 12), 0xABC);
+        // Neighbouring bits untouched.
+        assert_eq!(get_bits(&w, 0, 3), 0);
+        assert_eq!(get_bits(&w, 15, 8), 0);
+    }
+
+    #[test]
+    fn roundtrip_across_limb_boundary() {
+        let mut w = zero_word();
+        set_bits(&mut w, 60, 16, 0xBEEF);
+        assert_eq!(get_bits(&w, 60, 16), 0xBEEF);
+        assert_eq!(get_bits(&w, 0, 60), 0);
+        assert_eq!(get_bits(&w, 76, 20), 0);
+    }
+
+    #[test]
+    fn full_64_bit_field() {
+        let mut w = zero_word();
+        set_bits(&mut w, 64, 64, u64::MAX);
+        assert_eq!(get_bits(&w, 64, 64), u64::MAX);
+        set_bits(&mut w, 64, 64, 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_bits(&w, 64, 64), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn overwrite_clears_previous_value() {
+        let mut w = zero_word();
+        set_bits(&mut w, 10, 8, 0xFF);
+        set_bits(&mut w, 10, 8, 0x01);
+        assert_eq!(get_bits(&w, 10, 8), 0x01);
+    }
+
+    #[test]
+    fn last_bits_of_word_are_addressable() {
+        let mut w = zero_word();
+        set_bits(&mut w, 4799, 1, 1);
+        assert_eq!(get_bits(&w, 4799, 1), 1);
+        set_bits(&mut w, 4736, 64, 42);
+        assert_eq!(get_bits(&w, 4736, 64), 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_field_panics() {
+        let mut w = zero_word();
+        set_bits(&mut w, 4790, 16, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_value_panics() {
+        let mut w = zero_word();
+        set_bits(&mut w, 0, 4, 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(offset in 0usize..4700, len in 1usize..=64, value: u64) {
+            prop_assume!(offset + len <= 4800);
+            let value = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+            let mut w = zero_word();
+            set_bits(&mut w, offset, len, value);
+            prop_assert_eq!(get_bits(&w, offset, len), value);
+        }
+
+        #[test]
+        fn prop_disjoint_fields_do_not_interfere(
+            a_off in 0usize..2000, a_len in 1usize..=64, a_val: u64,
+            gap in 0usize..100, b_len in 1usize..=64, b_val: u64,
+        ) {
+            let b_off = a_off + a_len + gap;
+            prop_assume!(b_off + b_len <= 4800);
+            let a_val = if a_len == 64 { a_val } else { a_val & ((1u64 << a_len) - 1) };
+            let b_val = if b_len == 64 { b_val } else { b_val & ((1u64 << b_len) - 1) };
+            let mut w = zero_word();
+            set_bits(&mut w, a_off, a_len, a_val);
+            set_bits(&mut w, b_off, b_len, b_val);
+            prop_assert_eq!(get_bits(&w, a_off, a_len), a_val);
+            prop_assert_eq!(get_bits(&w, b_off, b_len), b_val);
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Bit-exact encodings of leaf rules and internal nodes inside 4800-bit
+//! memory words.
+//!
+//! ## Leaf rule format (160 bits, Section 3 of the paper)
+//!
+//! | bits      | field                                            |
+//! |-----------|--------------------------------------------------|
+//! | 0–15      | source port minimum                              |
+//! | 16–31     | source port maximum                              |
+//! | 32–47     | destination port minimum                         |
+//! | 48–63     | destination port maximum                         |
+//! | 64–95     | source IP address (32 bits)                      |
+//! | 96–98     | source IP mask code (3 bits, see below)          |
+//! | 99–130    | destination IP address (32 bits)                 |
+//! | 131–133   | destination IP mask code (3 bits)                |
+//! | 134–141   | protocol number                                  |
+//! | 142       | protocol wildcard flag (1 = match any protocol)  |
+//! | 143–158   | rule number (16 bits)                            |
+//! | 159       | end-of-leaf marker                               |
+//!
+//! The paper compresses the 6-bit prefix length to 3 bits by reusing the low
+//! bits of the address when the prefix is short ("storing 3 bits of the
+//! encoded mask value in the 3 least significant bits of the IP address when
+//! the mask is 0-27").  The concrete scheme used here, which round-trips all
+//! 33 prefix lengths, is:
+//!
+//! * mask code `1..=5` ⇒ prefix length `27 + code` (28–32); the address field
+//!   holds the full address.
+//! * mask code `0` ⇒ prefix length 0–27; the length is stored in the five
+//!   least-significant bits of the address field (those bits are below the
+//!   prefix and therefore don't-care), and the decoder masks them off.
+//!
+//! Bit 159 is unused by the paper's field inventory (its fields add up to
+//! 159 bits); this implementation uses it as an end-of-leaf marker so the
+//! comparator array knows where a leaf stops when several leaves share one
+//! memory word.
+//!
+//! ## Internal node format
+//!
+//! | bits        | field                                               |
+//! |-------------|-----------------------------------------------------|
+//! | 0–79        | five (mask, shift) pairs, 8 bits each, in field order |
+//! | 80–4687     | 256 child entries x 18 bits                          |
+//!
+//! Each child entry holds 1 bit node type (1 = leaf), 12 bits memory word
+//! address and 5 bits starting position, exactly the budget quoted in
+//! Section 3.  The shift field is a signed two's-complement byte: positive
+//! values shift right, negative values shift left (the paper only says the
+//! masked value is "shifted by the shift values"; a signed shift lets the
+//! mixed-radix index of multi-dimensional cuts be formed by pure
+//! mask-shift-add hardware).
+//!
+//! An all-ones child entry (type = leaf, address = 0xFFF, position = 31) is
+//! reserved as the *null child*: the region holds no rules and the packet is
+//! reported as unmatched without a further memory access.
+
+use crate::bits::{get_bits, set_bits, Word};
+use crate::{MAX_CUTS, RULES_PER_WORD, RULE_BITS};
+use pclass_types::{Dimension, FieldRange, Prefix, Rule, RuleId, FIELD_COUNT};
+
+/// Errors raised while encoding rules or nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An IP field of the rule is not expressible as a prefix.
+    NotAPrefix {
+        /// The rule that could not be encoded.
+        rule: RuleId,
+        /// The offending dimension.
+        dimension: Dimension,
+    },
+    /// The protocol field is neither exact nor a full wildcard.
+    UnsupportedProtocol {
+        /// The rule that could not be encoded.
+        rule: RuleId,
+    },
+    /// The rule id does not fit the 16-bit rule-number field.
+    RuleIdTooLarge {
+        /// The rule that could not be encoded.
+        rule: RuleId,
+    },
+    /// A child entry's word address exceeds the 12-bit address field.
+    AddressTooLarge {
+        /// The offending word address.
+        address: usize,
+    },
+    /// More than [`MAX_CUTS`] child entries were supplied for one node.
+    TooManyChildren {
+        /// Number of children supplied.
+        children: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::NotAPrefix { rule, dimension } => {
+                write!(f, "rule {rule}: {dimension} range is not a prefix")
+            }
+            EncodeError::UnsupportedProtocol { rule } => {
+                write!(f, "rule {rule}: protocol range is neither exact nor wildcard")
+            }
+            EncodeError::RuleIdTooLarge { rule } => write!(f, "rule id {rule} exceeds 16 bits"),
+            EncodeError::AddressTooLarge { address } => write!(f, "word address {address} exceeds 12 bits"),
+            EncodeError::TooManyChildren { children } => {
+                write!(f, "{children} children exceed the {MAX_CUTS}-cut limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+// ---------------------------------------------------------------------------
+// Leaf rules
+// ---------------------------------------------------------------------------
+
+/// A rule decoded back out of its 160-bit representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedRule {
+    /// The matching ranges the comparator block evaluates.
+    pub ranges: [FieldRange; FIELD_COUNT],
+    /// The 16-bit rule number.
+    pub id: RuleId,
+    /// `true` if this is the last rule of its leaf.
+    pub end_of_leaf: bool,
+}
+
+impl DecodedRule {
+    /// `true` if the packet lies inside every range — the job of one of the
+    /// 30 parallel comparator blocks.
+    pub fn matches(&self, pkt: &pclass_types::PacketHeader) -> bool {
+        self.ranges
+            .iter()
+            .zip(pkt.fields.iter())
+            .all(|(r, &v)| r.contains(v))
+    }
+}
+
+/// Encodes the prefix length of an IP range into the (mask code, stored
+/// address) pair described in the module docs.
+fn encode_ip(range: FieldRange, rule: RuleId, dimension: Dimension) -> Result<(u32, u8), EncodeError> {
+    let prefix = Prefix::from_range(range, 32).ok_or(EncodeError::NotAPrefix { rule, dimension })?;
+    if prefix.length >= 28 {
+        Ok((prefix.value, prefix.length - 27))
+    } else {
+        Ok((prefix.value | u32::from(prefix.length), 0))
+    }
+}
+
+/// Decodes an (address, mask code) pair back into the covered range.
+fn decode_ip(stored: u32, code: u8) -> FieldRange {
+    let length = if code == 0 { (stored & 0x1F) as u8 } else { 27 + code };
+    Prefix::ipv4(stored, length).to_range()
+}
+
+/// Writes one rule at rule slot `pos` (0..30) of a word.
+pub fn write_rule(word: &mut Word, pos: usize, rule: &Rule, end_of_leaf: bool) -> Result<(), EncodeError> {
+    assert!(pos < RULES_PER_WORD, "rule position {pos} out of range");
+    if rule.id > 0xFFFF {
+        return Err(EncodeError::RuleIdTooLarge { rule: rule.id });
+    }
+    let sp = rule.range(Dimension::SrcPort);
+    let dp = rule.range(Dimension::DstPort);
+    let proto = rule.range(Dimension::Protocol);
+    let (proto_value, proto_any) = if proto == FieldRange::full(8) {
+        (0u64, 1u64)
+    } else if proto.is_exact() {
+        (u64::from(proto.lo), 0u64)
+    } else {
+        return Err(EncodeError::UnsupportedProtocol { rule: rule.id });
+    };
+    let (src_addr, src_code) = encode_ip(rule.range(Dimension::SrcIp), rule.id, Dimension::SrcIp)?;
+    let (dst_addr, dst_code) = encode_ip(rule.range(Dimension::DstIp), rule.id, Dimension::DstIp)?;
+
+    let base = pos * RULE_BITS;
+    set_bits(word, base, 16, u64::from(sp.lo));
+    set_bits(word, base + 16, 16, u64::from(sp.hi));
+    set_bits(word, base + 32, 16, u64::from(dp.lo));
+    set_bits(word, base + 48, 16, u64::from(dp.hi));
+    set_bits(word, base + 64, 32, u64::from(src_addr));
+    set_bits(word, base + 96, 3, u64::from(src_code));
+    set_bits(word, base + 99, 32, u64::from(dst_addr));
+    set_bits(word, base + 131, 3, u64::from(dst_code));
+    set_bits(word, base + 134, 8, proto_value);
+    set_bits(word, base + 142, 1, proto_any);
+    set_bits(word, base + 143, 16, u64::from(rule.id));
+    set_bits(word, base + 159, 1, u64::from(end_of_leaf));
+    Ok(())
+}
+
+/// Reads the rule at rule slot `pos` (0..30) of a word.
+pub fn read_rule(word: &Word, pos: usize) -> DecodedRule {
+    assert!(pos < RULES_PER_WORD, "rule position {pos} out of range");
+    let base = pos * RULE_BITS;
+    let sp_lo = get_bits(word, base, 16) as u32;
+    let sp_hi = get_bits(word, base + 16, 16) as u32;
+    let dp_lo = get_bits(word, base + 32, 16) as u32;
+    let dp_hi = get_bits(word, base + 48, 16) as u32;
+    let src_addr = get_bits(word, base + 64, 32) as u32;
+    let src_code = get_bits(word, base + 96, 3) as u8;
+    let dst_addr = get_bits(word, base + 99, 32) as u32;
+    let dst_code = get_bits(word, base + 131, 3) as u8;
+    let proto_value = get_bits(word, base + 134, 8) as u32;
+    let proto_any = get_bits(word, base + 142, 1) == 1;
+    let id = get_bits(word, base + 143, 16) as RuleId;
+    let end_of_leaf = get_bits(word, base + 159, 1) == 1;
+    DecodedRule {
+        ranges: [
+            decode_ip(src_addr, src_code),
+            decode_ip(dst_addr, dst_code),
+            FieldRange::new(sp_lo, sp_hi),
+            FieldRange::new(dp_lo, dp_hi),
+            if proto_any {
+                FieldRange::full(8)
+            } else {
+                FieldRange::exact(proto_value)
+            },
+        ],
+        id,
+        end_of_leaf,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal nodes
+// ---------------------------------------------------------------------------
+
+/// Offset of the child-entry array inside an internal-node word.
+const CHILD_ARRAY_OFFSET: usize = 80;
+/// Bits per child entry (1 type + 12 address + 5 position).
+const CHILD_ENTRY_BITS: usize = 18;
+
+/// One child entry of an internal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildEntry {
+    /// The child region holds no rules: classification stops with no match.
+    Null,
+    /// The child is another internal node stored in word `word`.
+    Internal {
+        /// Memory word holding the child node.
+        word: usize,
+    },
+    /// The child is a leaf starting at rule slot `pos` of word `word`.
+    Leaf {
+        /// Memory word holding the first rules of the leaf.
+        word: usize,
+        /// Rule slot (0..30) at which the leaf starts.
+        pos: usize,
+    },
+}
+
+/// The decoded header of an internal node: per-dimension masks and shifts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHeader {
+    /// 8-bit mask applied to the 8 MSBs of each dimension.
+    pub masks: [u8; FIELD_COUNT],
+    /// Signed shift applied after masking (positive = right shift).
+    pub shifts: [i8; FIELD_COUNT],
+}
+
+impl NodeHeader {
+    /// A header that selects child 0 for every packet (no cuts).
+    pub fn identity() -> NodeHeader {
+        NodeHeader {
+            masks: [0; FIELD_COUNT],
+            shifts: [0; FIELD_COUNT],
+        }
+    }
+
+    /// Computes the child index for a packet: the mask–shift–add datapath of
+    /// the accelerator (Section 4 of the paper).
+    pub fn child_index(&self, msb8: &[u8; FIELD_COUNT]) -> u32 {
+        let mut index: u32 = 0;
+        for d in 0..FIELD_COUNT {
+            let masked = u32::from(msb8[d] & self.masks[d]);
+            let shifted = if self.shifts[d] >= 0 {
+                masked >> self.shifts[d]
+            } else {
+                masked << (-self.shifts[d])
+            };
+            index = index.wrapping_add(shifted);
+        }
+        index
+    }
+}
+
+/// Writes an internal node (header + child entries) into a word.
+pub fn write_internal(word: &mut Word, header: &NodeHeader, children: &[ChildEntry]) -> Result<(), EncodeError> {
+    if children.len() > MAX_CUTS as usize {
+        return Err(EncodeError::TooManyChildren { children: children.len() });
+    }
+    for d in 0..FIELD_COUNT {
+        set_bits(word, d * 16, 8, u64::from(header.masks[d]));
+        set_bits(word, d * 16 + 8, 8, u64::from(header.shifts[d] as u8));
+    }
+    for (i, entry) in children.iter().enumerate() {
+        let (is_leaf, addr, pos) = match *entry {
+            ChildEntry::Null => (1u64, 0xFFFusize, 31usize),
+            ChildEntry::Internal { word } => (0u64, word, 0usize),
+            ChildEntry::Leaf { word, pos } => (1u64, word, pos),
+        };
+        if addr > 0xFFF {
+            return Err(EncodeError::AddressTooLarge { address: addr });
+        }
+        debug_assert!(pos < 32);
+        let base = CHILD_ARRAY_OFFSET + i * CHILD_ENTRY_BITS;
+        set_bits(word, base, 1, is_leaf);
+        set_bits(word, base + 1, 12, addr as u64);
+        set_bits(word, base + 13, 5, pos as u64);
+    }
+    Ok(())
+}
+
+/// Reads the header of an internal node.
+pub fn read_header(word: &Word) -> NodeHeader {
+    let mut masks = [0u8; FIELD_COUNT];
+    let mut shifts = [0i8; FIELD_COUNT];
+    for d in 0..FIELD_COUNT {
+        masks[d] = get_bits(word, d * 16, 8) as u8;
+        shifts[d] = get_bits(word, d * 16 + 8, 8) as u8 as i8;
+    }
+    NodeHeader { masks, shifts }
+}
+
+/// Reads child entry `i` of an internal node.
+pub fn read_child(word: &Word, i: usize) -> ChildEntry {
+    assert!(i < MAX_CUTS as usize, "child index {i} out of range");
+    let base = CHILD_ARRAY_OFFSET + i * CHILD_ENTRY_BITS;
+    let is_leaf = get_bits(word, base, 1) == 1;
+    let addr = get_bits(word, base + 1, 12) as usize;
+    let pos = get_bits(word, base + 13, 5) as usize;
+    if is_leaf && addr == 0xFFF && pos == 31 {
+        ChildEntry::Null
+    } else if is_leaf {
+        ChildEntry::Leaf { word: addr, pos }
+    } else {
+        ChildEntry::Internal { word: addr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::zero_word;
+    use pclass_types::{PacketHeader, RuleBuilder};
+    use proptest::prelude::*;
+
+    fn sample_rule(id: RuleId) -> Rule {
+        RuleBuilder::new(id)
+            .src_prefix(0x0A00_0000, 8)
+            .dst_prefix(0xC0A8_0180, 25)
+            .src_port_range(1024, 65535)
+            .dst_port(443)
+            .protocol(6)
+            .build()
+    }
+
+    #[test]
+    fn rule_roundtrip_all_slots() {
+        let rule = sample_rule(77);
+        let mut word = zero_word();
+        for pos in 0..RULES_PER_WORD {
+            write_rule(&mut word, pos, &rule, pos % 2 == 0).unwrap();
+        }
+        for pos in 0..RULES_PER_WORD {
+            let decoded = read_rule(&word, pos);
+            assert_eq!(decoded.ranges, rule.ranges);
+            assert_eq!(decoded.id, 77);
+            assert_eq!(decoded.end_of_leaf, pos % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn wildcard_rule_roundtrip() {
+        let rule = RuleBuilder::new(0xFFFF).build();
+        let mut word = zero_word();
+        write_rule(&mut word, 0, &rule, true).unwrap();
+        let decoded = read_rule(&word, 0);
+        assert_eq!(decoded.ranges, rule.ranges);
+        assert_eq!(decoded.id, 0xFFFF);
+        assert!(decoded.end_of_leaf);
+    }
+
+    #[test]
+    fn short_and_long_prefixes_roundtrip() {
+        for len in [0u8, 1, 7, 8, 15, 16, 23, 24, 27, 28, 29, 30, 31, 32] {
+            let rule = RuleBuilder::new(1)
+                .src_prefix(0xDEAD_BEEF, len)
+                .dst_prefix(0x0102_0304, 32 - len.min(32))
+                .build();
+            let mut word = zero_word();
+            write_rule(&mut word, 3, &rule, false).unwrap();
+            let decoded = read_rule(&word, 3);
+            assert_eq!(decoded.ranges, rule.ranges, "prefix length {len}");
+        }
+    }
+
+    #[test]
+    fn decoded_rule_matches_like_original() {
+        let rule = sample_rule(5);
+        let mut word = zero_word();
+        write_rule(&mut word, 10, &rule, true).unwrap();
+        let decoded = read_rule(&word, 10);
+        let hit = PacketHeader::five_tuple(0x0A01_0203, 0xC0A8_01FE, 4000, 443, 6);
+        let miss = PacketHeader::five_tuple(0x0B01_0203, 0xC0A8_01FE, 4000, 443, 6);
+        assert!(decoded.matches(&hit));
+        assert!(rule.matches(&hit));
+        assert!(!decoded.matches(&miss));
+        assert!(!rule.matches(&miss));
+    }
+
+    #[test]
+    fn non_prefix_ip_is_rejected() {
+        let rule = RuleBuilder::new(2).src_ip_range(5, 9).build();
+        let mut word = zero_word();
+        let err = write_rule(&mut word, 0, &rule, false).unwrap_err();
+        assert!(matches!(err, EncodeError::NotAPrefix { rule: 2, dimension: Dimension::SrcIp }));
+    }
+
+    #[test]
+    fn odd_protocol_range_is_rejected() {
+        let mut rule = RuleBuilder::new(3).build();
+        rule.ranges[4] = FieldRange::new(0, 100);
+        let mut word = zero_word();
+        let err = write_rule(&mut word, 0, &rule, false).unwrap_err();
+        assert_eq!(err, EncodeError::UnsupportedProtocol { rule: 3 });
+    }
+
+    #[test]
+    fn oversized_rule_id_is_rejected() {
+        let rule = RuleBuilder::new(0x1_0000).build();
+        let mut word = zero_word();
+        let err = write_rule(&mut word, 0, &rule, false).unwrap_err();
+        assert_eq!(err, EncodeError::RuleIdTooLarge { rule: 0x1_0000 });
+    }
+
+    #[test]
+    fn internal_node_roundtrip() {
+        let mut word = zero_word();
+        let header = NodeHeader {
+            masks: [0xC0, 0, 0, 0, 0x80],
+            shifts: [5, 0, 0, 0, 7],
+        };
+        let children: Vec<ChildEntry> = (0..8)
+            .map(|i| match i % 3 {
+                0 => ChildEntry::Internal { word: i * 10 },
+                1 => ChildEntry::Leaf { word: i * 10 + 1, pos: i % 30 },
+                _ => ChildEntry::Null,
+            })
+            .collect();
+        write_internal(&mut word, &header, &children).unwrap();
+        assert_eq!(read_header(&word), header);
+        for (i, c) in children.iter().enumerate() {
+            assert_eq!(read_child(&word, i), *c, "child {i}");
+        }
+    }
+
+    #[test]
+    fn internal_node_with_max_children_fits() {
+        let mut word = zero_word();
+        let children = vec![ChildEntry::Leaf { word: 4094, pos: 29 }; MAX_CUTS as usize];
+        write_internal(&mut word, &NodeHeader::identity(), &children).unwrap();
+        assert_eq!(read_child(&word, 255), ChildEntry::Leaf { word: 4094, pos: 29 });
+    }
+
+    #[test]
+    fn internal_node_rejects_bad_input() {
+        let mut word = zero_word();
+        let too_many = vec![ChildEntry::Null; MAX_CUTS as usize + 1];
+        assert!(matches!(
+            write_internal(&mut word, &NodeHeader::identity(), &too_many),
+            Err(EncodeError::TooManyChildren { .. })
+        ));
+        let bad_addr = vec![ChildEntry::Internal { word: 0x1000 }];
+        assert!(matches!(
+            write_internal(&mut word, &NodeHeader::identity(), &bad_addr),
+            Err(EncodeError::AddressTooLarge { address: 0x1000 })
+        ));
+    }
+
+    #[test]
+    fn header_child_index_single_dimension() {
+        // 4 cuts on the source address at the root: mask the top two bits of
+        // the 8 MSBs and shift them down to form indices 0..3.
+        let header = NodeHeader {
+            masks: [0xC0, 0, 0, 0, 0],
+            shifts: [6, 0, 0, 0, 0],
+        };
+        let spec = pclass_types::DimensionSpec::FIVE_TUPLE;
+        for (addr, expect) in [(0x0000_0000u32, 0u32), (0x4000_0000, 1), (0x8000_0000, 2), (0xFFFF_FFFF, 3)] {
+            let pkt = PacketHeader::five_tuple(addr, 0, 0, 0, 0);
+            assert_eq!(header.child_index(&pkt.msb8(&spec)), expect);
+        }
+    }
+
+    #[test]
+    fn header_child_index_two_dimensions() {
+        // 4 cuts on src address (2 bits, high digit) and 2 cuts on protocol
+        // (1 bit, low digit): index = src_bits * 2 + proto_bit.
+        let header = NodeHeader {
+            masks: [0xC0, 0, 0, 0, 0x80],
+            shifts: [5, 0, 0, 0, 7],
+        };
+        let spec = pclass_types::DimensionSpec::FIVE_TUPLE;
+        let pkt = PacketHeader::five_tuple(0x8000_0000, 0, 0, 0, 0x80);
+        assert_eq!(header.child_index(&pkt.msb8(&spec)), 2 * 2 + 1);
+        let pkt = PacketHeader::five_tuple(0x4000_0000, 0, 0, 0, 0x00);
+        assert_eq!(header.child_index(&pkt.msb8(&spec)), 1 * 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rule_roundtrip(
+            src_len in 0u8..=32, dst_len in 0u8..=32,
+            src_addr: u32, dst_addr: u32,
+            sp_lo in 0u16..=u16::MAX, sp_w in 0u16..1000,
+            dp_lo in 0u16..=u16::MAX, dp_w in 0u16..1000,
+            proto in proptest::option::of(0u8..=255),
+            id in 0u32..=0xFFFF,
+            pos in 0usize..RULES_PER_WORD,
+            end: bool,
+        ) {
+            let mut builder = RuleBuilder::new(id)
+                .src_prefix(src_addr, src_len)
+                .dst_prefix(dst_addr, dst_len)
+                .src_port_range(sp_lo, sp_lo.saturating_add(sp_w))
+                .dst_port_range(dp_lo, dp_lo.saturating_add(dp_w));
+            if let Some(p) = proto {
+                builder = builder.protocol(p);
+            }
+            let rule = builder.build();
+            let mut word = zero_word();
+            write_rule(&mut word, pos, &rule, end).unwrap();
+            let decoded = read_rule(&word, pos);
+            prop_assert_eq!(decoded.ranges, rule.ranges);
+            prop_assert_eq!(decoded.id, id);
+            prop_assert_eq!(decoded.end_of_leaf, end);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Multi-engine frontend.
+//!
+//! The introduction of the paper positions the accelerator as an attached
+//! search engine that exploits "multiple memory blocks in parallel"; a line
+//! card that needs more than one engine's throughput simply instantiates
+//! several engines sharing the same (read-only) search structure.  This
+//! module models that deployment: a trace is sharded over `engines` worker
+//! threads, each running its own [`Accelerator`] over the shared
+//! [`HardwareProgram`], and the per-engine reports are merged back in trace
+//! order.
+//!
+//! Crossbeam scoped threads are used so the program can be borrowed without
+//! reference counting; the work split is deterministic (contiguous chunks),
+//! so results and cycle counts do not depend on scheduling.
+
+use crate::hw::{Accelerator, ClassificationReport, PacketCycles};
+use crate::program::HardwareProgram;
+use pclass_types::{MatchResult, Trace};
+
+/// A bank of accelerator engines sharing one search structure.
+#[derive(Debug, Clone)]
+pub struct ParallelAccelerator<'p> {
+    program: &'p HardwareProgram,
+    engines: usize,
+}
+
+impl<'p> ParallelAccelerator<'p> {
+    /// Creates a bank of `engines` engines (at least 1).
+    pub fn new(program: &'p HardwareProgram, engines: usize) -> ParallelAccelerator<'p> {
+        ParallelAccelerator {
+            program,
+            engines: engines.max(1),
+        }
+    }
+
+    /// Number of engines in the bank.
+    pub fn engines(&self) -> usize {
+        self.engines
+    }
+
+    /// Classifies a trace, sharding it across the engines.
+    ///
+    /// The merged report keeps per-packet results and cycle measurements in
+    /// trace order; `cycles` is the wall-clock bound of the slowest engine
+    /// (the bank runs in lock-step off one clock), while `memory_accesses`
+    /// sums over engines because each engine has its own memory port.
+    pub fn classify_trace(&self, trace: &Trace) -> ClassificationReport {
+        if trace.is_empty() {
+            return ClassificationReport {
+                results: Vec::new(),
+                per_packet: Vec::new(),
+                cycles: 1,
+                memory_accesses: 1,
+            };
+        }
+        let entries = trace.entries();
+        let chunk = entries.len().div_ceil(self.engines);
+        let mut partial: Vec<Option<(Vec<MatchResult>, Vec<PacketCycles>, u64, u64)>> =
+            (0..self.engines).map(|_| None).collect();
+
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slice) in entries.chunks(chunk).enumerate() {
+                let program = self.program;
+                handles.push((i, scope.spawn(move |_| {
+                    let engine = Accelerator::new(program);
+                    let mut results = Vec::with_capacity(slice.len());
+                    let mut per_packet = Vec::with_capacity(slice.len());
+                    let mut cycles: u64 = 1; // per-engine root preload
+                    let mut accesses: u64 = 1;
+                    for entry in slice {
+                        let (r, pc) = engine.classify_packet(&entry.header);
+                        cycles += u64::from(pc.visible_cycles());
+                        accesses += u64::from(pc.internal_fetches + pc.leaf_fetches);
+                        results.push(r);
+                        per_packet.push(pc);
+                    }
+                    (results, per_packet, cycles, accesses)
+                })));
+            }
+            for (i, handle) in handles {
+                partial[i] = Some(handle.join().expect("engine thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut results = Vec::with_capacity(entries.len());
+        let mut per_packet = Vec::with_capacity(entries.len());
+        let mut max_cycles = 0u64;
+        let mut total_accesses = 0u64;
+        for part in partial.into_iter().flatten() {
+            let (r, pc, cycles, accesses) = part;
+            results.extend(r);
+            per_packet.extend(pc);
+            max_cycles = max_cycles.max(cycles);
+            total_accesses += accesses;
+        }
+        ClassificationReport {
+            results,
+            per_packet,
+            cycles: max_cycles,
+            memory_accesses: total_accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuildConfig, CutAlgorithm};
+    use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+
+    #[test]
+    fn parallel_results_match_single_engine() {
+        let rs = ClassBenchGenerator::new(SeedStyle::Ipc, 5).generate(400);
+        let trace = TraceGenerator::new(&rs, 6).generate(2000);
+        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
+        let single = Accelerator::new(&program).classify_trace(&trace);
+        for engines in [1usize, 2, 4, 7] {
+            let bank = ParallelAccelerator::new(&program, engines);
+            assert_eq!(bank.engines(), engines);
+            let report = bank.classify_trace(&trace);
+            assert_eq!(report.results, single.results, "engines = {engines}");
+            assert_eq!(report.per_packet.len(), trace.len());
+        }
+    }
+
+    #[test]
+    fn parallel_cycles_scale_down_with_engines() {
+        let rs = ClassBenchGenerator::new(SeedStyle::Acl, 9).generate(800);
+        let trace = TraceGenerator::new(&rs, 10).generate(4000);
+        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
+        let one = ParallelAccelerator::new(&program, 1).classify_trace(&trace);
+        let four = ParallelAccelerator::new(&program, 4).classify_trace(&trace);
+        // Four engines finish in roughly a quarter of the cycles (chunks are
+        // equal-sized and per-packet work is similar).
+        assert!(four.cycles < one.cycles, "parallel bank not faster");
+        assert!(four.cycles * 3 < one.cycles * 2, "expected a large speedup, got {} vs {}", four.cycles, one.cycles);
+    }
+
+    #[test]
+    fn zero_engines_is_clamped_and_empty_trace_handled() {
+        let rs = ClassBenchGenerator::new(SeedStyle::Acl, 9).generate(50);
+        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
+        let bank = ParallelAccelerator::new(&program, 0);
+        assert_eq!(bank.engines(), 1);
+        let empty = pclass_types::Trace::from_headers("empty", vec![]);
+        let report = bank.classify_trace(&empty);
+        assert_eq!(report.packets(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Energy and power models for the packet-classification study.
+//!
+//! The paper compares three very different execution substrates:
+//!
+//! * the unmodified software algorithms running on a **StrongARM SA-1100**
+//!   (180 nm, 1.8 V, 200 MHz), with energy obtained from Sim-Panalyzer;
+//! * the hardware accelerator synthesised for a **65 nm ASIC** (1.08 V,
+//!   226 MHz) with power from Synopsys PrimePower;
+//! * the hardware accelerator on a **Xilinx Virtex-5 SX95T FPGA** (1.0 V,
+//!   77 MHz) with power from XPower;
+//!
+//! plus commercial **TCAM** and **SRAM** parts from Cypress datasheets.
+//!
+//! Because the devices are built in different technologies, the paper
+//! normalises power to a common 65 nm / 1 V point with Eq. 8
+//! (`P' = P · S² · U`); [`device::normalize_power`] implements exactly that
+//! and [`device::DeviceModel`] carries both the raw and the normalised
+//! figures of Table 5.
+//!
+//! The software side replaces the micro-architectural simulator with an
+//! *operation-level* model: [`sa1100::Sa1100Model`] converts the operation
+//! counters emitted by the instrumented classifiers and tree builders
+//! (`pclass-algos::counters`) into cycles and joules.  The absolute constants
+//! are calibrated to the SA-1100's published characteristics, not to the
+//! authors' exact Sim-Panalyzer setup, so EXPERIMENTS.md compares *shapes and
+//! ratios* (who wins, by roughly what factor) rather than absolute joules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod device;
+pub mod sa1100;
+pub mod tcam_datasheet;
+
+pub use accelerator::AcceleratorEnergyModel;
+pub use device::{normalize_power, DeviceModel, TechnologyNode};
+pub use sa1100::{CycleCosts, Sa1100Model};
+pub use tcam_datasheet::{SramPart, TcamPart};

@@ -1,0 +1,173 @@
+//! Datasheet figures for the commercial TCAM and SRAM parts the paper
+//! compares against in §5.3.
+
+use crate::device::{normalize_power, TechnologyNode};
+
+/// A commercial TCAM-based network search engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcamPart {
+    /// Part name.
+    pub name: &'static str,
+    /// Clock frequency in hertz at the quoted operating point.
+    pub frequency_hz: f64,
+    /// Power at that operating point, in watts.
+    pub power_w: f64,
+    /// Searchable memory in bytes.
+    pub memory_bytes: usize,
+    /// Maximum 144-bit searches per second.
+    pub searches_per_second: f64,
+}
+
+impl TcamPart {
+    /// Cypress Ayama 10128 operating at 77 MHz with 576,000 bytes — the
+    /// "most energy efficient commercial TCAM solution" the FPGA is compared
+    /// with (2.9 W vs the FPGA's 1.8 W).
+    pub fn ayama_10128_at_77mhz() -> TcamPart {
+        TcamPart {
+            name: "Cypress Ayama 10128 @ 77 MHz",
+            frequency_hz: 77e6,
+            power_w: 2.9,
+            memory_bytes: 576_000,
+            searches_per_second: 77e6,
+        }
+    }
+
+    /// Cypress Ayama 10512 at its top speed: 133 million searches per second
+    /// with 2.304 MB of memory, consuming 19.14 W.
+    pub fn ayama_10512_at_133mhz() -> TcamPart {
+        TcamPart {
+            name: "Cypress Ayama 10512 @ 133 MHz",
+            frequency_hz: 133e6,
+            power_w: 19.14,
+            memory_bytes: 2_304_000,
+            searches_per_second: 133e6,
+        }
+    }
+
+    /// The low end of the Ayama 10000 family power range quoted in §1
+    /// (4.86 W – 19.14 W depending on TCAM size).
+    pub fn ayama_family_min() -> TcamPart {
+        TcamPart {
+            name: "Cypress Ayama 10000 (smallest)",
+            frequency_hz: 133e6,
+            power_w: 4.86,
+            memory_bytes: 576_000,
+            searches_per_second: 133e6,
+        }
+    }
+
+    /// Energy per search (joules per classified packet).
+    pub fn energy_per_search_j(&self) -> f64 {
+        self.power_w / self.searches_per_second
+    }
+}
+
+/// A commercial synchronous SRAM (used alongside TCAMs to hold associated
+/// data; the paper uses them as the memory-power yardstick for the ASIC
+/// comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramPart {
+    /// Part name.
+    pub name: &'static str,
+    /// Clock frequency in hertz.
+    pub frequency_hz: f64,
+    /// Power at that frequency, in watts.
+    pub power_w: f64,
+    /// Core voltage in volts.
+    pub voltage_v: f64,
+    /// Capacity in bytes.
+    pub memory_bytes: usize,
+}
+
+impl SramPart {
+    /// Cypress CY7C1381D: 2.304 MB, 693 mW at 133 MHz, 3.3 V core.
+    pub fn cy7c1381d() -> SramPart {
+        SramPart {
+            name: "Cypress CY7C1381D",
+            frequency_hz: 133e6,
+            power_w: 0.693,
+            voltage_v: 3.3,
+            memory_bytes: 2_304_000,
+        }
+    }
+
+    /// Cypress CY7C1370DV25: 2.304 MB, 875 mW at 250 MHz, 2.5 V core.
+    pub fn cy7c1370dv25() -> SramPart {
+        SramPart {
+            name: "Cypress CY7C1370DV25",
+            frequency_hz: 250e6,
+            power_w: 0.875,
+            voltage_v: 2.5,
+            memory_bytes: 2_304_000,
+        }
+    }
+
+    /// Power normalised to the 65 nm / 1 V reference (Eq. 8), treating the
+    /// part's lithography as 90 nm-class (the generation those parts ship
+    /// in); used only for qualitative comparisons.
+    pub fn normalized_power_w(&self, process_nm: f64) -> f64 {
+        normalize_power(
+            self.power_w,
+            TechnologyNode {
+                process_nm,
+                voltage_v: self.voltage_v,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+
+    #[test]
+    fn fpga_beats_the_most_efficient_tcam_at_the_same_clock() {
+        // §5.3: the FPGA accelerator with 614,400 bytes draws 1.8 W at
+        // 77 MHz versus 2.9 W for the Ayama 10128 with 576,000 bytes.
+        let fpga = DeviceModel::fpga_virtex5();
+        let tcam = TcamPart::ayama_10128_at_77mhz();
+        assert!(fpga.power_w < tcam.power_w);
+        assert!((tcam.frequency_hz - fpga.frequency_hz).abs() < 1.0);
+    }
+
+    #[test]
+    fn asic_beats_the_tcam_by_orders_of_magnitude() {
+        // §5.3: ASIC 11.65 mW at 133 MHz vs 19.14 W for the Ayama 10512,
+        // and even adding the 693 mW SRAM leaves a huge gap.
+        let asic = DeviceModel::asic_65nm();
+        let asic_133 = asic.power_at_frequency_w(133e6);
+        let tcam = TcamPart::ayama_10512_at_133mhz();
+        let sram = SramPart::cy7c1381d();
+        assert!(asic_133 * 100.0 < tcam.power_w);
+        assert!(asic_133 < sram.power_w);
+        // ASIC at 226 MHz still draws less than the 250 MHz SRAM alone.
+        assert!(asic.power_w < SramPart::cy7c1370dv25().power_w);
+    }
+
+    #[test]
+    fn tcam_energy_per_search() {
+        let tcam = TcamPart::ayama_10512_at_133mhz();
+        let e = tcam.energy_per_search_j();
+        // 19.14 W / 133 Mpps ≈ 1.44e-7 J per packet — three orders of
+        // magnitude above the ASIC accelerator's Table 6 figures.
+        assert!(e > 1e-7 && e < 2e-7);
+        let asic_per_packet = DeviceModel::asic_65nm().normalized_energy_j(2);
+        assert!(e > 100.0 * asic_per_packet);
+    }
+
+    #[test]
+    fn family_power_range_matches_the_introduction() {
+        let lo = TcamPart::ayama_family_min();
+        let hi = TcamPart::ayama_10512_at_133mhz();
+        assert!(lo.power_w >= 4.8 && lo.power_w <= 5.0);
+        assert!(hi.power_w >= 19.0 && hi.power_w <= 19.2);
+    }
+
+    #[test]
+    fn sram_normalisation_is_monotonic_in_process() {
+        let sram = SramPart::cy7c1381d();
+        assert!(sram.normalized_power_w(90.0) < sram.normalized_power_w(65.0));
+        assert!(sram.normalized_power_w(90.0) < sram.power_w);
+    }
+}

@@ -1,0 +1,157 @@
+//! Structural statistics over rulesets.
+//!
+//! The decision-tree heuristics (HyperCuts' dimension choice), the synthetic
+//! generators and the experiment reports all need the same handful of
+//! structural measurements; they are centralised here.
+
+use crate::dimension::{Dimension, FIELD_COUNT};
+use crate::range::FieldRange;
+use crate::ruleset::RuleSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Summary statistics of a ruleset's structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSetStats {
+    /// Number of rules.
+    pub rules: usize,
+    /// Number of distinct range specifications per dimension
+    /// (the quantity HyperCuts compares against its mean when choosing which
+    /// dimensions to cut).
+    pub distinct_ranges: [usize; FIELD_COUNT],
+    /// Number of rules that are full wildcards per dimension.
+    pub wildcards: [usize; FIELD_COUNT],
+    /// Fraction of rules whose source *and* destination address are
+    /// wildcards (the paper attributes fw1's larger memory footprint to
+    /// these).
+    pub double_wildcard_fraction: f64,
+    /// Mean number of wildcarded dimensions per rule.
+    pub mean_wildcard_dims: f64,
+    /// Average relative width (range length / dimension size) per dimension.
+    pub mean_relative_width: [f64; FIELD_COUNT],
+}
+
+impl RuleSetStats {
+    /// Computes statistics for a ruleset.
+    pub fn compute(rs: &RuleSet) -> RuleSetStats {
+        let spec = rs.spec();
+        let n = rs.len();
+        let mut distinct: [HashSet<FieldRange>; FIELD_COUNT] = Default::default();
+        let mut wildcards = [0usize; FIELD_COUNT];
+        let mut rel_width = [0f64; FIELD_COUNT];
+        let mut double_wild = 0usize;
+        let mut total_wild_dims = 0usize;
+
+        for rule in rs.rules() {
+            let mut wild_dims = 0usize;
+            for d in Dimension::ALL {
+                let i = d.index();
+                let r = rule.range(d);
+                distinct[i].insert(r);
+                let full = FieldRange::full(spec.width(d));
+                if r == full {
+                    wildcards[i] += 1;
+                    wild_dims += 1;
+                }
+                rel_width[i] += r.len() as f64 / full.len() as f64;
+            }
+            total_wild_dims += wild_dims;
+            if rule.is_wildcard_in(Dimension::SrcIp, spec) && rule.is_wildcard_in(Dimension::DstIp, spec) {
+                double_wild += 1;
+            }
+        }
+
+        let denom = n.max(1) as f64;
+        let mut mean_relative_width = [0f64; FIELD_COUNT];
+        for i in 0..FIELD_COUNT {
+            mean_relative_width[i] = rel_width[i] / denom;
+        }
+        RuleSetStats {
+            rules: n,
+            distinct_ranges: [
+                distinct[0].len(),
+                distinct[1].len(),
+                distinct[2].len(),
+                distinct[3].len(),
+                distinct[4].len(),
+            ],
+            wildcards,
+            double_wildcard_fraction: double_wild as f64 / denom,
+            mean_wildcard_dims: total_wild_dims as f64 / denom,
+            mean_relative_width,
+        }
+    }
+
+    /// Mean of the per-dimension distinct-range counts (used by the
+    /// HyperCuts dimension-selection heuristic).
+    pub fn mean_distinct_ranges(&self) -> f64 {
+        self.distinct_ranges.iter().sum::<usize>() as f64 / FIELD_COUNT as f64
+    }
+
+    /// Dimensions whose distinct-range count is at least the mean — the set
+    /// HyperCuts considers for multi-dimensional cutting.
+    pub fn hypercuts_candidate_dimensions(&self) -> Vec<Dimension> {
+        let mean = self.mean_distinct_ranges();
+        Dimension::ALL
+            .iter()
+            .copied()
+            .filter(|d| self.distinct_ranges[d.index()] as f64 >= mean)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::DimensionSpec;
+    use crate::rule::RuleBuilder;
+    use crate::toy;
+
+    #[test]
+    fn toy_ruleset_stats() {
+        let rs = toy::table1_ruleset();
+        let stats = rs.stats();
+        assert_eq!(stats.rules, 10);
+        // Field 0 of Table 1 has 9 distinct ranges (130-255 appears twice).
+        assert_eq!(stats.distinct_ranges[0], 9);
+        // Field 2 (40-40 appears many times, plus 0-200, 0-60, 0-255) has 4.
+        assert_eq!(stats.distinct_ranges[2], 4);
+        // Two rules are wildcards (0-255) in field 2.
+        assert_eq!(stats.wildcards[2], 2);
+        assert!(stats.mean_distinct_ranges() > 0.0);
+    }
+
+    #[test]
+    fn hypercuts_candidates_follow_mean() {
+        let rs = toy::table1_ruleset();
+        let stats = rs.stats();
+        let candidates = stats.hypercuts_candidate_dimensions();
+        // Field 0 (10 distinct) and field 4 (10 distinct) dominate the mean.
+        assert!(candidates.contains(&Dimension::SrcIp));
+        assert!(candidates.contains(&Dimension::Protocol));
+        assert!(!candidates.contains(&Dimension::SrcPort));
+    }
+
+    #[test]
+    fn wildcard_fractions() {
+        let rules = vec![
+            RuleBuilder::new(0).build(),
+            RuleBuilder::new(1).src_prefix(0x0A000000, 8).build(),
+        ];
+        let rs = RuleSet::new("w", DimensionSpec::FIVE_TUPLE, rules).unwrap();
+        let stats = rs.stats();
+        assert_eq!(stats.wildcards[0], 1);
+        assert_eq!(stats.wildcards[1], 2);
+        assert!((stats.double_wildcard_fraction - 0.5).abs() < 1e-9);
+        assert!(stats.mean_wildcard_dims > 4.0);
+    }
+
+    #[test]
+    fn empty_ruleset_stats_do_not_divide_by_zero() {
+        let rs = RuleSet::new("empty", DimensionSpec::FIVE_TUPLE, vec![]).unwrap();
+        let stats = rs.stats();
+        assert_eq!(stats.rules, 0);
+        assert_eq!(stats.double_wildcard_fraction, 0.0);
+        assert_eq!(stats.mean_wildcard_dims, 0.0);
+    }
+}

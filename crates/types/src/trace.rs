@@ -1,0 +1,122 @@
+//! Packet traces — sequences of headers replayed against a classifier.
+
+use crate::packet::PacketHeader;
+use crate::rule::RuleId;
+use crate::ruleset::{MatchResult, RuleSet};
+use serde::{Deserialize, Serialize};
+
+/// One packet of a trace, optionally annotated with the rule the trace
+/// generator aimed the packet at (ground truth for tests; classifiers are
+/// still checked against linear search because a packet aimed at rule *k*
+/// may be captured by a higher-priority overlapping rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// The packet header.
+    pub header: PacketHeader,
+    /// Rule the generator sampled the header from, if any.
+    pub intended_rule: Option<RuleId>,
+}
+
+impl TraceEntry {
+    /// A trace entry with no ground-truth annotation.
+    pub fn bare(header: PacketHeader) -> TraceEntry {
+        TraceEntry { header, intended_rule: None }
+    }
+}
+
+/// A packet trace: the workload replayed against every classifier in the
+/// throughput and energy experiments (Tables 6 and 7 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates a named trace from entries.
+    pub fn new(name: impl Into<String>, entries: Vec<TraceEntry>) -> Trace {
+        Trace { name: name.into(), entries }
+    }
+
+    /// Creates a trace from bare headers.
+    pub fn from_headers(name: impl Into<String>, headers: Vec<PacketHeader>) -> Trace {
+        Trace {
+            name: name.into(),
+            entries: headers.into_iter().map(TraceEntry::bare).collect(),
+        }
+    }
+
+    /// Name of the trace.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The trace entries in arrival order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Just the packet headers in arrival order.
+    pub fn headers(&self) -> impl Iterator<Item = &PacketHeader> {
+        self.entries.iter().map(|e| &e.header)
+    }
+
+    /// Number of packets in the trace.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the trace contains no packets.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Classifies the whole trace with the reference linear search and
+    /// returns the per-packet results (used as ground truth in tests).
+    pub fn ground_truth(&self, rs: &RuleSet) -> Vec<MatchResult> {
+        self.entries.iter().map(|e| rs.classify_linear(&e.header)).collect()
+    }
+
+    /// Fraction of packets that match some rule under linear search.
+    pub fn hit_rate(&self, rs: &RuleSet) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .entries
+            .iter()
+            .filter(|e| rs.classify_linear(&e.header) != MatchResult::NoMatch)
+            .count();
+        hits as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn trace_basics() {
+        let rs = toy::table1_ruleset();
+        let headers = vec![
+            PacketHeader::from_fields([145, 100, 10, 10, 200]),
+            PacketHeader::from_fields([0, 0, 0, 0, 255]),
+        ];
+        let trace = Trace::from_headers("t", headers);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.name(), "t");
+        let truth = trace.ground_truth(&rs);
+        assert_eq!(truth[0], MatchResult::Matched(5));
+        assert_eq!(truth[1], MatchResult::NoMatch);
+        assert!((trace.hit_rate(&rs) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_hit_rate_is_zero() {
+        let rs = toy::table1_ruleset();
+        let trace = Trace::from_headers("empty", vec![]);
+        assert_eq!(trace.hit_rate(&rs), 0.0);
+    }
+}

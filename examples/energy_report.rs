@@ -1,0 +1,125 @@
+//! Energy report: software vs hardware vs TCAM.
+//!
+//! Generates the paper's headline energy comparison for one ruleset size of
+//! the reader's choice (default 1,600 rules): energy to build the search
+//! structure (original vs modified algorithms, Table 3), energy per
+//! classified packet on the SA-1100 / ASIC / FPGA (Table 6), throughput
+//! (Table 7) and the TCAM power comparison of §5.3.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example energy_report -- [rules]
+//! ```
+
+use packet_classifier::prelude::*;
+use pclass_algos::hicuts::HiCutsConfig;
+use pclass_algos::hypercuts::HyperCutsConfig;
+use pclass_algos::{LookupStats, OpCounters};
+use pclass_energy::{AcceleratorEnergyModel, SramPart, TcamPart};
+
+fn average_ops(total: &OpCounters, packets: u64) -> OpCounters {
+    OpCounters {
+        loads: total.loads / packets,
+        stores: total.stores / packets,
+        alu: total.alu / packets,
+        branches: total.branches / packets,
+        muls: total.muls / packets,
+        divs: total.divs / packets,
+    }
+}
+
+fn main() {
+    let rules: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_600);
+    let packets = 20_000usize;
+
+    let ruleset = ClassBenchGenerator::new(SeedStyle::Acl, 1).generate(rules);
+    let trace = TraceGenerator::new(&ruleset, 2).generate(packets);
+    let sa1100 = Sa1100Model::new();
+    let asic = AcceleratorEnergyModel::asic();
+    let fpga = AcceleratorEnergyModel::fpga();
+
+    println!("Energy report for {} ({} rules, {} packets)\n", ruleset.name(), rules, packets);
+
+    // ---------------- Build energy (Table 3 shape) ----------------------
+    println!("== Energy to build the search structure (SA-1100 model) ==");
+    let sw_hicuts = HiCutsClassifier::build(&ruleset, &HiCutsConfig::paper_defaults());
+    let sw_hyper = HyperCutsClassifier::build(&ruleset, &HyperCutsConfig::paper_defaults());
+    let hw_hicuts = HardwareProgram::build_with_capacity(&ruleset, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts), 4096).unwrap();
+    let hw_hyper = HardwareProgram::build_with_capacity(&ruleset, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts), 4096).unwrap();
+    let rows = [
+        ("HiCuts (original)", sa1100.build_energy_j(sw_hicuts.build_stats())),
+        ("HyperCuts (original)", sa1100.build_energy_j(sw_hyper.build_stats())),
+        ("HiCuts (modified)", sa1100.build_energy_j(hw_hicuts.build_stats())),
+        ("HyperCuts (modified)", sa1100.build_energy_j(hw_hyper.build_stats())),
+    ];
+    for (name, energy) in rows {
+        println!("  {name:<22} {energy:>12.4e} J");
+    }
+    println!(
+        "  modified/original HiCuts build-energy ratio: {:.2}x less",
+        sa1100.build_energy_j(sw_hicuts.build_stats()) / sa1100.build_energy_j(hw_hicuts.build_stats())
+    );
+
+    // ---------------- Lookup energy and throughput ----------------------
+    println!("\n== Energy per classified packet and throughput ==");
+    // Software side.
+    for (name, classifier) in [
+        ("HiCuts (sw)", &sw_hicuts as &dyn Classifier),
+        ("HyperCuts (sw)", &sw_hyper as &dyn Classifier),
+    ] {
+        let mut total = LookupStats::new();
+        for entry in trace.entries() {
+            classifier.classify_with_stats(&entry.header, &mut total);
+        }
+        let avg = average_ops(&total.ops, trace.len() as u64);
+        println!(
+            "  {name:<16} {:>12.3e} J/packet {:>12.0} packets/s (SA-1100)",
+            sa1100.normalized_energy_j(&avg),
+            sa1100.packets_per_second(&avg)
+        );
+    }
+    // Hardware side.
+    for (name, program) in [("HiCuts (hw)", &hw_hicuts), ("HyperCuts (hw)", &hw_hyper)] {
+        let engine = Accelerator::new(program);
+        let report = engine.classify_trace(&trace);
+        println!(
+            "  {name:<16} {:>12.3e} J/packet {:>12.0} packets/s (ASIC 226 MHz)",
+            asic.energy_per_packet_j(&report),
+            asic.packets_per_second(&report)
+        );
+        println!(
+            "  {name:<16} {:>12.3e} J/packet {:>12.0} packets/s (FPGA 77 MHz)",
+            fpga.energy_per_packet_j(&report),
+            fpga.packets_per_second(&report)
+        );
+    }
+
+    // Headline ratio: most efficient software vs ASIC accelerator.
+    let mut sw_total = LookupStats::new();
+    for entry in trace.entries() {
+        sw_hicuts.classify_with_stats(&entry.header, &mut sw_total);
+    }
+    let sw_energy = sa1100.normalized_energy_j(&average_ops(&sw_total.ops, trace.len() as u64));
+    let hw_report = Accelerator::new(&hw_hyper).classify_trace(&trace);
+    let hw_energy = asic.energy_per_packet_j(&hw_report);
+    println!("\n  energy saving of the ASIC accelerator vs software HiCuts: {:.0}x", sw_energy / hw_energy);
+
+    // ---------------- TCAM comparison (§5.3) -----------------------------
+    println!("\n== TCAM / SRAM comparison ==");
+    let ayama_77 = TcamPart::ayama_10128_at_77mhz();
+    let ayama_133 = TcamPart::ayama_10512_at_133mhz();
+    let sram = SramPart::cy7c1381d();
+    println!("  FPGA accelerator @ 77 MHz : {:.2} W", fpga.device().power_w);
+    println!("  {} : {:.2} W", ayama_77.name, ayama_77.power_w);
+    println!("  ASIC accelerator @ 133 MHz: {:.2} mW", asic.device().power_at_frequency_w(133e6) * 1e3);
+    println!("  {} : {:.2} W", ayama_133.name, ayama_133.power_w);
+    println!("  {} (SRAM alone)    : {:.0} mW", sram.name, sram.power_w * 1e3);
+    println!(
+        "  TCAM energy per search: {:.2e} J vs ASIC {:.2e} J per packet",
+        ayama_133.energy_per_search_j(),
+        hw_energy
+    );
+}

@@ -1,0 +1,140 @@
+//! Workspace-level property-based tests: for arbitrary (small) rulesets and
+//! arbitrary packets, every classifier in the workspace must agree with the
+//! reference linear search, and the hardware program invariants must hold.
+
+use packet_classifier::prelude::*;
+use pclass_algos::hicuts::HiCutsConfig;
+use pclass_algos::hypercuts::HyperCutsConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random but *valid hardware-encodable* ruleset from a seed:
+/// prefix IP fields, range ports, exact-or-any protocol.
+fn random_ruleset(seed: u64, rules: usize) -> RuleSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(rules);
+    for id in 0..rules {
+        let mut b = RuleBuilder::new(id as u32);
+        if rng.gen_bool(0.8) {
+            b = b.src_prefix(rng.gen(), rng.gen_range(0..=32));
+        }
+        if rng.gen_bool(0.8) {
+            b = b.dst_prefix(rng.gen(), rng.gen_range(0..=32));
+        }
+        if rng.gen_bool(0.5) {
+            let lo = rng.gen_range(0u16..60_000);
+            b = b.src_port_range(lo, lo.saturating_add(rng.gen_range(0..5_000)));
+        }
+        if rng.gen_bool(0.7) {
+            let lo = rng.gen_range(0u16..60_000);
+            b = b.dst_port_range(lo, lo.saturating_add(rng.gen_range(0..5_000)));
+        }
+        if rng.gen_bool(0.7) {
+            b = b.protocol(if rng.gen_bool(0.7) { 6 } else { 17 });
+        }
+        out.push(b.build());
+    }
+    RuleSet::new(format!("prop_{seed}"), DimensionSpec::FIVE_TUPLE, out).unwrap()
+}
+
+/// Packets biased towards rule boundaries plus pure noise.
+fn random_packets(seed: u64, rs: &RuleSet, count: usize) -> Vec<PacketHeader> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5555);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if !rs.is_empty() && rng.gen_bool(0.7) {
+            let rule = &rs.rules()[rng.gen_range(0..rs.len())];
+            let mut fields = [0u32; 5];
+            for (i, f) in fields.iter_mut().enumerate() {
+                let r = rule.ranges[i];
+                *f = match rng.gen_range(0u8..3) {
+                    0 => r.lo,
+                    1 => r.hi,
+                    _ => r.lo + ((r.len() / 2) as u32).min(r.hi - r.lo),
+                };
+            }
+            out.push(PacketHeader::from_fields(fields));
+        } else {
+            out.push(PacketHeader::five_tuple(
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+            ));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_all_classifiers_agree(seed in 0u64..10_000, rules in 1usize..60) {
+        let rs = random_ruleset(seed, rules);
+        let packets = random_packets(seed, &rs, 60);
+
+        let hicuts = HiCutsClassifier::build(&rs, &HiCutsConfig { binth: 4, spfac: 3.0 });
+        let hypercuts = HyperCutsClassifier::build(&rs, &HyperCutsConfig {
+            binth: 4,
+            spfac: 3.0,
+            region_compaction: true,
+            push_common_rules: true,
+        });
+        let program = HardwareProgram::build_with_capacity(
+            &rs,
+            &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts),
+            4096,
+        ).unwrap();
+        let engine = Accelerator::new(&program);
+        let rfc = RfcClassifier::build(&rs).unwrap();
+
+        for pkt in &packets {
+            let expected = rs.classify_linear(pkt);
+            prop_assert_eq!(hicuts.classify(pkt), expected, "hicuts on {}", pkt);
+            prop_assert_eq!(hypercuts.classify(pkt), expected, "hypercuts on {}", pkt);
+            prop_assert_eq!(engine.classify_packet(pkt).0, expected, "hw on {}", pkt);
+            prop_assert_eq!(rfc.classify(pkt), expected, "rfc on {}", pkt);
+        }
+    }
+
+    #[test]
+    fn prop_program_invariants(seed in 0u64..10_000, rules in 1usize..80) {
+        let rs = random_ruleset(seed, rules);
+        let program = HardwareProgram::build_with_capacity(
+            &rs,
+            &BuildConfig::paper_defaults(CutAlgorithm::HiCuts),
+            4096,
+        ).unwrap();
+        let stats = program.stats();
+        // Word accounting is exact.
+        prop_assert_eq!(stats.total_words, stats.internal_words + stats.leaf_words);
+        prop_assert_eq!(stats.memory_bytes, stats.total_words * 600);
+        prop_assert_eq!(stats.total_words, program.word_count());
+        // Every original rule is stored at least once.
+        prop_assert!(stats.stored_rules >= rs.len());
+        // Worst case includes the root traversal and at least one leaf word.
+        prop_assert!(stats.worst_case_cycles >= 2);
+        // The observed accesses of any packet never exceed the static bound.
+        let packets = random_packets(seed, &rs, 40);
+        let engine = Accelerator::new(&program);
+        for pkt in &packets {
+            let (_, cycles) = engine.classify_packet(pkt);
+            prop_assert!(cycles.memory_accesses() <= stats.worst_case_cycles);
+        }
+    }
+
+    #[test]
+    fn prop_trace_generator_respects_ruleset(seed in 0u64..10_000, rules in 1usize..50) {
+        let rs = random_ruleset(seed, rules);
+        let trace = TraceGenerator::new(&rs, seed).random_fraction(0.3).generate(100);
+        prop_assert_eq!(trace.len(), 100);
+        for entry in trace.entries() {
+            if let Some(id) = entry.intended_rule {
+                prop_assert!(rs.rule(id).unwrap().matches(&entry.header));
+            }
+        }
+    }
+}
