@@ -10,7 +10,10 @@
 //! [`crate::hicuts`] and [`crate::hypercuts`].
 
 use crate::counters::LookupStats;
-use pclass_types::{Dimension, DimensionSpec, FieldRange, MatchResult, PacketHeader, Rule, RuleId, RuleSet, FIELD_COUNT};
+use pclass_types::{
+    Dimension, DimensionSpec, FieldRange, MatchResult, PacketHeader, Rule, RuleId, RuleSet,
+    FIELD_COUNT,
+};
 
 /// Index of a node inside a [`DecisionTree`].
 pub type NodeId = u32;
@@ -28,7 +31,9 @@ pub struct CutSpec {
 impl CutSpec {
     /// A cut specification that does not cut anything.
     pub fn unit() -> CutSpec {
-        CutSpec { parts: [1; FIELD_COUNT] }
+        CutSpec {
+            parts: [1; FIELD_COUNT],
+        }
     }
 
     /// Cut a single dimension into `n` parts (the HiCuts case).
@@ -57,7 +62,11 @@ impl CutSpec {
     /// Returns `None` when the packet lies outside the region in a cut
     /// dimension (possible only when region compaction shrank the region) —
     /// in that case no rule stored below this node can match.
-    pub fn child_index(&self, region: &[FieldRange; FIELD_COUNT], pkt: &PacketHeader) -> Option<u64> {
+    pub fn child_index(
+        &self,
+        region: &[FieldRange; FIELD_COUNT],
+        pkt: &PacketHeader,
+    ) -> Option<u64> {
         let mut idx: u64 = 0;
         for d in Dimension::ALL {
             let parts = self.parts[d.index()];
@@ -75,7 +84,11 @@ impl CutSpec {
     }
 
     /// Region of the `i`-th child (mixed-radix decomposition of `i`).
-    pub fn child_region(&self, region: &[FieldRange; FIELD_COUNT], mut i: u64) -> [FieldRange; FIELD_COUNT] {
+    pub fn child_region(
+        &self,
+        region: &[FieldRange; FIELD_COUNT],
+        mut i: u64,
+    ) -> [FieldRange; FIELD_COUNT] {
         let mut out = *region;
         // Decompose from the least significant digit (last cut dimension).
         for d in Dimension::ALL.iter().rev() {
@@ -300,7 +313,7 @@ impl DecisionTree {
             // Rules are stored in ascending id order, so the first hit in a
             // list is the best within that list; still guard against an
             // earlier stored-rule hit from a shallower node.
-            if best.map_or(true, |b| id < b) && self.rules[id as usize].matches(pkt) {
+            if best.is_none_or(|b| id < b) && self.rules[id as usize].matches(pkt) {
                 *best = Some(best.map_or(id, |b| b.min(id)));
                 break;
             }
@@ -320,13 +333,18 @@ impl DecisionTree {
         let mut bytes = self.rules.len() * MemoryModel::RULE_BYTES;
         for node in &self.nodes {
             match &node.kind {
-                NodeKind::Internal { children, stored_rules, .. } => {
+                NodeKind::Internal {
+                    children,
+                    stored_rules,
+                    ..
+                } => {
                     bytes += MemoryModel::INTERNAL_HEADER_BYTES
                         + children.len() * MemoryModel::CHILD_POINTER_BYTES
                         + stored_rules.len() * MemoryModel::RULE_POINTER_BYTES;
                 }
                 NodeKind::Leaf { rules } => {
-                    bytes += MemoryModel::LEAF_HEADER_BYTES + rules.len() * MemoryModel::RULE_POINTER_BYTES;
+                    bytes += MemoryModel::LEAF_HEADER_BYTES
+                        + rules.len() * MemoryModel::RULE_POINTER_BYTES;
                 }
             }
         }
@@ -369,7 +387,11 @@ impl DecisionTree {
         let node = &self.nodes[node_id as usize];
         match &node.kind {
             NodeKind::Leaf { rules } => 1 + pushed + rules.len() as u64,
-            NodeKind::Internal { children, stored_rules, .. } => {
+            NodeKind::Internal {
+                children,
+                stored_rules,
+                ..
+            } => {
                 pushed += stored_rules.len() as u64;
                 let mut worst = 0u64;
                 let mut seen: Vec<NodeId> = Vec::new();
@@ -402,7 +424,12 @@ impl DecisionTree {
                 let names: Vec<String> = rules.iter().map(|r| format!("R{r}")).collect();
                 let _ = writeln!(out, "{pad}leaf [{}]", names.join(" "));
             }
-            NodeKind::Internal { cuts, children, stored_rules, .. } => {
+            NodeKind::Internal {
+                cuts,
+                children,
+                stored_rules,
+                ..
+            } => {
                 let desc: Vec<String> = cuts
                     .cut_dimensions()
                     .iter()
@@ -492,7 +519,10 @@ mod tests {
         multi.parts[0] = 2;
         multi.parts[4] = 2;
         assert_eq!(multi.child_count(), 4);
-        assert_eq!(multi.cut_dimensions(), vec![Dimension::SrcIp, Dimension::Protocol]);
+        assert_eq!(
+            multi.cut_dimensions(),
+            vec![Dimension::SrcIp, Dimension::Protocol]
+        );
         assert_eq!(CutSpec::unit().child_count(), 1);
     }
 
@@ -547,7 +577,11 @@ mod tests {
         for f0 in (0..256).step_by(7) {
             for f4 in (0..256).step_by(13) {
                 let pkt = PacketHeader::from_fields([f0, 80, 40, 180, f4]);
-                assert_eq!(tree.classify(&pkt, None), rs.classify_linear(&pkt), "packet {pkt:?}");
+                assert_eq!(
+                    tree.classify(&pkt, None),
+                    rs.classify_linear(&pkt),
+                    "packet {pkt:?}"
+                );
             }
         }
     }

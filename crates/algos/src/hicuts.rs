@@ -19,7 +19,9 @@
 use crate::counters::{BuildStats, LookupStats};
 use crate::dtree::{CutSpec, DecisionTree, Node, NodeId, NodeKind};
 use crate::Classifier;
-use pclass_types::{Dimension, FieldRange, MatchResult, PacketHeader, Rule, RuleId, RuleSet, FIELD_COUNT};
+use pclass_types::{
+    Dimension, FieldRange, MatchResult, PacketHeader, Rule, RuleId, RuleSet, FIELD_COUNT,
+};
 
 /// Safety limit on tree depth; real trees stay far below this.
 const MAX_DEPTH: u32 = 64;
@@ -39,13 +41,19 @@ pub struct HiCutsConfig {
 impl HiCutsConfig {
     /// The parameters used throughout the paper's evaluation tables.
     pub fn paper_defaults() -> HiCutsConfig {
-        HiCutsConfig { binth: 16, spfac: 4.0 }
+        HiCutsConfig {
+            binth: 16,
+            spfac: 4.0,
+        }
     }
 
     /// The parameters of the worked example of Figures 1 and 2
     /// (Table 1 ruleset, `binth = 3`).
     pub fn figure1() -> HiCutsConfig {
-        HiCutsConfig { binth: 3, spfac: 2.0 }
+        HiCutsConfig {
+            binth: 3,
+            spfac: 2.0,
+        }
     }
 }
 
@@ -135,7 +143,12 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    fn build_node(&mut self, region: [FieldRange; FIELD_COUNT], rules: Vec<RuleId>, depth: u32) -> NodeId {
+    fn build_node(
+        &mut self,
+        region: [FieldRange; FIELD_COUNT],
+        rules: Vec<RuleId>,
+        depth: u32,
+    ) -> NodeId {
         self.stats.max_depth = self.stats.max_depth.max(depth);
         if rules.len() <= self.config.binth || depth >= MAX_DEPTH {
             return self.make_leaf(region, rules, depth);
@@ -224,7 +237,12 @@ impl<'a> Builder<'a> {
         node_id
     }
 
-    fn make_leaf(&mut self, region: [FieldRange; FIELD_COUNT], rules: Vec<RuleId>, depth: u32) -> NodeId {
+    fn make_leaf(
+        &mut self,
+        region: [FieldRange; FIELD_COUNT],
+        rules: Vec<RuleId>,
+        depth: u32,
+    ) -> NodeId {
         let id = self.nodes.len() as NodeId;
         self.stats.leaf_nodes += 1;
         self.stats.stored_rule_refs += rules.len() as u64;
@@ -241,11 +259,7 @@ impl<'a> Builder<'a> {
         if let Some(id) = self.empty_leaf {
             return id;
         }
-        let id = self.make_leaf(
-            [FieldRange::exact(0); FIELD_COUNT],
-            vec![],
-            depth,
-        );
+        let id = self.make_leaf([FieldRange::exact(0); FIELD_COUNT], vec![], depth);
         self.empty_leaf = Some(id);
         id
     }
@@ -276,7 +290,13 @@ impl<'a> Builder<'a> {
     ///
     /// Uses a difference array so the cost is O(rules + np), which the
     /// builder charges to the build-operation counters.
-    fn distribution(&mut self, rules: &[RuleId], r: FieldRange, dim: Dimension, np: u32) -> (usize, u64) {
+    fn distribution(
+        &mut self,
+        rules: &[RuleId],
+        r: FieldRange,
+        dim: Dimension,
+        np: u32,
+    ) -> (usize, u64) {
         let mut diff = vec![0i64; np as usize + 1];
         let mut total: u64 = 0;
         for &id in rules {
@@ -310,7 +330,11 @@ impl<'a> Builder<'a> {
     }
 
     /// Rules (by id, ascending) that intersect `region`.
-    fn collect_rules(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT]) -> Vec<RuleId> {
+    fn collect_rules(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+    ) -> Vec<RuleId> {
         self.stats.ops.loads += rules.len() as u64 * FIELD_COUNT as u64;
         self.stats.ops.alu += rules.len() as u64 * FIELD_COUNT as u64 * 2;
         self.stats.ops.branches += rules.len() as u64;
@@ -357,7 +381,10 @@ mod tests {
         assert!(stats.max_depth <= 3, "tree too deep: {stats:?}");
         assert!(stats.max_leaf_rules <= 3, "leaf exceeds binth: {stats:?}");
         let dump = hc.tree().dump();
-        assert!(dump.starts_with("node cut[src_ip"), "root cut is not field 0: {dump}");
+        assert!(
+            dump.starts_with("node cut[src_ip"),
+            "root cut is not field 0: {dump}"
+        );
     }
 
     #[test]
@@ -390,7 +417,10 @@ mod tests {
         let hc = toy_classifier(3, 2.0);
         let mut stats = LookupStats::new();
         let pkt = PacketHeader::from_fields([145, 100, 10, 10, 200]);
-        assert_eq!(hc.classify_with_stats(&pkt, &mut stats), MatchResult::Matched(5));
+        assert_eq!(
+            hc.classify_with_stats(&pkt, &mut stats),
+            MatchResult::Matched(5)
+        );
         assert!(stats.nodes_visited >= 1);
         assert!(stats.memory_accesses >= 2);
     }
@@ -417,7 +447,8 @@ mod tests {
 
     #[test]
     fn empty_ruleset_never_matches() {
-        let rs = pclass_types::RuleSet::new("empty", *toy::table1_ruleset().spec(), vec![]).unwrap();
+        let rs =
+            pclass_types::RuleSet::new("empty", *toy::table1_ruleset().spec(), vec![]).unwrap();
         let hc = HiCutsClassifier::build(&rs, &HiCutsConfig::paper_defaults());
         let pkt = PacketHeader::from_fields([1, 2, 3, 4, 5]);
         assert_eq!(hc.classify(&pkt), MatchResult::NoMatch);
@@ -427,6 +458,12 @@ mod tests {
     #[should_panic]
     fn zero_binth_rejected() {
         let rs = toy::table1_ruleset();
-        HiCutsClassifier::build(&rs, &HiCutsConfig { binth: 0, spfac: 4.0 });
+        HiCutsClassifier::build(
+            &rs,
+            &HiCutsConfig {
+                binth: 0,
+                spfac: 4.0,
+            },
+        );
     }
 }

@@ -26,7 +26,9 @@
 use crate::counters::{BuildStats, LookupStats};
 use crate::dtree::{CutSpec, DecisionTree, Node, NodeId, NodeKind};
 use crate::Classifier;
-use pclass_types::{Dimension, FieldRange, MatchResult, PacketHeader, Rule, RuleId, RuleSet, FIELD_COUNT};
+use pclass_types::{
+    Dimension, FieldRange, MatchResult, PacketHeader, Rule, RuleId, RuleSet, FIELD_COUNT,
+};
 use std::collections::HashSet;
 
 /// Safety limit on tree depth.
@@ -154,7 +156,12 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    fn build_node(&mut self, region: [FieldRange; FIELD_COUNT], rules: Vec<RuleId>, depth: u32) -> NodeId {
+    fn build_node(
+        &mut self,
+        region: [FieldRange; FIELD_COUNT],
+        rules: Vec<RuleId>,
+        depth: u32,
+    ) -> NodeId {
         self.stats.max_depth = self.stats.max_depth.max(depth);
         if rules.len() <= self.config.binth || depth >= MAX_DEPTH {
             return self.make_leaf(region, rules, depth);
@@ -175,7 +182,9 @@ impl<'a> Builder<'a> {
         }
 
         // Greedy combination search under the Eq. 2 child budget.
-        let budget = (self.config.spfac * (rules.len() as f64).sqrt()).floor().max(2.0) as u64;
+        let budget = (self.config.spfac * (rules.len() as f64).sqrt())
+            .floor()
+            .max(2.0) as u64;
         let cuts = self.choose_cuts(&rules, &cut_region, &candidates, budget);
         if cuts.child_count() <= 1 {
             return self.make_leaf(region, rules, depth);
@@ -264,7 +273,12 @@ impl<'a> Builder<'a> {
         node_id
     }
 
-    fn make_leaf(&mut self, region: [FieldRange; FIELD_COUNT], rules: Vec<RuleId>, depth: u32) -> NodeId {
+    fn make_leaf(
+        &mut self,
+        region: [FieldRange; FIELD_COUNT],
+        rules: Vec<RuleId>,
+        depth: u32,
+    ) -> NodeId {
         let id = self.nodes.len() as NodeId;
         self.stats.leaf_nodes += 1;
         self.stats.stored_rule_refs += rules.len() as u64;
@@ -287,7 +301,11 @@ impl<'a> Builder<'a> {
     }
 
     /// Bounding box of the rules, clipped to the node's region.
-    fn compact_region(&mut self, region: &[FieldRange; FIELD_COUNT], rules: &[RuleId]) -> [FieldRange; FIELD_COUNT] {
+    fn compact_region(
+        &mut self,
+        region: &[FieldRange; FIELD_COUNT],
+        rules: &[RuleId],
+    ) -> [FieldRange; FIELD_COUNT] {
         let mut out = *region;
         for d in Dimension::ALL {
             let mut lo = u32::MAX;
@@ -309,7 +327,11 @@ impl<'a> Builder<'a> {
     /// Dimensions whose number of distinct range specifications among the
     /// node's rules is at least the mean over all dimensions, restricted to
     /// dimensions that can still be cut.
-    fn candidate_dimensions(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT]) -> Vec<Dimension> {
+    fn candidate_dimensions(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+    ) -> Vec<Dimension> {
         let mut counts = [0usize; FIELD_COUNT];
         for d in Dimension::ALL {
             let mut distinct: HashSet<FieldRange> = HashSet::with_capacity(rules.len());
@@ -354,7 +376,7 @@ impl<'a> Builder<'a> {
                 let mut trial = cuts.clone();
                 trial.parts[d.index()] = parts * 2;
                 let max_child = self.max_child_occupancy(rules, region, &trial);
-                if best.map_or(true, |(_, m)| max_child < m) {
+                if best.is_none_or(|(_, m)| max_child < m) {
                     best = Some((d, max_child));
                 }
             }
@@ -374,7 +396,12 @@ impl<'a> Builder<'a> {
     /// Uses a multi-dimensional difference array (inclusion–exclusion over
     /// the corners of each rule's child-index box) followed by a prefix sum,
     /// so the cost is O(rules · 2^dims + children · dims).
-    fn max_child_occupancy(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT], cuts: &CutSpec) -> usize {
+    fn max_child_occupancy(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+        cuts: &CutSpec,
+    ) -> usize {
         let dims = cuts.cut_dimensions();
         if dims.is_empty() {
             return rules.len();
@@ -432,7 +459,11 @@ impl<'a> Builder<'a> {
                     }
                     index += coord * strides[k];
                 }
-                let sign = if (corner.count_ones() % 2) == 0 { 1i64 } else { -1i64 };
+                let sign = if (corner.count_ones() % 2) == 0 {
+                    1i64
+                } else {
+                    -1i64
+                };
                 if oob {
                     // Corner falls off the high end: accumulate in the
                     // overflow slot so the prefix sum stays balanced only for
@@ -468,7 +499,11 @@ impl<'a> Builder<'a> {
         diff[..total].iter().copied().max().unwrap_or(0).max(0) as usize
     }
 
-    fn collect_rules(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT]) -> Vec<RuleId> {
+    fn collect_rules(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+    ) -> Vec<RuleId> {
         self.stats.ops.loads += rules.len() as u64 * FIELD_COUNT as u64;
         self.stats.ops.alu += rules.len() as u64 * FIELD_COUNT as u64 * 2;
         self.stats.ops.branches += rules.len() as u64;
@@ -595,7 +630,10 @@ mod tests {
         assert!(hc.build_stats().internal_nodes >= 1);
         let mut stats = LookupStats::new();
         let pkt = PacketHeader::from_fields([145, 100, 10, 10, 200]);
-        assert_eq!(hc.classify_with_stats(&pkt, &mut stats), MatchResult::Matched(5));
+        assert_eq!(
+            hc.classify_with_stats(&pkt, &mut stats),
+            MatchResult::Matched(5)
+        );
         assert!(stats.memory_accesses >= 2);
         assert_eq!(hc.name(), "hypercuts");
         assert!(hc.memory_bytes() > 0);
@@ -608,7 +646,10 @@ mod tests {
         let spec = *toy::table1_ruleset().spec();
         let empty = pclass_types::RuleSet::new("empty", spec, vec![]).unwrap();
         let hc = HyperCutsClassifier::build(&empty, &HyperCutsConfig::paper_defaults());
-        assert_eq!(hc.classify(&PacketHeader::from_fields([1, 2, 3, 4, 5])), MatchResult::NoMatch);
+        assert_eq!(
+            hc.classify(&PacketHeader::from_fields([1, 2, 3, 4, 5])),
+            MatchResult::NoMatch
+        );
 
         let one = toy::table1_ruleset().truncated(1, "one");
         let hc = HyperCutsClassifier::build(&one, &HyperCutsConfig::paper_defaults());

@@ -84,13 +84,19 @@ mod tests {
         let mut stats = LookupStats::new();
         // This packet matches nothing, so all 10 rules are scanned.
         let pkt = PacketHeader::from_fields([0, 0, 0, 0, 255]);
-        assert_eq!(lin.classify_with_stats(&pkt, &mut stats), MatchResult::NoMatch);
+        assert_eq!(
+            lin.classify_with_stats(&pkt, &mut stats),
+            MatchResult::NoMatch
+        );
         assert_eq!(stats.rules_compared, 10);
         assert_eq!(stats.memory_accesses, 10);
         // This one matches R5, so the scan stops there.
         let mut stats = LookupStats::new();
         let pkt = PacketHeader::from_fields([145, 100, 10, 10, 200]);
-        assert_eq!(lin.classify_with_stats(&pkt, &mut stats), MatchResult::Matched(5));
+        assert_eq!(
+            lin.classify_with_stats(&pkt, &mut stats),
+            MatchResult::Matched(5)
+        );
         assert_eq!(stats.rules_compared, 6);
     }
 

@@ -59,7 +59,10 @@ impl std::fmt::Display for RfcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RfcError::MemoryLimit { required } => {
-                write!(f, "RFC cross-product table needs {required} entries, over the configured limit")
+                write!(
+                    f,
+                    "RFC cross-product table needs {required} entries, over the configured limit"
+                )
             }
         }
     }
@@ -117,7 +120,9 @@ struct Classer<K> {
 
 impl<K: std::hash::Hash + Eq + Clone> Classer<K> {
     fn new() -> Self {
-        Classer { map: HashMap::new() }
+        Classer {
+            map: HashMap::new(),
+        }
     }
     fn id_of(&mut self, key: &K) -> u32 {
         if let Some(&id) = self.map.get(key) {
@@ -171,7 +176,7 @@ pub struct RfcClassifier {
     dst_addr: PhaseTable, // (dst_hi, dst_lo)
     ports: PhaseTable,    // (src_port, dst_port)
     // Phase 2.
-    addrs: PhaseTable,      // (src_addr, dst_addr)
+    addrs: PhaseTable,       // (src_addr, dst_addr)
     ports_proto: PhaseTable, // (ports, proto)
     // Phase 3: the final table stores the matched rule id + 1 (0 = no match).
     final_table: PhaseTable,
@@ -240,10 +245,7 @@ impl RfcClassifier {
             }
             debug_assert_eq!(entries.len(), 1 << 16);
             let classes = classer.len();
-            (
-                PhaseTable { entries, classes },
-                classer.keys_in_order(),
-            )
+            (PhaseTable { entries, classes }, classer.keys_in_order())
         };
 
         // ---- Phase 0: address low halves (pairs of booleans) -------------
@@ -281,10 +283,7 @@ impl RfcClassifier {
             }
             debug_assert_eq!(entries.len(), 1 << 16);
             let classes = classer.len();
-            (
-                PhaseTable { entries, classes },
-                classer.keys_in_order(),
-            )
+            (PhaseTable { entries, classes }, classer.keys_in_order())
         };
 
         // ---- Phase 0: whole-chunk fields (rule bitmaps) -------------------
@@ -322,10 +321,7 @@ impl RfcClassifier {
             }
             debug_assert_eq!(entries.len(), size);
             let classes = classer.len();
-            (
-                PhaseTable { entries, classes },
-                classer.keys_in_order(),
-            )
+            (PhaseTable { entries, classes }, classer.keys_in_order())
         };
 
         let (src_hi, src_hi_states) = addr_hi(Dimension::SrcIp);
@@ -378,7 +374,10 @@ impl RfcClassifier {
         };
 
         // ---- Generic bitmap cross-product ---------------------------------
-        let combine_bitmaps = |a: &PhaseTable, a_bms: &[Bitmap], b: &PhaseTable, b_bms: &[Bitmap]|
+        let combine_bitmaps = |a: &PhaseTable,
+                               a_bms: &[Bitmap],
+                               b: &PhaseTable,
+                               b_bms: &[Bitmap]|
          -> Result<(PhaseTable, Vec<Bitmap>), RfcError> {
             let required = a.classes * b.classes;
             check(required)?;
@@ -394,11 +393,16 @@ impl RfcClassifier {
             Ok((PhaseTable { entries, classes }, classer.keys_in_order()))
         };
 
-        let (src_addr, src_addr_bms) = combine_addr(&src_hi, &src_hi_states, &src_lo, &src_lo_flags)?;
-        let (dst_addr, dst_addr_bms) = combine_addr(&dst_hi, &dst_hi_states, &dst_lo, &dst_lo_flags)?;
-        let (ports, ports_bms) = combine_bitmaps(&src_port, &src_port_bms, &dst_port, &dst_port_bms)?;
-        let (addrs, addrs_bms) = combine_bitmaps(&src_addr, &src_addr_bms, &dst_addr, &dst_addr_bms)?;
-        let (ports_proto, ports_proto_bms) = combine_bitmaps(&ports, &ports_bms, &proto, &proto_bms)?;
+        let (src_addr, src_addr_bms) =
+            combine_addr(&src_hi, &src_hi_states, &src_lo, &src_lo_flags)?;
+        let (dst_addr, dst_addr_bms) =
+            combine_addr(&dst_hi, &dst_hi_states, &dst_lo, &dst_lo_flags)?;
+        let (ports, ports_bms) =
+            combine_bitmaps(&src_port, &src_port_bms, &dst_port, &dst_port_bms)?;
+        let (addrs, addrs_bms) =
+            combine_bitmaps(&src_addr, &src_addr_bms, &dst_addr, &dst_addr_bms)?;
+        let (ports_proto, ports_proto_bms) =
+            combine_bitmaps(&ports, &ports_bms, &proto, &proto_bms)?;
 
         // ---- Phase 3: final table stores rule id + 1 -----------------------
         let required = addrs.classes * ports_proto.classes;
@@ -476,14 +480,25 @@ impl RfcClassifier {
         let f = self.dst_port.lookup(pkt.dst_port() as usize);
         let g = self.proto.lookup(pkt.protocol() as usize);
 
-        let sa = self.src_addr.lookup(a as usize * self.src_lo.classes + b as usize);
-        let da = self.dst_addr.lookup(c as usize * self.dst_lo.classes + d as usize);
-        let pp = self.ports.lookup(e as usize * self.dst_port.classes + f as usize);
+        let sa = self
+            .src_addr
+            .lookup(a as usize * self.src_lo.classes + b as usize);
+        let da = self
+            .dst_addr
+            .lookup(c as usize * self.dst_lo.classes + d as usize);
+        let pp = self
+            .ports
+            .lookup(e as usize * self.dst_port.classes + f as usize);
 
-        let ad = self.addrs.lookup(sa as usize * self.dst_addr.classes + da as usize);
-        let pg = self.ports_proto.lookup(pp as usize * self.proto.classes + g as usize);
+        let ad = self
+            .addrs
+            .lookup(sa as usize * self.dst_addr.classes + da as usize);
+        let pg = self
+            .ports_proto
+            .lookup(pp as usize * self.proto.classes + g as usize);
 
-        self.final_table.lookup(ad as usize * self.ports_proto.classes + pg as usize)
+        self.final_table
+            .lookup(ad as usize * self.ports_proto.classes + pg as usize)
     }
 }
 
@@ -545,7 +560,10 @@ mod tests {
                 .dst_port_range(1024, 65535)
                 .protocol(6)
                 .build(),
-            RuleBuilder::new(2).dst_prefix(0xC0A8_0000, 16).protocol(17).build(),
+            RuleBuilder::new(2)
+                .dst_prefix(0xC0A8_0000, 16)
+                .protocol(17)
+                .build(),
             // A rule whose source address is an arbitrary range spanning
             // several high-half columns — the case the HiState machinery
             // exists for.
@@ -593,7 +611,11 @@ mod tests {
         let mut addr: u64 = 0x0A01_FF00;
         while addr <= 0x0A03_0100 {
             let pkt = PacketHeader::five_tuple(addr as u32, 0x0102_0304, 7, 7, 6);
-            assert_eq!(rfc.classify(&pkt), rs.classify_linear(&pkt), "addr {addr:#x}");
+            assert_eq!(
+                rfc.classify(&pkt),
+                rs.classify_linear(&pkt),
+                "addr {addr:#x}"
+            );
             addr += 0x33;
         }
     }
@@ -624,7 +646,9 @@ mod tests {
     #[test]
     fn memory_limit_is_enforced() {
         let rs = five_tuple_set();
-        let config = RfcConfig { max_table_entries: 10 };
+        let config = RfcConfig {
+            max_table_entries: 10,
+        };
         match RfcClassifier::build_with(&rs, &config) {
             Err(RfcError::MemoryLimit { required }) => assert!(required > 10),
             other => panic!("expected memory-limit error, got {other:?}"),

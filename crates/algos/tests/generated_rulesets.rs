@@ -2,8 +2,8 @@
 //! generated ClassBench-style rulesets and traces.
 
 use pclass_algos::{
-    Classifier, HiCutsClassifier, HiCutsConfig, HyperCutsClassifier, HyperCutsConfig, LinearClassifier,
-    RfcClassifier,
+    Classifier, HiCutsClassifier, HiCutsConfig, HyperCutsClassifier, HyperCutsConfig,
+    LinearClassifier, RfcClassifier,
 };
 use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
 use pclass_types::{MatchResult, RuleSet, Trace};

@@ -4,9 +4,9 @@
 //! reported by `reproduce speed_tradeoff` and EXPERIMENTS.md).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pclass_bench::acl_ruleset;
 use pclass_core::builder::{BuildConfig, CutAlgorithm, HwTree};
+use std::time::Duration;
 
 fn bench_cut_ablation(c: &mut Criterion) {
     let rs = acl_ruleset(1_000);

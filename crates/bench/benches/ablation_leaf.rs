@@ -6,11 +6,11 @@
 //! accelerator model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use pclass_bench::{acl_ruleset, trace_for};
 use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
 use pclass_core::hw::Accelerator;
 use pclass_core::program::HardwareProgram;
+use std::time::Duration;
 
 fn bench_leaf_ablation(c: &mut Criterion) {
     let rs = acl_ruleset(2_191);
@@ -25,7 +25,11 @@ fn bench_leaf_ablation(c: &mut Criterion) {
         let program = HardwareProgram::build_with_capacity(&rs, &cfg, 4096).unwrap();
         let engine = Accelerator::new(&program);
         group.bench_with_input(BenchmarkId::new("binth", binth), &pkts, |b, pkts| {
-            b.iter(|| pkts.iter().map(|p| engine.classify_packet(p).1.visible_cycles() as u64).sum::<u64>())
+            b.iter(|| {
+                pkts.iter()
+                    .map(|p| engine.classify_packet(p).1.visible_cycles() as u64)
+                    .sum::<u64>()
+            })
         });
     }
 
@@ -34,9 +38,17 @@ fn bench_leaf_ablation(c: &mut Criterion) {
         cfg.speed = speed;
         let program = HardwareProgram::build_with_capacity(&rs, &cfg, 4096).unwrap();
         let engine = Accelerator::new(&program);
-        group.bench_with_input(BenchmarkId::new("speed", speed.as_u8()), &pkts, |b, pkts| {
-            b.iter(|| pkts.iter().map(|p| engine.classify_packet(p).1.visible_cycles() as u64).sum::<u64>())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("speed", speed.as_u8()),
+            &pkts,
+            |b, pkts| {
+                b.iter(|| {
+                    pkts.iter()
+                        .map(|p| engine.classify_packet(p).1.visible_cycles() as u64)
+                        .sum::<u64>()
+                })
+            },
+        );
     }
     group.finish();
 }

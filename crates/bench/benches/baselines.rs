@@ -3,13 +3,13 @@
 //! frontend.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use pclass_bench::{acl_ruleset, styled_ruleset, trace_for};
 use pclass_classbench::SeedStyle;
 use pclass_core::builder::{BuildConfig, CutAlgorithm};
 use pclass_core::parallel::ParallelAccelerator;
 use pclass_core::program::HardwareProgram;
 use pclass_tcam::TcamClassifier;
+use std::time::Duration;
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
@@ -18,29 +18,47 @@ fn bench_baselines(c: &mut Criterion) {
     for &size in &[150usize, 500] {
         let rs = acl_ruleset(size);
         group.bench_with_input(BenchmarkId::new("rfc_preprocess", size), &rs, |b, rs| {
-            b.iter(|| pclass_algos::RfcClassifier::build(rs).map(|r| r.table_entries()).unwrap_or(0))
+            b.iter(|| {
+                pclass_algos::RfcClassifier::build(rs)
+                    .map(|r| r.table_entries())
+                    .unwrap_or(0)
+            })
         });
     }
 
     // TCAM programming (range expansion) per seed style.
     for style in SeedStyle::ALL {
         let rs = styled_ruleset(style, 1_000);
-        group.bench_with_input(BenchmarkId::new("tcam_program", style.name()), &rs, |b, rs| {
-            b.iter(|| TcamClassifier::program(rs).map(|t| t.entries().len()).unwrap_or(0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tcam_program", style.name()),
+            &rs,
+            |b, rs| {
+                b.iter(|| {
+                    TcamClassifier::program(rs)
+                        .map(|t| t.entries().len())
+                        .unwrap_or(0)
+                })
+            },
+        );
     }
 
     // Multi-engine scaling of the accelerator model.
     let rs = acl_ruleset(2_191);
     let trace = trace_for(&rs, 20_000);
-    let program =
-        HardwareProgram::build_with_capacity(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts), 4096).unwrap();
+    let program = HardwareProgram::build_with_capacity(
+        &rs,
+        &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts),
+        4096,
+    )
+    .unwrap();
     group.throughput(Throughput::Elements(trace.len() as u64));
     for &engines in &[1usize, 2, 4] {
         let bank = ParallelAccelerator::new(&program, engines);
-        group.bench_with_input(BenchmarkId::new("parallel_engines", engines), &trace, |b, trace| {
-            b.iter(|| bank.classify_trace(trace).cycles)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_engines", engines),
+            &trace,
+            |b, trace| b.iter(|| bank.classify_trace(trace).cycles),
+        );
     }
     group.finish();
 }

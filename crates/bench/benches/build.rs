@@ -2,13 +2,13 @@
 //! original vs the modified algorithms — the work behind Tables 2 and 3.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use pclass_algos::Classifier;
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
+use pclass_algos::Classifier;
 use pclass_bench::acl_ruleset;
 use pclass_core::builder::{BuildConfig, CutAlgorithm};
 use pclass_core::program::HardwareProgram;
+use std::time::Duration;
 
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("build");
@@ -18,23 +18,42 @@ fn bench_build(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hicuts_original", size), &rs, |b, rs| {
             b.iter(|| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).memory_bytes())
         });
-        group.bench_with_input(BenchmarkId::new("hypercuts_original", size), &rs, |b, rs| {
-            b.iter(|| HyperCutsClassifier::build(rs, &HyperCutsConfig::paper_defaults()).memory_bytes())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hypercuts_original", size),
+            &rs,
+            |b, rs| {
+                b.iter(|| {
+                    HyperCutsClassifier::build(rs, &HyperCutsConfig::paper_defaults())
+                        .memory_bytes()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("hicuts_modified", size), &rs, |b, rs| {
             b.iter(|| {
-                HardwareProgram::build_with_capacity(rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts), 4096)
-                    .unwrap()
-                    .memory_bytes()
+                HardwareProgram::build_with_capacity(
+                    rs,
+                    &BuildConfig::paper_defaults(CutAlgorithm::HiCuts),
+                    4096,
+                )
+                .unwrap()
+                .memory_bytes()
             })
         });
-        group.bench_with_input(BenchmarkId::new("hypercuts_modified", size), &rs, |b, rs| {
-            b.iter(|| {
-                HardwareProgram::build_with_capacity(rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts), 4096)
+        group.bench_with_input(
+            BenchmarkId::new("hypercuts_modified", size),
+            &rs,
+            |b, rs| {
+                b.iter(|| {
+                    HardwareProgram::build_with_capacity(
+                        rs,
+                        &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts),
+                        4096,
+                    )
                     .unwrap()
                     .memory_bytes()
-            })
-        });
+                })
+            },
+        );
     }
     group.finish();
 }

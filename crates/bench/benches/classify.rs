@@ -2,13 +2,13 @@
 //! (backs Tables 6 and 7 — energy and throughput are both per-packet work).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use pclass_algos::Classifier;
 use pclass_bench::{acl_ruleset, software_hicuts, software_hypercuts, trace_for};
 use pclass_core::builder::{BuildConfig, CutAlgorithm};
 use pclass_core::hw::Accelerator;
 use pclass_core::program::HardwareProgram;
 use pclass_types::PacketHeader;
+use std::time::Duration;
 
 fn packets(n: usize) -> (Vec<PacketHeader>, pclass_types::RuleSet) {
     let rs = acl_ruleset(n);
@@ -24,32 +24,59 @@ fn bench_classify(c: &mut Criterion) {
 
         let linear = pclass_algos::LinearClassifier::new(rs.clone());
         group.bench_with_input(BenchmarkId::new("linear", size), &pkts, |b, pkts| {
-            b.iter(|| pkts.iter().map(|p| linear.classify(p).rule_id().unwrap_or(0)).sum::<u32>())
+            b.iter(|| {
+                pkts.iter()
+                    .map(|p| linear.classify(p).rule_id().unwrap_or(0))
+                    .sum::<u32>()
+            })
         });
 
         let hicuts = software_hicuts(&rs);
         group.bench_with_input(BenchmarkId::new("hicuts_sw", size), &pkts, |b, pkts| {
-            b.iter(|| pkts.iter().map(|p| hicuts.classify(p).rule_id().unwrap_or(0)).sum::<u32>())
+            b.iter(|| {
+                pkts.iter()
+                    .map(|p| hicuts.classify(p).rule_id().unwrap_or(0))
+                    .sum::<u32>()
+            })
         });
 
         let hypercuts = software_hypercuts(&rs);
         group.bench_with_input(BenchmarkId::new("hypercuts_sw", size), &pkts, |b, pkts| {
-            b.iter(|| pkts.iter().map(|p| hypercuts.classify(p).rule_id().unwrap_or(0)).sum::<u32>())
+            b.iter(|| {
+                pkts.iter()
+                    .map(|p| hypercuts.classify(p).rule_id().unwrap_or(0))
+                    .sum::<u32>()
+            })
         });
 
         if let Ok(rfc) = pclass_algos::RfcClassifier::build(&rs) {
             group.bench_with_input(BenchmarkId::new("rfc", size), &pkts, |b, pkts| {
-                b.iter(|| pkts.iter().map(|p| rfc.classify(p).rule_id().unwrap_or(0)).sum::<u32>())
+                b.iter(|| {
+                    pkts.iter()
+                        .map(|p| rfc.classify(p).rule_id().unwrap_or(0))
+                        .sum::<u32>()
+                })
             });
         }
 
-        let program =
-            HardwareProgram::build_with_capacity(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts), 4096)
-                .unwrap();
+        let program = HardwareProgram::build_with_capacity(
+            &rs,
+            &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts),
+            4096,
+        )
+        .unwrap();
         let engine = Accelerator::new(&program);
-        group.bench_with_input(BenchmarkId::new("accelerator_model", size), &pkts, |b, pkts| {
-            b.iter(|| pkts.iter().map(|p| engine.classify_packet(p).1.visible_cycles()).sum::<u32>())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("accelerator_model", size),
+            &pkts,
+            |b, pkts| {
+                b.iter(|| {
+                    pkts.iter()
+                        .map(|p| engine.classify_packet(p).1.visible_cycles())
+                        .sum::<u32>()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -15,8 +15,8 @@ use pclass_algos::Classifier;
 use pclass_bench::*;
 use pclass_classbench::{table4_sizes, SeedStyle};
 use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
-use pclass_core::program::HardwareProgram;
 use pclass_core::hw::Accelerator;
+use pclass_core::program::HardwareProgram;
 use pclass_energy::{AcceleratorEnergyModel, DeviceModel, Sa1100Model, SramPart, TcamPart};
 use pclass_tcam::TcamClassifier;
 use pclass_types::toy;
@@ -26,7 +26,11 @@ const TRACE_PACKETS: usize = 20_000;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let command = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
 
     let run = |name: &str| command == "all" || command == name;
 
@@ -74,13 +78,16 @@ fn figures() {
     let rs = toy::table1_ruleset();
     let hicuts = pclass_algos::HiCutsClassifier::build(&rs, &pclass_algos::HiCutsConfig::figure1());
     println!("-- Figure 1 (HiCuts) --\n{}", hicuts.tree().dump());
-    let hyper = pclass_algos::HyperCutsClassifier::build(&rs, &pclass_algos::HyperCutsConfig::figure3());
+    let hyper =
+        pclass_algos::HyperCutsClassifier::build(&rs, &pclass_algos::HyperCutsConfig::figure3());
     println!("-- Figure 3 (HyperCuts) --\n{}", hyper.tree().dump());
 }
 
 /// Table 2: memory for the search structure + ruleset, software vs hardware.
 fn table2() {
-    println!("\n== Table 2: memory for the search structure and ruleset (bytes), spfac=4, speed=1 ==");
+    println!(
+        "\n== Table 2: memory for the search structure and ruleset (bytes), spfac=4, speed=1 =="
+    );
     println!(
         "{:>6} | {:>12} {:>12} | {:>12} {:>12}",
         "rules", "sw HiCuts", "sw HyperCuts", "hw HiCuts", "hw HyperCuts"
@@ -89,8 +96,12 @@ fn table2() {
         let rs = acl_ruleset(size);
         let sw_hi = software_hicuts(&rs).memory_bytes();
         let sw_hy = software_hypercuts(&rs).memory_bytes();
-        let hw_hi = plan_hardware(&rs, CutAlgorithm::HiCuts).map(|(s, _)| s.memory_bytes).unwrap_or(0);
-        let hw_hy = plan_hardware(&rs, CutAlgorithm::HyperCuts).map(|(s, _)| s.memory_bytes).unwrap_or(0);
+        let hw_hi = plan_hardware(&rs, CutAlgorithm::HiCuts)
+            .map(|(s, _)| s.memory_bytes)
+            .unwrap_or(0);
+        let hw_hy = plan_hardware(&rs, CutAlgorithm::HyperCuts)
+            .map(|(s, _)| s.memory_bytes)
+            .unwrap_or(0);
         println!("{size:>6} | {sw_hi:>12} {sw_hy:>12} | {hw_hi:>12} {hw_hy:>12}");
     }
 }
@@ -107,8 +118,12 @@ fn table3() {
         let rs = acl_ruleset(size);
         let sw_hi = model.build_energy_j(software_hicuts(&rs).build_stats());
         let sw_hy = model.build_energy_j(software_hypercuts(&rs).build_stats());
-        let hw_hi = plan_hardware(&rs, CutAlgorithm::HiCuts).map(|(_, b)| model.build_energy_j(&b)).unwrap_or(0.0);
-        let hw_hy = plan_hardware(&rs, CutAlgorithm::HyperCuts).map(|(_, b)| model.build_energy_j(&b)).unwrap_or(0.0);
+        let hw_hi = plan_hardware(&rs, CutAlgorithm::HiCuts)
+            .map(|(_, b)| model.build_energy_j(&b))
+            .unwrap_or(0.0);
+        let hw_hy = plan_hardware(&rs, CutAlgorithm::HyperCuts)
+            .map(|(_, b)| model.build_energy_j(&b))
+            .unwrap_or(0.0);
         println!(
             "{size:>6} | {sw_hi:>12.3e} {sw_hy:>12.3e} | {hw_hi:>12.3e} {hw_hy:>12.3e} | {:>7.2}x",
             sw_hi / hw_hi.max(1e-12)
@@ -121,7 +136,10 @@ fn table4(quick: bool) {
     println!("\n== Table 4: memory (bytes) and worst-case clock cycles, spfac=4, speed=1 ==");
     for style in SeedStyle::ALL {
         println!("-- {} --", style.name());
-        println!("{:>7} | {:>12} {:>7} | {:>12} {:>7}", "rules", "HiCuts mem", "cycles", "HyperC mem", "cycles");
+        println!(
+            "{:>7} | {:>12} {:>7} | {:>12} {:>7}",
+            "rules", "HiCuts mem", "cycles", "HyperC mem", "cycles"
+        );
         let sizes: Vec<usize> = table4_sizes(style)
             .into_iter()
             .filter(|&s| !quick || s <= 5_000)
@@ -130,7 +148,10 @@ fn table4(quick: bool) {
             let rs = styled_ruleset(style, size);
             let hi = plan_hardware(&rs, CutAlgorithm::HiCuts);
             let hy = plan_hardware(&rs, CutAlgorithm::HyperCuts);
-            let fmt = |p: &Option<(pclass_core::program::ProgramStats, pclass_algos::BuildStats)>| match p {
+            let fmt = |p: &Option<(
+                pclass_core::program::ProgramStats,
+                pclass_algos::BuildStats,
+            )>| match p {
                 Some((s, _)) => (s.memory_bytes.to_string(), s.worst_case_cycles.to_string()),
                 None => ("n/a".to_string(), "n/a".to_string()),
             };
@@ -148,7 +169,11 @@ fn table5() {
         "{:<24} {:>9} {:>8} {:>10} {:>12} {:>14}",
         "device", "process", "voltage", "freq [MHz]", "power [mW]", "power* [mW]"
     );
-    for device in [DeviceModel::fpga_virtex5(), DeviceModel::asic_65nm(), DeviceModel::strongarm_sa1100()] {
+    for device in [
+        DeviceModel::fpga_virtex5(),
+        DeviceModel::asic_65nm(),
+        DeviceModel::strongarm_sa1100(),
+    ] {
         println!(
             "{:<24} {:>7}nm {:>7}V {:>10.0} {:>12.2} {:>14.2}",
             device.name,
@@ -161,14 +186,28 @@ fn table5() {
     }
     let asic = DeviceModel::asic_65nm();
     let fpga = DeviceModel::fpga_virtex5();
-    println!("  ASIC area: {} NAND2-equivalent gates", asic.area_gates.unwrap());
+    println!(
+        "  ASIC area: {} NAND2-equivalent gates",
+        asic.area_gates.unwrap()
+    );
     if let (Some((slices, sf)), Some((brams, bf))) = (fpga.slices, fpga.block_rams) {
-        println!("  FPGA area: {slices} slices ({:.0} %), {brams} block RAMs ({:.0} %)", sf * 100.0, bf * 100.0);
+        println!(
+            "  FPGA area: {slices} slices ({:.0} %), {brams} block RAMs ({:.0} %)",
+            sf * 100.0,
+            bf * 100.0
+        );
     }
 }
 
 /// Tables 6 and 7 share the same measurements; compute once.
-fn measure_acl_row(size: usize) -> (SoftwareMeasurement, SoftwareMeasurement, Option<HardwareMeasurement>, Option<HardwareMeasurement>) {
+fn measure_acl_row(
+    size: usize,
+) -> (
+    SoftwareMeasurement,
+    SoftwareMeasurement,
+    Option<HardwareMeasurement>,
+    Option<HardwareMeasurement>,
+) {
     let rs = acl_ruleset(size);
     let trace = trace_for(&rs, TRACE_PACKETS);
     let sw_hi = measure_software(&software_hicuts(&rs), &trace);
@@ -190,7 +229,9 @@ fn table6() {
     for &size in &ACL_TABLE_SIZES {
         let (sw_hi, sw_hy, hw_hi, hw_hy) = measure_acl_row(size);
         let e = |m: &Option<HardwareMeasurement>, model: &AcceleratorEnergyModel| {
-            m.as_ref().map(|h| model.energy_per_packet_j(&h.report)).unwrap_or(f64::NAN)
+            m.as_ref()
+                .map(|h| model.energy_per_packet_j(&h.report))
+                .unwrap_or(f64::NAN)
         };
         println!(
             "{size:>6} | {:>11.3e} {:>11.3e} | {:>11.3e} {:>11.3e} | {:>11.3e} {:>11.3e}",
@@ -209,14 +250,22 @@ fn table7() {
     println!("\n== Table 7: packets classified in one second, spfac=4, speed=1 ==");
     println!(
         "{:>6} | {:>11} {:>11} | {:>13} {:>13} | {:>12} {:>12}",
-        "rules", "sw HiCuts", "sw HyperC", "ASIC HiCuts", "ASIC HyperC", "FPGA HiCuts", "FPGA HyperC"
+        "rules",
+        "sw HiCuts",
+        "sw HyperC",
+        "ASIC HiCuts",
+        "ASIC HyperC",
+        "FPGA HiCuts",
+        "FPGA HyperC"
     );
     let asic = AcceleratorEnergyModel::asic();
     let fpga = AcceleratorEnergyModel::fpga();
     for &size in &ACL_TABLE_SIZES {
         let (sw_hi, sw_hy, hw_hi, hw_hy) = measure_acl_row(size);
         let pps = |m: &Option<HardwareMeasurement>, model: &AcceleratorEnergyModel| {
-            m.as_ref().map(|h| model.packets_per_second(&h.report)).unwrap_or(f64::NAN)
+            m.as_ref()
+                .map(|h| model.packets_per_second(&h.report))
+                .unwrap_or(f64::NAN)
         };
         println!(
             "{size:>6} | {:>11.0} {:>11.0} | {:>13.0} {:>13.0} | {:>12.0} {:>12.0}",
@@ -239,9 +288,17 @@ fn table8() {
     );
     for &size in &ACL_TABLE_SIZES {
         let rs = acl_ruleset(size);
-        let sw_hi = software_hicuts(&rs).worst_case_memory_accesses().unwrap_or(0);
-        let sw_hy = software_hypercuts(&rs).worst_case_memory_accesses().unwrap_or(0);
-        let hw = |algo| plan_hardware(&rs, algo).map(|(s, _)| s.worst_case_cycles).unwrap_or(0);
+        let sw_hi = software_hicuts(&rs)
+            .worst_case_memory_accesses()
+            .unwrap_or(0);
+        let sw_hy = software_hypercuts(&rs)
+            .worst_case_memory_accesses()
+            .unwrap_or(0);
+        let hw = |algo| {
+            plan_hardware(&rs, algo)
+                .map(|(s, _)| s.worst_case_cycles)
+                .unwrap_or(0)
+        };
         println!(
             "{size:>6} | {sw_hi:>10} {sw_hy:>10} | {:>10} {:>10}",
             hw(CutAlgorithm::HiCuts),
@@ -263,12 +320,20 @@ fn speedups() {
 
     let sw_hicuts = measure_software(&software_hicuts(&rs), &trace);
     println!("  ASIC accelerator : {:>13.0} packets/s", hw_pps);
-    println!("  software HiCuts  : {:>13.0} packets/s  ({:.0}x slower)", sw_hicuts.packets_per_second, hw_pps / sw_hicuts.packets_per_second);
+    println!(
+        "  software HiCuts  : {:>13.0} packets/s  ({:.0}x slower)",
+        sw_hicuts.packets_per_second,
+        hw_pps / sw_hicuts.packets_per_second
+    );
 
     match pclass_algos::RfcClassifier::build(&rs) {
         Ok(rfc) => {
             let m = measure_software(&rfc, &trace);
-            println!("  software RFC     : {:>13.0} packets/s  ({:.0}x slower)", m.packets_per_second, hw_pps / m.packets_per_second);
+            println!(
+                "  software RFC     : {:>13.0} packets/s  ({:.0}x slower)",
+                m.packets_per_second,
+                hw_pps / m.packets_per_second
+            );
         }
         Err(e) => println!("  software RFC     : preprocessing exceeded its memory budget ({e})"),
     }
@@ -276,7 +341,12 @@ fn speedups() {
     let sa1100 = Sa1100Model::new();
     let sw_energy = sa1100.normalized_energy_j(&sw_hicuts.avg_ops);
     let hw_energy = asic.energy_per_packet_j(&hw.report);
-    println!("  energy per packet: software HiCuts {:.3e} J vs ASIC {:.3e} J  ({:.0}x saving)", sw_energy, hw_energy, sw_energy / hw_energy);
+    println!(
+        "  energy per packet: software HiCuts {:.3e} J vs ASIC {:.3e} J  ({:.0}x saving)",
+        sw_energy,
+        hw_energy,
+        sw_energy / hw_energy
+    );
 }
 
 /// §5.3 power comparison against TCAM and SRAM parts.
@@ -286,19 +356,45 @@ fn power() {
     let fpga = DeviceModel::fpga_virtex5();
     let ayama_77 = TcamPart::ayama_10128_at_77mhz();
     let ayama_133 = TcamPart::ayama_10512_at_133mhz();
-    println!("  FPGA accelerator, 614,400 B @ 77 MHz : {:>8.2} W", fpga.power_w);
-    println!("  {}            : {:>8.2} W", ayama_77.name, ayama_77.power_w);
-    println!("  ASIC accelerator @ 133 MHz           : {:>8.2} mW", asic.power_at_frequency_w(133e6) * 1e3);
-    println!("  ASIC accelerator @ 226 MHz           : {:>8.2} mW", asic.power_w * 1e3);
-    println!("  {}           : {:>8.2} W", ayama_133.name, ayama_133.power_w);
-    println!("  {} (SRAM) @ 133 MHz   : {:>8.0} mW", SramPart::cy7c1381d().name, SramPart::cy7c1381d().power_w * 1e3);
-    println!("  {} (SRAM) @ 250 MHz: {:>8.0} mW", SramPart::cy7c1370dv25().name, SramPart::cy7c1370dv25().power_w * 1e3);
+    println!(
+        "  FPGA accelerator, 614,400 B @ 77 MHz : {:>8.2} W",
+        fpga.power_w
+    );
+    println!(
+        "  {}            : {:>8.2} W",
+        ayama_77.name, ayama_77.power_w
+    );
+    println!(
+        "  ASIC accelerator @ 133 MHz           : {:>8.2} mW",
+        asic.power_at_frequency_w(133e6) * 1e3
+    );
+    println!(
+        "  ASIC accelerator @ 226 MHz           : {:>8.2} mW",
+        asic.power_w * 1e3
+    );
+    println!(
+        "  {}           : {:>8.2} W",
+        ayama_133.name, ayama_133.power_w
+    );
+    println!(
+        "  {} (SRAM) @ 133 MHz   : {:>8.0} mW",
+        SramPart::cy7c1381d().name,
+        SramPart::cy7c1381d().power_w * 1e3
+    );
+    println!(
+        "  {} (SRAM) @ 250 MHz: {:>8.0} mW",
+        SramPart::cy7c1370dv25().name,
+        SramPart::cy7c1370dv25().power_w * 1e3
+    );
 }
 
 /// TCAM storage-efficiency comparison (§1 / §5.3).
 fn tcam() {
     println!("\n== TCAM storage efficiency (range-to-prefix expansion) ==");
-    println!("{:<10} {:>7} {:>9} {:>12} {:>12}", "ruleset", "rules", "entries", "expansion", "efficiency");
+    println!(
+        "{:<10} {:>7} {:>9} {:>12} {:>12}",
+        "ruleset", "rules", "entries", "expansion", "efficiency"
+    );
     for style in SeedStyle::ALL {
         let rs = styled_ruleset(style, 1_000);
         match TcamClassifier::program(&rs) {
@@ -321,7 +417,10 @@ fn tcam() {
 /// The speed-parameter trade-off (Eq. 5 vs Eq. 7).
 fn speed_tradeoff() {
     println!("\n== speed parameter trade-off (Eq. 5 vs Eq. 7) ==");
-    println!("{:>6} | {:>12} {:>7} | {:>12} {:>7}", "rules", "speed=0 mem", "cycles", "speed=1 mem", "cycles");
+    println!(
+        "{:>6} | {:>12} {:>7} | {:>12} {:>7}",
+        "rules", "speed=0 mem", "cycles", "speed=1 mem", "cycles"
+    );
     for &size in &[500usize, 1_000, 2_191, 5_000] {
         let rs = acl_ruleset(size);
         let mut row = Vec::new();

@@ -12,10 +12,10 @@ use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 use pclass_algos::{Classifier, LookupStats, OpCounters};
 use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+use pclass_core::builder::HwTree;
 use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
 use pclass_core::hw::{Accelerator, ClassificationReport};
 use pclass_core::program::{HardwareProgram, ProgramStats};
-use pclass_core::builder::HwTree;
 use pclass_energy::sa1100::Sa1100Model;
 use pclass_types::{RuleSet, Trace};
 
@@ -99,7 +99,11 @@ pub struct HardwareMeasurement {
 }
 
 /// Builds the hardware program (12-bit address space) and replays the trace.
-pub fn measure_hardware(ruleset: &RuleSet, trace: &Trace, algorithm: CutAlgorithm) -> Option<HardwareMeasurement> {
+pub fn measure_hardware(
+    ruleset: &RuleSet,
+    trace: &Trace,
+    algorithm: CutAlgorithm,
+) -> Option<HardwareMeasurement> {
     let config = BuildConfig::paper_defaults(algorithm);
     let program = HardwareProgram::build_with_capacity(ruleset, &config, 4096).ok()?;
     let report = Accelerator::new(&program).classify_trace(trace);
@@ -112,11 +116,17 @@ pub fn measure_hardware(ruleset: &RuleSet, trace: &Trace, algorithm: CutAlgorith
 
 /// Plans the hardware layout even when it exceeds the addressable capacity
 /// (used by Table 4 for the largest fw1-style sets).
-pub fn plan_hardware(ruleset: &RuleSet, algorithm: CutAlgorithm) -> Option<(ProgramStats, pclass_algos::BuildStats)> {
+pub fn plan_hardware(
+    ruleset: &RuleSet,
+    algorithm: CutAlgorithm,
+) -> Option<(ProgramStats, pclass_algos::BuildStats)> {
     let config = BuildConfig::paper_defaults(algorithm);
     let tree = HwTree::build(ruleset, &config).ok()?;
     let build = tree.build_stats;
-    Some((HardwareProgram::plan_layout(&tree, SpeedMode::Throughput), build))
+    Some((
+        HardwareProgram::plan_layout(&tree, SpeedMode::Throughput),
+        build,
+    ))
 }
 
 /// Builds the original (software) HiCuts classifier with paper parameters.

@@ -41,9 +41,17 @@ impl ClassBenchGenerator {
     ///
     /// # Panics
     /// Panics if the parameters fail [`StyleParameters::validate`].
-    pub fn with_parameters(style: SeedStyle, params: StyleParameters, seed: u64) -> ClassBenchGenerator {
+    pub fn with_parameters(
+        style: SeedStyle,
+        params: StyleParameters,
+        seed: u64,
+    ) -> ClassBenchGenerator {
         params.validate().expect("invalid style parameters");
-        ClassBenchGenerator { style, params, seed }
+        ClassBenchGenerator {
+            style,
+            params,
+            seed,
+        }
     }
 
     /// The style this generator mimics.
@@ -215,8 +223,12 @@ mod tests {
 
     #[test]
     fn fw_style_has_more_double_wildcards_than_acl() {
-        let acl = ClassBenchGenerator::new(SeedStyle::Acl, 5).generate(2_000).stats();
-        let fw = ClassBenchGenerator::new(SeedStyle::Fw, 5).generate(2_000).stats();
+        let acl = ClassBenchGenerator::new(SeedStyle::Acl, 5)
+            .generate(2_000)
+            .stats();
+        let fw = ClassBenchGenerator::new(SeedStyle::Fw, 5)
+            .generate(2_000)
+            .stats();
         assert!(
             fw.double_wildcard_fraction > 3.0 * acl.double_wildcard_fraction
                 && fw.double_wildcard_fraction > 0.01,

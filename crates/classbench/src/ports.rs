@@ -6,18 +6,18 @@ use rand::Rng;
 /// Well-known destination ports weighted roughly by how often they appear in
 /// published filter-set studies (HTTP/HTTPS/DNS dominate).
 pub const WELL_KNOWN_PORTS: [(u16, u32); 12] = [
-    (80, 30),   // http
-    (443, 20),  // https
-    (53, 15),   // dns
-    (25, 8),    // smtp
-    (22, 6),    // ssh
-    (21, 5),    // ftp
-    (23, 4),    // telnet
-    (110, 3),   // pop3
-    (143, 3),   // imap
-    (161, 2),   // snmp
-    (123, 2),   // ntp
-    (3306, 2),  // mysql
+    (80, 30),  // http
+    (443, 20), // https
+    (53, 15),  // dns
+    (25, 8),   // smtp
+    (22, 6),   // ssh
+    (21, 5),   // ftp
+    (23, 4),   // telnet
+    (110, 3),  // pop3
+    (143, 3),  // imap
+    (161, 2),  // snmp
+    (123, 2),  // ntp
+    (3306, 2), // mysql
 ];
 
 /// Common transport protocols weighted by typical filter-set frequency.
@@ -29,7 +29,10 @@ pub const PROTOCOLS: [(u8, u32); 4] = [
 ];
 
 /// The ephemeral port range used for "high ports" specifications.
-pub const EPHEMERAL: FieldRange = FieldRange { lo: 1024, hi: 65_535 };
+pub const EPHEMERAL: FieldRange = FieldRange {
+    lo: 1024,
+    hi: 65_535,
+};
 
 /// Samples a value from a weighted table.
 pub fn weighted_pick<T: Copy, R: Rng + ?Sized>(rng: &mut R, table: &[(T, u32)]) -> T {

@@ -100,7 +100,9 @@ mod tests {
         let mut counts: HashMap<u64, usize> = HashMap::new();
         for _ in 0..5_000 {
             let p = pool.pick(&mut rng);
-            *counts.entry((u64::from(p.value) << 8) | u64::from(p.length)).or_default() += 1;
+            *counts
+                .entry((u64::from(p.value) << 8) | u64::from(p.length))
+                .or_default() += 1;
         }
         let max = counts.values().copied().max().unwrap();
         let min_nonzero = counts.values().copied().min().unwrap();

@@ -78,7 +78,11 @@ impl<'a> TraceGenerator<'a> {
                 let mut fields = [0u32; 5];
                 for d in Dimension::ALL {
                     let max = spec.max_value(d);
-                    fields[d.index()] = if max == u32::MAX { rng.gen() } else { rng.gen_range(0..=max) };
+                    fields[d.index()] = if max == u32::MAX {
+                        rng.gen()
+                    } else {
+                        rng.gen_range(0..=max)
+                    };
                 }
                 TraceEntry {
                     header: PacketHeader::from_fields(fields),
@@ -166,10 +170,14 @@ mod tests {
     #[test]
     fn hit_rate_is_high_for_directed_traces() {
         let rs = ClassBenchGenerator::new(SeedStyle::Acl, 4).generate(500);
-        let trace = TraceGenerator::new(&rs, 5).random_fraction(0.0).generate(2_000);
+        let trace = TraceGenerator::new(&rs, 5)
+            .random_fraction(0.0)
+            .generate(2_000);
         assert!((trace.hit_rate(&rs) - 1.0).abs() < 1e-9);
         // With pure background traffic the hit rate drops substantially.
-        let bg = TraceGenerator::new(&rs, 5).random_fraction(1.0).generate(2_000);
+        let bg = TraceGenerator::new(&rs, 5)
+            .random_fraction(1.0)
+            .generate(2_000);
         assert!(bg.hit_rate(&rs) < 0.9);
     }
 
@@ -178,11 +186,15 @@ mod tests {
         // Not an assertion of inequality (it depends on overlap) but the
         // ground truth must never return NoMatch for a directed packet.
         let rs = ClassBenchGenerator::new(SeedStyle::Fw, 6).generate(400);
-        let trace = TraceGenerator::new(&rs, 7).random_fraction(0.0).generate(1_000);
+        let trace = TraceGenerator::new(&rs, 7)
+            .random_fraction(0.0)
+            .generate(1_000);
         for (entry, truth) in trace.entries().iter().zip(trace.ground_truth(&rs)) {
             if let Some(rid) = entry.intended_rule {
                 match truth {
-                    MatchResult::Matched(m) => assert!(m <= rid, "match {m} has lower priority than intended {rid}"),
+                    MatchResult::Matched(m) => {
+                        assert!(m <= rid, "match {m} has lower priority than intended {rid}")
+                    }
                     MatchResult::NoMatch => panic!("directed packet missed every rule"),
                 }
             }
@@ -200,7 +212,9 @@ mod tests {
 
     #[test]
     fn empty_ruleset_yields_background_only_trace() {
-        let rs = pclass_types::RuleSet::new("empty", pclass_types::DimensionSpec::FIVE_TUPLE, vec![]).unwrap();
+        let rs =
+            pclass_types::RuleSet::new("empty", pclass_types::DimensionSpec::FIVE_TUPLE, vec![])
+                .unwrap();
         let t = TraceGenerator::new(&rs, 1).generate(100);
         assert_eq!(t.len(), 100);
         assert!(t.entries().iter().all(|e| e.intended_rule.is_none()));

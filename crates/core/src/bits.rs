@@ -29,12 +29,19 @@ pub fn set_bits(word: &mut Word, offset: usize, len: usize, value: u64) {
         offset + len
     );
     if len < 64 {
-        assert!(value < (1u64 << len), "value {value:#x} does not fit in {len} bits");
+        assert!(
+            value < (1u64 << len),
+            "value {value:#x} does not fit in {len} bits"
+        );
     }
     let limb = offset / 64;
     let bit = offset % 64;
     if bit + len <= 64 {
-        let mask = if len == 64 { u64::MAX } else { ((1u64 << len) - 1) << bit };
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << len) - 1) << bit
+        };
         word[limb] = (word[limb] & !mask) | (value << bit);
     } else {
         let low_len = 64 - bit;

@@ -115,7 +115,9 @@ impl BuildConfig {
             return Err(BuildError::InvalidConfig("spfac must be 1..=4".into()));
         }
         if !self.start_cuts.is_power_of_two() || !self.max_cuts.is_power_of_two() {
-            return Err(BuildError::InvalidConfig("cut counts must be powers of two".into()));
+            return Err(BuildError::InvalidConfig(
+                "cut counts must be powers of two".into(),
+            ));
         }
         if self.start_cuts < 2 || self.start_cuts > self.max_cuts {
             return Err(BuildError::InvalidConfig(
@@ -156,11 +158,17 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::InvalidConfig(msg) => write!(f, "invalid build configuration: {msg}"),
             BuildError::UnsupportedGeometry => {
-                write!(f, "hardware programs require the 5-tuple (32/32/16/16/8) geometry")
+                write!(
+                    f,
+                    "hardware programs require the 5-tuple (32/32/16/16/8) geometry"
+                )
             }
             BuildError::Encode(e) => write!(f, "rule encoding failed: {e}"),
             BuildError::CapacityExceeded { required, capacity } => {
-                write!(f, "search structure needs {required} words but the accelerator has {capacity}")
+                write!(
+                    f,
+                    "search structure needs {required} words but the accelerator has {capacity}"
+                )
             }
         }
     }
@@ -260,12 +268,18 @@ impl HwTree {
 
     /// Number of internal nodes.
     pub fn internal_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, HwNode::Internal { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, HwNode::Internal { .. }))
+            .count()
     }
 
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, HwNode::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, HwNode::Leaf { .. }))
+            .count()
     }
 
     /// Maximum number of rules stored in any leaf.
@@ -393,9 +407,9 @@ impl<'a> TreeBuilder<'a> {
             }
             let mergeable = child_rules.len() <= self.config.binth
                 || child_rules.iter().all(|&id| {
-                    cut_dims.iter().all(|&d| {
-                        self.rules[id as usize].ranges[d].covers(&region[d])
-                    })
+                    cut_dims
+                        .iter()
+                        .all(|&d| self.rules[id as usize].ranges[d].covers(&region[d]))
                 });
             if mergeable {
                 if let Some((_, existing)) = merged.iter().find(|(r, _)| *r == child_rules) {
@@ -403,7 +417,8 @@ impl<'a> TreeBuilder<'a> {
                     continue;
                 }
             }
-            let child_idx = self.build_node(child_region, new_consumed, child_rules.clone(), depth + 1);
+            let child_idx =
+                self.build_node(child_region, new_consumed, child_rules.clone(), depth + 1);
             if mergeable {
                 merged.push((child_rules, child_idx));
             }
@@ -450,7 +465,12 @@ impl<'a> TreeBuilder<'a> {
     /// Modified HiCuts: pick one dimension, cuts from `start_cuts` doubling
     /// under Eq. 3 up to `max_cuts`, choose the dimension that minimises the
     /// worst child occupancy.
-    fn choose_hicuts(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT], avail: &[u8]) -> [u8; FIELD_COUNT] {
+    fn choose_hicuts(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+        avail: &[u8],
+    ) -> [u8; FIELD_COUNT] {
         let n = rules.len() as f64;
         let budget = f64::from(self.config.spfac) * n;
         let mut best: Option<(Dimension, u8, usize)> = None; // (dim, bits, max_child)
@@ -477,7 +497,7 @@ impl<'a> TreeBuilder<'a> {
                 }
             }
             let (max_child, _) = self.histogram(rules, region, d, bits);
-            if best.map_or(true, |(_, _, m)| max_child < m) {
+            if best.is_none_or(|(_, _, m)| max_child < m) {
                 best = Some((d, bits, max_child));
             }
         }
@@ -491,7 +511,12 @@ impl<'a> TreeBuilder<'a> {
     /// Modified HyperCuts: candidate dimensions by the distinct-range rule,
     /// combinations bounded by Eq. 4 (`32 <= np <= 2^(4+spfac)`), greedy
     /// doubling choosing the combination with the smallest worst child.
-    fn choose_hypercuts(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT], avail: &[u8]) -> [u8; FIELD_COUNT] {
+    fn choose_hypercuts(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+        avail: &[u8],
+    ) -> [u8; FIELD_COUNT] {
         // Distinct range specifications per dimension among this node's rules.
         let mut distinct = [0usize; FIELD_COUNT];
         for d in Dimension::ALL {
@@ -528,7 +553,9 @@ impl<'a> TreeBuilder<'a> {
             .map(|&d| {
                 let spanning = rules
                     .iter()
-                    .filter(|&&id| self.rules[id as usize].ranges[d.index()].covers(&region[d.index()]))
+                    .filter(|&&id| {
+                        self.rules[id as usize].ranges[d.index()].covers(&region[d.index()])
+                    })
                     .count();
                 (d, spanning as f64 / rules.len().max(1) as f64)
             })
@@ -561,7 +588,7 @@ impl<'a> TreeBuilder<'a> {
                 trial[d.index()] += 1;
                 let max_child = self.max_child_occupancy(rules, region, &trial);
                 let scored = max_child + penalty(d);
-                if best.map_or(true, |(_, s, _)| scored < s) {
+                if best.is_none_or(|(_, s, _)| scored < s) {
                     best = Some((d, scored, max_child));
                 }
             }
@@ -571,7 +598,8 @@ impl<'a> TreeBuilder<'a> {
                 // least start_cuts cuts when it cuts at all), as long as the
                 // chosen dimension is not replication-dominated.
                 Some((d, scored, max_child))
-                    if (max_child < current_max || total_bits < floor_bits) && scored < rules.len() * 2 =>
+                    if (max_child < current_max || total_bits < floor_bits)
+                        && scored < rules.len() * 2 =>
                 {
                     cut_bits[d.index()] += 1;
                     total_bits += 1;
@@ -587,7 +615,13 @@ impl<'a> TreeBuilder<'a> {
 
     /// Per-dimension histogram: worst child occupancy and total child rule
     /// references for `2^bits` cuts of `region[d]`.
-    fn histogram(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT], d: Dimension, bits: u8) -> (usize, u64) {
+    fn histogram(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+        d: Dimension,
+        bits: u8,
+    ) -> (usize, u64) {
         let parts = 1u32 << bits;
         let r = region[d.index()];
         let mut diff = vec![0i64; parts as usize + 1];
@@ -620,7 +654,12 @@ impl<'a> TreeBuilder<'a> {
 
     /// Worst child occupancy for a multi-dimensional cut, via the same
     /// inclusion–exclusion difference grid the software HyperCuts uses.
-    fn max_child_occupancy(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT], cut_bits: &[u8; FIELD_COUNT]) -> usize {
+    fn max_child_occupancy(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+        cut_bits: &[u8; FIELD_COUNT],
+    ) -> usize {
         let dims: Vec<Dimension> = Dimension::ALL
             .iter()
             .copied()
@@ -675,7 +714,11 @@ impl<'a> TreeBuilder<'a> {
                 if skip {
                     continue;
                 }
-                let sign = if corner.count_ones() % 2 == 0 { 1i64 } else { -1i64 };
+                let sign = if corner.count_ones() % 2 == 0 {
+                    1i64
+                } else {
+                    -1i64
+                };
                 diff[index] += sign;
             }
         }
@@ -696,7 +739,11 @@ impl<'a> TreeBuilder<'a> {
         diff[..total].iter().copied().max().unwrap_or(0).max(0) as usize
     }
 
-    fn collect_rules(&mut self, rules: &[RuleId], region: &[FieldRange; FIELD_COUNT]) -> Vec<RuleId> {
+    fn collect_rules(
+        &mut self,
+        rules: &[RuleId],
+        region: &[FieldRange; FIELD_COUNT],
+    ) -> Vec<RuleId> {
         self.stats.ops.loads += rules.len() as u64 * FIELD_COUNT as u64;
         self.stats.ops.alu += rules.len() as u64 * FIELD_COUNT as u64 * 2;
         self.stats.ops.branches += rules.len() as u64;
@@ -714,7 +761,11 @@ impl<'a> TreeBuilder<'a> {
 /// decomposing `i` in mixed radix with dimension 0 as the most significant
 /// digit (the same convention [`crate::encode::NodeHeader`] realises in
 /// mask/shift form).
-pub fn child_region(region: &[FieldRange; FIELD_COUNT], cut_bits: &[u8; FIELD_COUNT], mut i: u64) -> [FieldRange; FIELD_COUNT] {
+pub fn child_region(
+    region: &[FieldRange; FIELD_COUNT],
+    cut_bits: &[u8; FIELD_COUNT],
+    mut i: u64,
+) -> [FieldRange; FIELD_COUNT] {
     let mut out = *region;
     for d in Dimension::ALL.iter().rev() {
         let bits = cut_bits[d.index()];
@@ -758,7 +809,8 @@ mod tests {
     #[test]
     fn rejects_toy_geometry() {
         let toy = pclass_types::toy::table1_ruleset();
-        let err = HwTree::build(&toy, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap_err();
+        let err =
+            HwTree::build(&toy, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap_err();
         assert_eq!(err, BuildError::UnsupportedGeometry);
     }
 
@@ -778,7 +830,10 @@ mod tests {
         for algo in [CutAlgorithm::HiCuts, CutAlgorithm::HyperCuts] {
             let tree = HwTree::build(&rs, &BuildConfig::paper_defaults(algo)).unwrap();
             for node in &tree.nodes {
-                if let HwNode::Internal { cut_bits, children, .. } = node {
+                if let HwNode::Internal {
+                    cut_bits, children, ..
+                } = node
+                {
                     let total: u32 = cut_bits.iter().map(|&b| u32::from(b)).sum();
                     assert!(total <= 8, "more than 256 cuts: {cut_bits:?}");
                     assert_eq!(children.len(), 1usize << total);
@@ -790,9 +845,13 @@ mod tests {
     #[test]
     fn cut_depth_never_exceeds_eight_bits_per_dimension() {
         let rs = acl(800);
-        let tree = HwTree::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
+        let tree =
+            HwTree::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
         for node in &tree.nodes {
-            if let HwNode::Internal { cut_bits, consumed, .. } = node {
+            if let HwNode::Internal {
+                cut_bits, consumed, ..
+            } = node
+            {
                 for d in 0..FIELD_COUNT {
                     assert!(consumed[d] + cut_bits[d] <= 8, "dimension {d} over-cut");
                 }
@@ -814,7 +873,10 @@ mod tests {
                 assert!(rules.windows(2).all(|w| w[0] < w[1]));
             }
         }
-        assert!(seen.iter().all(|&s| s), "some rule is unreachable in the tree");
+        assert!(
+            seen.iter().all(|&s| s),
+            "some rule is unreachable in the tree"
+        );
     }
 
     #[test]
@@ -824,7 +886,10 @@ mod tests {
         for node in &tree.nodes {
             if let HwNode::Internal { cut_bits, .. } = node {
                 let cut_dims = cut_bits.iter().filter(|&&b| b > 0).count();
-                assert_eq!(cut_dims, 1, "modified HiCuts must cut exactly one dimension");
+                assert_eq!(
+                    cut_dims, 1,
+                    "modified HiCuts must cut exactly one dimension"
+                );
             }
         }
     }
@@ -832,7 +897,8 @@ mod tests {
     #[test]
     fn hypercuts_uses_multiple_dimensions_somewhere() {
         let rs = acl(1000);
-        let tree = HwTree::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
+        let tree =
+            HwTree::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
         let multi = tree.nodes.iter().any(|n| match n {
             HwNode::Internal { cut_bits, .. } => cut_bits.iter().filter(|&&b| b > 0).count() > 1,
             _ => false,
@@ -850,7 +916,9 @@ mod tests {
         let t_small = HwTree::build(&rs, &small).unwrap();
         let t_large = HwTree::build(&rs, &large).unwrap();
         assert!(t_small.leaf_count() >= t_large.leaf_count());
-        assert!(t_large.max_leaf_rules() <= 30 || t_small.max_leaf_rules() <= t_large.max_leaf_rules());
+        assert!(
+            t_large.max_leaf_rules() <= 30 || t_small.max_leaf_rules() <= t_large.max_leaf_rules()
+        );
     }
 
     #[test]
@@ -860,7 +928,13 @@ mod tests {
         use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
         let rs = acl(800);
         let hw = HwTree::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
-        let sw = HiCutsClassifier::build(&rs, &HiCutsConfig { binth: 16, spfac: 4.0 });
+        let sw = HiCutsClassifier::build(
+            &rs,
+            &HiCutsConfig {
+                binth: 16,
+                spfac: 4.0,
+            },
+        );
         assert!(
             hw.build_stats.cut_evaluations < sw.build_stats().cut_evaluations,
             "modified build should evaluate fewer cuts: hw {} vs sw {}",
@@ -883,18 +957,25 @@ mod tests {
             volume += u128::from(child[0].len()) * u128::from(child[4].len());
             assert_eq!(child[1], region[1]);
         }
-        assert_eq!(volume, u128::from(region[0].len()) * u128::from(region[4].len()));
+        assert_eq!(
+            volume,
+            u128::from(region[0].len()) * u128::from(region[4].len())
+        );
     }
 
     #[test]
     fn tree_metrics_are_consistent() {
         let rs = acl(300);
-        let tree = HwTree::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
+        let tree =
+            HwTree::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
         assert_eq!(tree.internal_count() + tree.leaf_count(), tree.nodes.len());
         assert!(tree.max_depth() >= 1);
         assert!(tree.stored_rule_refs() >= rs.len());
         assert!(tree.max_leaf_rules() > 0);
-        assert_eq!(tree.build_stats.internal_nodes as usize, tree.internal_count());
+        assert_eq!(
+            tree.build_stats.internal_nodes as usize,
+            tree.internal_count()
+        );
         assert_eq!(tree.build_stats.leaf_nodes as usize, tree.leaf_count());
     }
 }

@@ -97,10 +97,15 @@ impl std::fmt::Display for EncodeError {
                 write!(f, "rule {rule}: {dimension} range is not a prefix")
             }
             EncodeError::UnsupportedProtocol { rule } => {
-                write!(f, "rule {rule}: protocol range is neither exact nor wildcard")
+                write!(
+                    f,
+                    "rule {rule}: protocol range is neither exact nor wildcard"
+                )
             }
             EncodeError::RuleIdTooLarge { rule } => write!(f, "rule id {rule} exceeds 16 bits"),
-            EncodeError::AddressTooLarge { address } => write!(f, "word address {address} exceeds 12 bits"),
+            EncodeError::AddressTooLarge { address } => {
+                write!(f, "word address {address} exceeds 12 bits")
+            }
             EncodeError::TooManyChildren { children } => {
                 write!(f, "{children} children exceed the {MAX_CUTS}-cut limit")
             }
@@ -138,8 +143,13 @@ impl DecodedRule {
 
 /// Encodes the prefix length of an IP range into the (mask code, stored
 /// address) pair described in the module docs.
-fn encode_ip(range: FieldRange, rule: RuleId, dimension: Dimension) -> Result<(u32, u8), EncodeError> {
-    let prefix = Prefix::from_range(range, 32).ok_or(EncodeError::NotAPrefix { rule, dimension })?;
+fn encode_ip(
+    range: FieldRange,
+    rule: RuleId,
+    dimension: Dimension,
+) -> Result<(u32, u8), EncodeError> {
+    let prefix =
+        Prefix::from_range(range, 32).ok_or(EncodeError::NotAPrefix { rule, dimension })?;
     if prefix.length >= 28 {
         Ok((prefix.value, prefix.length - 27))
     } else {
@@ -149,12 +159,21 @@ fn encode_ip(range: FieldRange, rule: RuleId, dimension: Dimension) -> Result<(u
 
 /// Decodes an (address, mask code) pair back into the covered range.
 fn decode_ip(stored: u32, code: u8) -> FieldRange {
-    let length = if code == 0 { (stored & 0x1F) as u8 } else { 27 + code };
+    let length = if code == 0 {
+        (stored & 0x1F) as u8
+    } else {
+        27 + code
+    };
     Prefix::ipv4(stored, length).to_range()
 }
 
 /// Writes one rule at rule slot `pos` (0..30) of a word.
-pub fn write_rule(word: &mut Word, pos: usize, rule: &Rule, end_of_leaf: bool) -> Result<(), EncodeError> {
+pub fn write_rule(
+    word: &mut Word,
+    pos: usize,
+    rule: &Rule,
+    end_of_leaf: bool,
+) -> Result<(), EncodeError> {
     assert!(pos < RULES_PER_WORD, "rule position {pos} out of range");
     if rule.id > 0xFFFF {
         return Err(EncodeError::RuleIdTooLarge { rule: rule.id });
@@ -271,12 +290,12 @@ impl NodeHeader {
     /// the accelerator (Section 4 of the paper).
     pub fn child_index(&self, msb8: &[u8; FIELD_COUNT]) -> u32 {
         let mut index: u32 = 0;
-        for d in 0..FIELD_COUNT {
-            let masked = u32::from(msb8[d] & self.masks[d]);
-            let shifted = if self.shifts[d] >= 0 {
-                masked >> self.shifts[d]
+        for ((&byte, &mask), &shift) in msb8.iter().zip(&self.masks).zip(&self.shifts) {
+            let masked = u32::from(byte & mask);
+            let shifted = if shift >= 0 {
+                masked >> shift
             } else {
-                masked << (-self.shifts[d])
+                masked << -shift
             };
             index = index.wrapping_add(shifted);
         }
@@ -285,9 +304,15 @@ impl NodeHeader {
 }
 
 /// Writes an internal node (header + child entries) into a word.
-pub fn write_internal(word: &mut Word, header: &NodeHeader, children: &[ChildEntry]) -> Result<(), EncodeError> {
+pub fn write_internal(
+    word: &mut Word,
+    header: &NodeHeader,
+    children: &[ChildEntry],
+) -> Result<(), EncodeError> {
     if children.len() > MAX_CUTS as usize {
-        return Err(EncodeError::TooManyChildren { children: children.len() });
+        return Err(EncodeError::TooManyChildren {
+            children: children.len(),
+        });
     }
     for d in 0..FIELD_COUNT {
         set_bits(word, d * 16, 8, u64::from(header.masks[d]));
@@ -414,7 +439,13 @@ mod tests {
         let rule = RuleBuilder::new(2).src_ip_range(5, 9).build();
         let mut word = zero_word();
         let err = write_rule(&mut word, 0, &rule, false).unwrap_err();
-        assert!(matches!(err, EncodeError::NotAPrefix { rule: 2, dimension: Dimension::SrcIp }));
+        assert!(matches!(
+            err,
+            EncodeError::NotAPrefix {
+                rule: 2,
+                dimension: Dimension::SrcIp
+            }
+        ));
     }
 
     #[test]
@@ -444,7 +475,10 @@ mod tests {
         let children: Vec<ChildEntry> = (0..8)
             .map(|i| match i % 3 {
                 0 => ChildEntry::Internal { word: i * 10 },
-                1 => ChildEntry::Leaf { word: i * 10 + 1, pos: i % 30 },
+                1 => ChildEntry::Leaf {
+                    word: i * 10 + 1,
+                    pos: i % 30,
+                },
                 _ => ChildEntry::Null,
             })
             .collect();
@@ -458,9 +492,21 @@ mod tests {
     #[test]
     fn internal_node_with_max_children_fits() {
         let mut word = zero_word();
-        let children = vec![ChildEntry::Leaf { word: 4094, pos: 29 }; MAX_CUTS as usize];
+        let children = vec![
+            ChildEntry::Leaf {
+                word: 4094,
+                pos: 29
+            };
+            MAX_CUTS as usize
+        ];
         write_internal(&mut word, &NodeHeader::identity(), &children).unwrap();
-        assert_eq!(read_child(&word, 255), ChildEntry::Leaf { word: 4094, pos: 29 });
+        assert_eq!(
+            read_child(&word, 255),
+            ChildEntry::Leaf {
+                word: 4094,
+                pos: 29
+            }
+        );
     }
 
     #[test]
@@ -487,7 +533,12 @@ mod tests {
             shifts: [6, 0, 0, 0, 0],
         };
         let spec = pclass_types::DimensionSpec::FIVE_TUPLE;
-        for (addr, expect) in [(0x0000_0000u32, 0u32), (0x4000_0000, 1), (0x8000_0000, 2), (0xFFFF_FFFF, 3)] {
+        for (addr, expect) in [
+            (0x0000_0000u32, 0u32),
+            (0x4000_0000, 1),
+            (0x8000_0000, 2),
+            (0xFFFF_FFFF, 3),
+        ] {
             let pkt = PacketHeader::five_tuple(addr, 0, 0, 0, 0);
             assert_eq!(header.child_index(&pkt.msb8(&spec)), expect);
         }
@@ -505,7 +556,7 @@ mod tests {
         let pkt = PacketHeader::five_tuple(0x8000_0000, 0, 0, 0, 0x80);
         assert_eq!(header.child_index(&pkt.msb8(&spec)), 2 * 2 + 1);
         let pkt = PacketHeader::five_tuple(0x4000_0000, 0, 0, 0, 0x00);
-        assert_eq!(header.child_index(&pkt.msb8(&spec)), 1 * 2);
+        assert_eq!(header.child_index(&pkt.msb8(&spec)), 2);
     }
 
     proptest! {

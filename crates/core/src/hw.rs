@@ -79,13 +79,20 @@ impl ClassificationReport {
         if self.per_packet.is_empty() {
             return 0.0;
         }
-        self.per_packet.iter().map(|p| u64::from(p.visible_cycles())).sum::<u64>() as f64
+        self.per_packet
+            .iter()
+            .map(|p| u64::from(p.visible_cycles()))
+            .sum::<u64>() as f64
             / self.per_packet.len() as f64
     }
 
     /// Worst per-packet memory accesses observed in this trace.
     pub fn observed_worst_accesses(&self) -> u32 {
-        self.per_packet.iter().map(|p| p.memory_accesses()).max().unwrap_or(0)
+        self.per_packet
+            .iter()
+            .map(|p| p.memory_accesses())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Packets classified per second at a given clock frequency.
@@ -226,13 +233,19 @@ mod tests {
     use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
     use pclass_types::RuleSet;
 
-    fn setup(style: SeedStyle, rules: usize, packets: usize, algo: CutAlgorithm) -> (RuleSet, Trace, HardwareProgram) {
+    fn setup(
+        style: SeedStyle,
+        rules: usize,
+        packets: usize,
+        algo: CutAlgorithm,
+    ) -> (RuleSet, Trace, HardwareProgram) {
         let rs = ClassBenchGenerator::new(style, 21).generate(rules);
         let trace = TraceGenerator::new(&rs, 22).generate(packets);
         // The full 12-bit address space is used so the wildcard-heavy FW
         // style fits; ACL-style sets comfortably fit the paper's 1024 words.
         let program =
-            HardwareProgram::build_with_capacity(&rs, &BuildConfig::paper_defaults(algo), 4096).unwrap();
+            HardwareProgram::build_with_capacity(&rs, &BuildConfig::paper_defaults(algo), 4096)
+                .unwrap();
         (rs, trace, program)
     }
 
@@ -281,7 +294,11 @@ mod tests {
         let engine = Accelerator::new(&program);
         let report = engine.classify_trace(&trace);
         assert_eq!(report.packets(), 500);
-        let sum: u64 = report.per_packet.iter().map(|p| u64::from(p.visible_cycles())).sum();
+        let sum: u64 = report
+            .per_packet
+            .iter()
+            .map(|p| u64::from(p.visible_cycles()))
+            .sum();
         assert_eq!(report.cycles, sum + 1);
         assert!(report.avg_cycles_per_packet() >= 1.0);
         assert!(report.packets_per_second(226e6) > 0.0);
@@ -293,7 +310,11 @@ mod tests {
         // 2 cycles and the pipelined engine sustains 1 packet per cycle —
         // the 226 Mpps / 77 Mpps headline rows of Table 7.
         let (_, trace, program) = setup(SeedStyle::Acl, 60, 2000, CutAlgorithm::HiCuts);
-        assert_eq!(program.worst_case_cycles(), 2, "60-rule ACL tree should be root + leaves");
+        assert_eq!(
+            program.worst_case_cycles(),
+            2,
+            "60-rule ACL tree should be root + leaves"
+        );
         let engine = Accelerator::new(&program);
         let report = engine.classify_trace(&trace);
         assert!((report.avg_cycles_per_packet() - 1.0).abs() < 1e-9);
@@ -321,10 +342,14 @@ mod tests {
     #[test]
     fn unmatched_packets_are_reported_as_no_match() {
         let rs = ClassBenchGenerator::new(SeedStyle::Acl, 11).generate(50);
-        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
+        let program =
+            HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts))
+                .unwrap();
         let engine = Accelerator::new(&program);
         // Pure background traffic: many packets match nothing.
-        let trace = TraceGenerator::new(&rs, 12).random_fraction(1.0).generate(1000);
+        let trace = TraceGenerator::new(&rs, 12)
+            .random_fraction(1.0)
+            .generate(1000);
         let report = engine.classify_trace(&trace);
         let mut seen_no_match = false;
         for (entry, result) in trace.entries().iter().zip(report.results.iter()) {
@@ -333,7 +358,10 @@ mod tests {
                 seen_no_match = true;
             }
         }
-        assert!(seen_no_match, "expected at least one unmatched background packet");
+        assert!(
+            seen_no_match,
+            "expected at least one unmatched background packet"
+        );
     }
 
     #[test]

@@ -9,13 +9,18 @@
 //! [`HardwareProgram`], and the per-engine reports are merged back in trace
 //! order.
 //!
-//! Crossbeam scoped threads are used so the program can be borrowed without
-//! reference counting; the work split is deterministic (contiguous chunks),
-//! so results and cycle counts do not depend on scheduling.
+//! Scoped threads (`std::thread::scope`) are used so the program can be
+//! borrowed without reference counting; the work split is deterministic
+//! (contiguous chunks), so results and cycle counts do not depend on
+//! scheduling.
 
 use crate::hw::{Accelerator, ClassificationReport, PacketCycles};
 use crate::program::HardwareProgram;
 use pclass_types::{MatchResult, Trace};
+
+/// Per-engine partial output: results, per-packet cycle measurements, total
+/// cycles and total memory accesses for one contiguous trace shard.
+type EnginePartial = (Vec<MatchResult>, Vec<PacketCycles>, u64, u64);
 
 /// A bank of accelerator engines sharing one search structure.
 #[derive(Debug, Clone)]
@@ -55,34 +60,35 @@ impl<'p> ParallelAccelerator<'p> {
         }
         let entries = trace.entries();
         let chunk = entries.len().div_ceil(self.engines);
-        let mut partial: Vec<Option<(Vec<MatchResult>, Vec<PacketCycles>, u64, u64)>> =
-            (0..self.engines).map(|_| None).collect();
+        let mut partial: Vec<Option<EnginePartial>> = (0..self.engines).map(|_| None).collect();
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (i, slice) in entries.chunks(chunk).enumerate() {
                 let program = self.program;
-                handles.push((i, scope.spawn(move |_| {
-                    let engine = Accelerator::new(program);
-                    let mut results = Vec::with_capacity(slice.len());
-                    let mut per_packet = Vec::with_capacity(slice.len());
-                    let mut cycles: u64 = 1; // per-engine root preload
-                    let mut accesses: u64 = 1;
-                    for entry in slice {
-                        let (r, pc) = engine.classify_packet(&entry.header);
-                        cycles += u64::from(pc.visible_cycles());
-                        accesses += u64::from(pc.internal_fetches + pc.leaf_fetches);
-                        results.push(r);
-                        per_packet.push(pc);
-                    }
-                    (results, per_packet, cycles, accesses)
-                })));
+                handles.push((
+                    i,
+                    scope.spawn(move || {
+                        let engine = Accelerator::new(program);
+                        let mut results = Vec::with_capacity(slice.len());
+                        let mut per_packet = Vec::with_capacity(slice.len());
+                        let mut cycles: u64 = 1; // per-engine root preload
+                        let mut accesses: u64 = 1;
+                        for entry in slice {
+                            let (r, pc) = engine.classify_packet(&entry.header);
+                            cycles += u64::from(pc.visible_cycles());
+                            accesses += u64::from(pc.internal_fetches + pc.leaf_fetches);
+                            results.push(r);
+                            per_packet.push(pc);
+                        }
+                        (results, per_packet, cycles, accesses)
+                    }),
+                ));
             }
             for (i, handle) in handles {
                 partial[i] = Some(handle.join().expect("engine thread panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut results = Vec::with_capacity(entries.len());
         let mut per_packet = Vec::with_capacity(entries.len());
@@ -114,7 +120,9 @@ mod tests {
     fn parallel_results_match_single_engine() {
         let rs = ClassBenchGenerator::new(SeedStyle::Ipc, 5).generate(400);
         let trace = TraceGenerator::new(&rs, 6).generate(2000);
-        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
+        let program =
+            HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts))
+                .unwrap();
         let single = Accelerator::new(&program).classify_trace(&trace);
         for engines in [1usize, 2, 4, 7] {
             let bank = ParallelAccelerator::new(&program, engines);
@@ -129,19 +137,28 @@ mod tests {
     fn parallel_cycles_scale_down_with_engines() {
         let rs = ClassBenchGenerator::new(SeedStyle::Acl, 9).generate(800);
         let trace = TraceGenerator::new(&rs, 10).generate(4000);
-        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
+        let program =
+            HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts))
+                .unwrap();
         let one = ParallelAccelerator::new(&program, 1).classify_trace(&trace);
         let four = ParallelAccelerator::new(&program, 4).classify_trace(&trace);
         // Four engines finish in roughly a quarter of the cycles (chunks are
         // equal-sized and per-packet work is similar).
         assert!(four.cycles < one.cycles, "parallel bank not faster");
-        assert!(four.cycles * 3 < one.cycles * 2, "expected a large speedup, got {} vs {}", four.cycles, one.cycles);
+        assert!(
+            four.cycles * 3 < one.cycles * 2,
+            "expected a large speedup, got {} vs {}",
+            four.cycles,
+            one.cycles
+        );
     }
 
     #[test]
     fn zero_engines_is_clamped_and_empty_trace_handled() {
         let rs = ClassBenchGenerator::new(SeedStyle::Acl, 9).generate(50);
-        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
+        let program =
+            HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts))
+                .unwrap();
         let bank = ParallelAccelerator::new(&program, 0);
         assert_eq!(bank.engines(), 1);
         let empty = pclass_types::Trace::from_headers("empty", vec![]);

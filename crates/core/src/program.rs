@@ -101,7 +101,11 @@ impl HardwareProgram {
     }
 
     /// Serialises an already-built tree (used by the ablation benches).
-    pub fn from_tree(tree: HwTree, config: &BuildConfig, word_capacity: usize) -> Result<HardwareProgram, BuildError> {
+    pub fn from_tree(
+        tree: HwTree,
+        config: &BuildConfig,
+        word_capacity: usize,
+    ) -> Result<HardwareProgram, BuildError> {
         let (internal_word, leaf_placement, layout) = place(&tree, config.speed);
         let internal_words = layout.internal_words;
         let total_words = layout.total_words;
@@ -118,7 +122,11 @@ impl HardwareProgram {
         let mut stored_rules = 0usize;
         for (idx, node) in tree.nodes.iter().enumerate() {
             match node {
-                HwNode::Internal { cut_bits, consumed, children } => {
+                HwNode::Internal {
+                    cut_bits,
+                    consumed,
+                    children,
+                } => {
                     let header = node_header(cut_bits, consumed);
                     let entries: Vec<ChildEntry> = children
                         .iter()
@@ -133,7 +141,10 @@ impl HardwareProgram {
                                         ChildEntry::Null
                                     } else {
                                         let p = leaf_placement[*c].expect("leaf has a placement");
-                                        ChildEntry::Leaf { word: p.word, pos: p.pos }
+                                        ChildEntry::Leaf {
+                                            word: p.word,
+                                            pos: p.pos,
+                                        }
                                     }
                                 }
                             },
@@ -270,7 +281,10 @@ fn place(
         if rules.is_empty() {
             continue; // empty leaves become null child entries
         }
-        if speed == crate::builder::SpeedMode::Throughput && pos > 0 && rules.len() + pos > RULES_PER_WORD {
+        if speed == crate::builder::SpeedMode::Throughput
+            && pos > 0
+            && rules.len() + pos > RULES_PER_WORD
+        {
             // Eq. 6: with speed = 1 a leaf may only start mid-word if it fits
             // entirely in the remaining slots of that word.
             word += 1;
@@ -331,7 +345,12 @@ fn node_header(cut_bits: &[u8; FIELD_COUNT], consumed: &[u8; FIELD_COUNT]) -> No
 /// Static worst case: root traversal (1 cycle, from register A) + one cycle
 /// per further internal node + the number of leaf words touched by the
 /// largest leaf along the path (Eqs. 5/7 with the match in the last rule).
-fn worst_case_cycles(tree: &HwTree, placement: &[Option<LeafPlacement>], node: usize, depth_cycles: u32) -> u32 {
+fn worst_case_cycles(
+    tree: &HwTree,
+    placement: &[Option<LeafPlacement>],
+    node: usize,
+    depth_cycles: u32,
+) -> u32 {
     match &tree.nodes[node] {
         HwNode::Leaf { rules } => {
             if rules.is_empty() {
@@ -388,7 +407,9 @@ mod tests {
     #[test]
     fn word_zero_is_the_root_internal_node() {
         let rs = acl(200);
-        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
+        let program =
+            HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts))
+                .unwrap();
         // The root header must select among at least 32 children: at least
         // one mask is non-zero.
         let header = read_header(program.root_word());
@@ -409,7 +430,9 @@ mod tests {
     #[test]
     fn stored_rules_decode_back_to_real_rules() {
         let rs = acl(150);
-        let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
+        let program =
+            HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts))
+                .unwrap();
         let stats = program.stats();
         let mut decoded_rules = 0usize;
         let mut end_markers = 0usize;
@@ -462,11 +485,28 @@ mod tests {
     #[test]
     fn capacity_is_enforced() {
         let rs = acl(2000);
-        let err = HardwareProgram::build_with_capacity(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts), 4)
-            .unwrap_err();
-        assert!(matches!(err, BuildError::CapacityExceeded { capacity: 4, .. }));
-        assert!(HardwareProgram::build_with_capacity(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts), 0).is_err());
-        assert!(HardwareProgram::build_with_capacity(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts), 9999).is_err());
+        let err = HardwareProgram::build_with_capacity(
+            &rs,
+            &BuildConfig::paper_defaults(CutAlgorithm::HiCuts),
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::CapacityExceeded { capacity: 4, .. }
+        ));
+        assert!(HardwareProgram::build_with_capacity(
+            &rs,
+            &BuildConfig::paper_defaults(CutAlgorithm::HiCuts),
+            0
+        )
+        .is_err());
+        assert!(HardwareProgram::build_with_capacity(
+            &rs,
+            &BuildConfig::paper_defaults(CutAlgorithm::HiCuts),
+            9999
+        )
+        .is_err());
     }
 
     #[test]

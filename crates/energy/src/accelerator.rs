@@ -110,7 +110,10 @@ mod tests {
         // Worst case 2 cycles -> one packet per cycle -> 226 Mpps, above the
         // 125 Mpps OC-768 requirement quoted in the introduction.
         assert!(asic.guaranteed_packets_per_second(2) >= 226e6);
-        assert!(asic.guaranteed_packets_per_second(5) >= 31.25e6, "must still beat OC-192");
+        assert!(
+            asic.guaranteed_packets_per_second(5) >= 31.25e6,
+            "must still beat OC-192"
+        );
         let fpga = AcceleratorEnergyModel::fpga();
         assert!(fpga.guaranteed_packets_per_second(2) >= 77e6);
     }

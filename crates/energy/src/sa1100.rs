@@ -177,7 +177,10 @@ mod tests {
         let one = model.normalized_energy_j(&ops(100, 200));
         let ten = model.normalized_energy_j(&ops(1000, 2000));
         assert!((ten / one - 10.0).abs() < 1e-9);
-        assert!(model.raw_energy_j(&ops(100, 200)) > one, "raw power exceeds normalised power");
+        assert!(
+            model.raw_energy_j(&ops(100, 200)) > one,
+            "raw power exceeds normalised power"
+        );
     }
 
     #[test]
@@ -204,8 +207,10 @@ mod tests {
 
     #[test]
     fn custom_costs_are_respected() {
-        let mut costs = CycleCosts::default();
-        costs.load = 1.0;
+        let costs = CycleCosts {
+            load: 1.0,
+            ..CycleCosts::default()
+        };
         let cheap = Sa1100Model::with_costs(costs);
         let expensive = Sa1100Model::new();
         let o = ops(1000, 0);

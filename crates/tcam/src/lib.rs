@@ -24,7 +24,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pclass_types::{Dimension, FieldRange, MatchResult, PacketHeader, Prefix, Rule, RuleId, RuleSet, FIELD_COUNT};
+use pclass_types::{
+    Dimension, FieldRange, MatchResult, PacketHeader, Prefix, Rule, RuleId, RuleSet, FIELD_COUNT,
+};
 
 /// One ternary entry: a (value, care-mask) pair per field.  A packet matches
 /// the entry when `(packet_field & mask) == value` for every field.
@@ -88,7 +90,10 @@ impl std::fmt::Display for TcamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TcamError::UnsupportedIpRange { rule, dimension } => {
-                write!(f, "rule {rule}: {dimension} range cannot be expressed as a prefix set")
+                write!(
+                    f,
+                    "rule {rule}: {dimension} range cannot be expressed as a prefix set"
+                )
             }
         }
     }
@@ -145,8 +150,16 @@ impl TcamClassifier {
         TcamStats {
             rules,
             entries,
-            expansion_factor: if rules == 0 { 0.0 } else { entries as f64 / rules as f64 },
-            storage_efficiency: if entries == 0 { 0.0 } else { rules as f64 / entries as f64 },
+            expansion_factor: if rules == 0 {
+                0.0
+            } else {
+                entries as f64 / rules as f64
+            },
+            storage_efficiency: if entries == 0 {
+                0.0
+            } else {
+                rules as f64 / entries as f64
+            },
             storage_bits: entries * TCAM_SLOT_BITS,
         }
     }
@@ -164,7 +177,10 @@ fn expand_rule(rule: &Rule, ruleset: &RuleSet) -> Result<Vec<TcamEntry>, TcamErr
                 let mask = mask_of(p.length, width);
                 Ok((p.value & mask, mask))
             }
-            None => Err(TcamError::UnsupportedIpRange { rule: rule.id, dimension: dim }),
+            None => Err(TcamError::UnsupportedIpRange {
+                rule: rule.id,
+                dimension: dim,
+            }),
         }
     };
     let (src_v, src_m) = ip(Dimension::SrcIp)?;
@@ -213,9 +229,16 @@ fn mask_of(length: u8, width: u8) -> u32 {
     if length == 0 {
         0
     } else {
-        let full = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
-        let keep = if length >= width { full } else { full & !((1u32 << (width - length)) - 1) };
-        keep
+        let full = if width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
+        if length >= width {
+            full
+        } else {
+            full & !((1u32 << (width - length)) - 1)
+        }
     }
 }
 
@@ -262,7 +285,11 @@ mod tests {
             PacketHeader::five_tuple(0, 0, 0, 0, 0),
         ];
         for pkt in packets {
-            assert_eq!(tcam.classify(&pkt), rs.classify_linear(&pkt), "packet {pkt}");
+            assert_eq!(
+                tcam.classify(&pkt),
+                rs.classify_linear(&pkt),
+                "packet {pkt}"
+            );
         }
     }
 
@@ -294,12 +321,19 @@ mod tests {
     fn storage_efficiency_degrades_with_arbitrary_ranges() {
         let rules = vec![
             RuleBuilder::new(0).dst_port_range(123, 7777).build(),
-            RuleBuilder::new(1).src_port_range(5, 60_000).dst_port_range(3, 60_001).build(),
+            RuleBuilder::new(1)
+                .src_port_range(5, 60_000)
+                .dst_port_range(3, 60_001)
+                .build(),
         ];
         let rs = RuleSet::new("ranges", DimensionSpec::FIVE_TUPLE, rules).unwrap();
         let tcam = TcamClassifier::program(&rs).unwrap();
         let stats = tcam.stats();
-        assert!(stats.storage_efficiency < 0.05, "efficiency {}", stats.storage_efficiency);
+        assert!(
+            stats.storage_efficiency < 0.05,
+            "efficiency {}",
+            stats.storage_efficiency
+        );
         // Correctness is preserved regardless of the expansion.
         for (sp, dp) in [(5u16, 3u16), (100, 123), (60_000, 7_777), (60_001, 60_002)] {
             let pkt = PacketHeader::five_tuple(1, 2, sp, dp, 6);
@@ -312,14 +346,23 @@ mod tests {
         let rules = vec![RuleBuilder::new(0).src_ip_range(3, 9).build()];
         let rs = RuleSet::new("bad", DimensionSpec::FIVE_TUPLE, rules).unwrap();
         let err = TcamClassifier::program(&rs).unwrap_err();
-        assert!(matches!(err, TcamError::UnsupportedIpRange { rule: 0, dimension: Dimension::SrcIp }));
+        assert!(matches!(
+            err,
+            TcamError::UnsupportedIpRange {
+                rule: 0,
+                dimension: Dimension::SrcIp
+            }
+        ));
     }
 
     #[test]
     fn empty_ruleset() {
         let rs = RuleSet::new("empty", DimensionSpec::FIVE_TUPLE, vec![]).unwrap();
         let tcam = TcamClassifier::program(&rs).unwrap();
-        assert_eq!(tcam.classify(&PacketHeader::five_tuple(1, 2, 3, 4, 5)), MatchResult::NoMatch);
+        assert_eq!(
+            tcam.classify(&PacketHeader::five_tuple(1, 2, 3, 4, 5)),
+            MatchResult::NoMatch
+        );
         let stats = tcam.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.storage_efficiency, 0.0);

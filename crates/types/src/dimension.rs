@@ -85,7 +85,9 @@ impl DimensionSpec {
     };
 
     /// The toy geometry of Table 1 in the paper: five 8-bit fields.
-    pub const TOY: DimensionSpec = DimensionSpec { bits: [8, 8, 8, 8, 8] };
+    pub const TOY: DimensionSpec = DimensionSpec {
+        bits: [8, 8, 8, 8, 8],
+    };
 
     /// Creates a spec from explicit per-dimension bit widths.
     ///

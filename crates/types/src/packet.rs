@@ -24,7 +24,13 @@ impl PacketHeader {
 
     /// Builds a real 5-tuple header.
     #[inline]
-    pub fn five_tuple(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, protocol: u8) -> PacketHeader {
+    pub fn five_tuple(
+        src_ip: u32,
+        dst_ip: u32,
+        src_port: u16,
+        dst_port: u16,
+        protocol: u8,
+    ) -> PacketHeader {
         PacketHeader {
             fields: [
                 src_ip,
@@ -93,7 +99,15 @@ impl PacketHeader {
 
 impl std::fmt::Display for PacketHeader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let ip = |v: u32| format!("{}.{}.{}.{}", (v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF);
+        let ip = |v: u32| {
+            format!(
+                "{}.{}.{}.{}",
+                (v >> 24) & 0xFF,
+                (v >> 16) & 0xFF,
+                (v >> 8) & 0xFF,
+                v & 0xFF
+            )
+        };
         write!(
             f,
             "{}:{} -> {}:{} proto {}",

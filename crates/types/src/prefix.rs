@@ -28,7 +28,10 @@ impl Prefix {
     /// Panics if `width` is 0 or greater than 32, or if `length > width`.
     pub fn new(value: u32, length: u8, width: u8) -> Prefix {
         assert!((1..=32).contains(&width), "prefix width must be 1..=32");
-        assert!(length <= width, "prefix length {length} exceeds width {width}");
+        assert!(
+            length <= width,
+            "prefix length {length} exceeds width {width}"
+        );
         Prefix {
             value: value & Self::mask(length, width),
             length,
@@ -51,7 +54,11 @@ impl Prefix {
         if length == 0 {
             0
         } else {
-            let ones = if length >= 32 { u32::MAX } else { ((1u32 << length) - 1) << (32 - length) };
+            let ones = if length >= 32 {
+                u32::MAX
+            } else {
+                ((1u32 << length) - 1) << (32 - length)
+            };
             // Right-align to the actual field width.
             ones >> (32 - width)
         }
@@ -79,7 +86,11 @@ impl Prefix {
     /// The contiguous value range covered by this prefix.
     pub fn to_range(&self) -> FieldRange {
         let m = Self::mask(self.length, self.width);
-        let span = if self.width >= 32 { u32::MAX } else { (1u32 << self.width) - 1 };
+        let span = if self.width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        };
         FieldRange::new(self.value, self.value | (span & !m))
     }
 
@@ -112,13 +123,24 @@ impl Prefix {
     /// the paper's storage-efficiency argument (16–53 % for real rulesets).
     pub fn expand_range(range: FieldRange, width: u8) -> Vec<Prefix> {
         let mut out = Vec::new();
-        let field_max: u64 = if width >= 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
-        assert!(u64::from(range.hi) <= field_max, "range exceeds field width");
+        let field_max: u64 = if width >= 32 {
+            u64::from(u32::MAX)
+        } else {
+            (1u64 << width) - 1
+        };
+        assert!(
+            u64::from(range.hi) <= field_max,
+            "range exceeds field width"
+        );
         let mut lo = u64::from(range.lo);
         let hi = u64::from(range.hi);
         while lo <= hi {
             // Largest aligned block starting at `lo` that fits within [lo, hi].
-            let max_align = if lo == 0 { width as u32 } else { lo.trailing_zeros().min(width as u32) };
+            let max_align = if lo == 0 {
+                width as u32
+            } else {
+                lo.trailing_zeros().min(width as u32)
+            };
             let mut block_bits = max_align;
             while block_bits > 0 && lo + (1u64 << block_bits) - 1 > hi {
                 block_bits -= 1;

@@ -37,7 +37,11 @@ impl FieldRange {
     /// The full range `[0, max]` of a dimension with the given bit width.
     #[inline]
     pub fn full(bits: u8) -> FieldRange {
-        let hi = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let hi = if bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         FieldRange { lo: 0, hi }
     }
 
@@ -110,7 +114,11 @@ impl FieldRange {
             // One value per child until values run out, then repeat the last
             // value so that callers always receive exactly `parts` children.
             for i in 0..parts64 {
-                let v = if i < total { self.lo + i as u32 } else { self.hi };
+                let v = if i < total {
+                    self.lo + i as u32
+                } else {
+                    self.hi
+                };
                 out.push(FieldRange::exact(v));
             }
             return out;

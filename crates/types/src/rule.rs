@@ -146,12 +146,7 @@ impl std::fmt::Display for Rule {
         write!(
             f,
             "R{}: src {} dst {} sport {} dport {} proto {}",
-            self.id,
-            self.ranges[0],
-            self.ranges[1],
-            self.ranges[2],
-            self.ranges[3],
-            self.ranges[4]
+            self.id, self.ranges[0], self.ranges[1], self.ranges[2], self.ranges[3], self.ranges[4]
         )
     }
 }
@@ -287,11 +282,29 @@ mod tests {
         let hit = PacketHeader::five_tuple(0x0A01_0203, 0xC0A8_0105, 40000, 80, 6);
         assert!(r.matches(&hit));
         // Wrong protocol.
-        assert!(!r.matches(&PacketHeader::five_tuple(0x0A01_0203, 0xC0A8_0105, 40000, 80, 17)));
+        assert!(!r.matches(&PacketHeader::five_tuple(
+            0x0A01_0203,
+            0xC0A8_0105,
+            40000,
+            80,
+            17
+        )));
         // Source port below range.
-        assert!(!r.matches(&PacketHeader::five_tuple(0x0A01_0203, 0xC0A8_0105, 80, 80, 6)));
+        assert!(!r.matches(&PacketHeader::five_tuple(
+            0x0A01_0203,
+            0xC0A8_0105,
+            80,
+            80,
+            6
+        )));
         // Destination outside the /24.
-        assert!(!r.matches(&PacketHeader::five_tuple(0x0A01_0203, 0xC0A8_0205, 40000, 80, 6)));
+        assert!(!r.matches(&PacketHeader::five_tuple(
+            0x0A01_0203,
+            0xC0A8_0205,
+            40000,
+            80,
+            6
+        )));
     }
 
     #[test]
@@ -325,7 +338,10 @@ mod tests {
     #[test]
     fn covered_by() {
         let broad = RuleBuilder::new(0).src_prefix(0x0A00_0000, 8).build();
-        let narrow = RuleBuilder::new(1).src_prefix(0x0A01_0000, 16).dst_port(53).build();
+        let narrow = RuleBuilder::new(1)
+            .src_prefix(0x0A01_0000, 16)
+            .dst_port(53)
+            .build();
         assert!(narrow.covered_by(&broad));
         assert!(!broad.covered_by(&narrow));
     }

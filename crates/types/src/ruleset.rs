@@ -58,12 +58,20 @@ impl std::fmt::Display for RuleSetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RuleSetError::RangeExceedsWidth { rule, dimension } => {
-                write!(f, "rule {rule} has a range wider than dimension {dimension}")
+                write!(
+                    f,
+                    "rule {rule} has a range wider than dimension {dimension}"
+                )
             }
             RuleSetError::NonSequentialIds { index, found } => {
-                write!(f, "rule at position {index} has id {found}; ids must be sequential")
+                write!(
+                    f,
+                    "rule at position {index} has id {found}; ids must be sequential"
+                )
             }
-            RuleSetError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            RuleSetError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
         }
     }
 }
@@ -91,11 +99,17 @@ impl RuleSet {
     ) -> Result<RuleSet, RuleSetError> {
         for (i, rule) in rules.iter().enumerate() {
             if rule.id != i as RuleId {
-                return Err(RuleSetError::NonSequentialIds { index: i, found: rule.id });
+                return Err(RuleSetError::NonSequentialIds {
+                    index: i,
+                    found: rule.id,
+                });
             }
             for d in Dimension::ALL {
                 if rule.range(d).hi > spec.max_value(d) {
-                    return Err(RuleSetError::RangeExceedsWidth { rule: rule.id, dimension: d });
+                    return Err(RuleSetError::RangeExceedsWidth {
+                        rule: rule.id,
+                        dimension: d,
+                    });
                 }
             }
         }
@@ -163,7 +177,11 @@ impl RuleSet {
     /// All rules matching the packet, in priority order (used by tests to
     /// check shadowing behaviour).
     pub fn matching_rules(&self, pkt: &PacketHeader) -> Vec<RuleId> {
-        self.rules.iter().filter(|r| r.matches(pkt)).map(|r| r.id).collect()
+        self.rules
+            .iter()
+            .filter(|r| r.matches(pkt))
+            .map(|r| r.id)
+            .collect()
     }
 
     /// The full covered region of the geometry (one wildcard range per
@@ -241,27 +259,43 @@ impl RuleSet {
                 continue;
             }
             let line_idx = lineno + 1;
-            let parse_err = |message: String| RuleSetError::Parse { line: line_idx, message };
+            let parse_err = |message: String| RuleSetError::Parse {
+                line: line_idx,
+                message,
+            };
             let body = line.strip_prefix('@').unwrap_or(line);
             let cols: Vec<&str> = body.split_whitespace().collect();
             if cols.len() < 8 {
-                return Err(parse_err(format!("expected at least 8 columns, found {}", cols.len())));
+                return Err(parse_err(format!(
+                    "expected at least 8 columns, found {}",
+                    cols.len()
+                )));
             }
-            let src = parse_ip_field(cols[0]).map_err(|e| parse_err(e))?;
-            let dst = parse_ip_field(cols[1]).map_err(|e| parse_err(e))?;
+            let src = parse_ip_field(cols[0]).map_err(&parse_err)?;
+            let dst = parse_ip_field(cols[1]).map_err(&parse_err)?;
             // Port columns are "lo : hi" → three tokens each.
             if cols[3] != ":" || cols[6] != ":" {
                 return Err(parse_err("expected 'lo : hi' port syntax".to_string()));
             }
-            let sp_lo: u32 = cols[2].parse().map_err(|_| parse_err(format!("bad port {}", cols[2])))?;
-            let sp_hi: u32 = cols[4].parse().map_err(|_| parse_err(format!("bad port {}", cols[4])))?;
-            let dp_lo: u32 = cols[5].parse().map_err(|_| parse_err(format!("bad port {}", cols[5])))?;
-            let dp_hi: u32 = cols[7].parse().map_err(|_| parse_err(format!("bad port {}", cols[7])))?;
+            let sp_lo: u32 = cols[2]
+                .parse()
+                .map_err(|_| parse_err(format!("bad port {}", cols[2])))?;
+            let sp_hi: u32 = cols[4]
+                .parse()
+                .map_err(|_| parse_err(format!("bad port {}", cols[4])))?;
+            let dp_lo: u32 = cols[5]
+                .parse()
+                .map_err(|_| parse_err(format!("bad port {}", cols[5])))?;
+            let dp_hi: u32 = cols[7]
+                .parse()
+                .map_err(|_| parse_err(format!("bad port {}", cols[7])))?;
             if sp_lo > sp_hi || dp_lo > dp_hi || sp_hi > 65535 || dp_hi > 65535 {
-                return Err(parse_err("port range out of order or out of bounds".to_string()));
+                return Err(parse_err(
+                    "port range out of order or out of bounds".to_string(),
+                ));
             }
             let proto = if cols.len() > 8 {
-                parse_protocol_field(cols[8]).map_err(|e| parse_err(e))?
+                parse_protocol_field(cols[8]).map_err(parse_err)?
             } else {
                 FieldRange::full(8)
             };
@@ -296,7 +330,9 @@ fn parse_ip_field(s: &str) -> Result<FieldRange, String> {
         None => (s, "32"),
     };
     let addr = parse_ip_or_int(addr_str)?;
-    let len: u8 = len_str.parse().map_err(|_| format!("bad prefix length {len_str}"))?;
+    let len: u8 = len_str
+        .parse()
+        .map_err(|_| format!("bad prefix length {len_str}"))?;
     if len > 32 {
         return Err(format!("prefix length {len} exceeds 32"));
     }
@@ -339,7 +375,9 @@ fn parse_protocol_field(s: &str) -> Result<FieldRange, String> {
         } else if m == 0xFF {
             Ok(FieldRange::exact(v))
         } else {
-            Err(format!("unsupported protocol mask {s} (must be 0x00 or 0xFF)"))
+            Err(format!(
+                "unsupported protocol mask {s} (must be 0x00 or 0xFF)"
+            ))
         }
     } else if let Some((lo, hi)) = s.split_once('-') {
         let lo = parse_ip_or_int(lo)?;
@@ -370,7 +408,10 @@ mod tests {
                 .dst_port(80)
                 .protocol(6)
                 .build(),
-            RuleBuilder::new(1).src_prefix(0x0A00_0000, 8).protocol(6).build(),
+            RuleBuilder::new(1)
+                .src_prefix(0x0A00_0000, 8)
+                .protocol(6)
+                .build(),
             RuleBuilder::new(2).build(),
         ];
         RuleSet::new("small", DimensionSpec::FIVE_TUPLE, rules).unwrap()
@@ -401,7 +442,10 @@ mod tests {
     fn rejects_non_sequential_ids() {
         let rules = vec![RuleBuilder::new(5).build()];
         let err = RuleSet::new("bad", DimensionSpec::FIVE_TUPLE, rules).unwrap_err();
-        assert!(matches!(err, RuleSetError::NonSequentialIds { index: 0, found: 5 }));
+        assert!(matches!(
+            err,
+            RuleSetError::NonSequentialIds { index: 0, found: 5 }
+        ));
     }
 
     #[test]
@@ -449,10 +493,17 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_lines() {
         assert!(RuleSet::parse_classbench("x", "@10.0.0.0/8").is_err());
-        assert!(RuleSet::parse_classbench("x", "@10.0.0.0/8 1.2.3.4 0 : 5 0 : bad 0x06/0xFF").is_err());
-        assert!(RuleSet::parse_classbench("x", "@10.0.0.0/40 1.2.3.4 0 : 5 0 : 9 0x06/0xFF").is_err());
+        assert!(
+            RuleSet::parse_classbench("x", "@10.0.0.0/8 1.2.3.4 0 : 5 0 : bad 0x06/0xFF").is_err()
+        );
+        assert!(
+            RuleSet::parse_classbench("x", "@10.0.0.0/40 1.2.3.4 0 : 5 0 : 9 0x06/0xFF").is_err()
+        );
         // Comments and blank lines are fine.
-        let ok = RuleSet::parse_classbench("x", "# comment\n\n@10.0.0.0/8\t1.2.3.4\t0 : 5\t0 : 9\t0x06/0xFF\n");
+        let ok = RuleSet::parse_classbench(
+            "x",
+            "# comment\n\n@10.0.0.0/8\t1.2.3.4\t0 : 5\t0 : 9\t0x06/0xFF\n",
+        );
         assert_eq!(ok.unwrap().len(), 1);
     }
 

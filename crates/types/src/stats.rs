@@ -56,7 +56,9 @@ impl RuleSetStats {
                 rel_width[i] += r.len() as f64 / full.len() as f64;
             }
             total_wild_dims += wild_dims;
-            if rule.is_wildcard_in(Dimension::SrcIp, spec) && rule.is_wildcard_in(Dimension::DstIp, spec) {
+            if rule.is_wildcard_in(Dimension::SrcIp, spec)
+                && rule.is_wildcard_in(Dimension::DstIp, spec)
+            {
                 double_wild += 1;
             }
         }

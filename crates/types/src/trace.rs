@@ -20,7 +20,10 @@ pub struct TraceEntry {
 impl TraceEntry {
     /// A trace entry with no ground-truth annotation.
     pub fn bare(header: PacketHeader) -> TraceEntry {
-        TraceEntry { header, intended_rule: None }
+        TraceEntry {
+            header,
+            intended_rule: None,
+        }
     }
 }
 
@@ -35,7 +38,10 @@ pub struct Trace {
 impl Trace {
     /// Creates a named trace from entries.
     pub fn new(name: impl Into<String>, entries: Vec<TraceEntry>) -> Trace {
-        Trace { name: name.into(), entries }
+        Trace {
+            name: name.into(),
+            entries,
+        }
     }
 
     /// Creates a trace from bare headers.
@@ -74,7 +80,10 @@ impl Trace {
     /// Classifies the whole trace with the reference linear search and
     /// returns the per-packet results (used as ground truth in tests).
     pub fn ground_truth(&self, rs: &RuleSet) -> Vec<MatchResult> {
-        self.entries.iter().map(|e| rs.classify_linear(&e.header)).collect()
+        self.entries
+            .iter()
+            .map(|e| rs.classify_linear(&e.header))
+            .collect()
     }
 
     /// Fraction of packets that match some rule under linear search.

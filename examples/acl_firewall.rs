@@ -26,35 +26,96 @@ fn build_policy() -> RuleSet {
     };
 
     // 1. Protect the management network: only SSH from the admin subnet.
-    push(RuleBuilder::new(id).src_prefix(0x0A0A_0100, 24).dst_prefix(0x0A00_FF00, 24).dst_port(22).protocol(6).build());
+    push(
+        RuleBuilder::new(id)
+            .src_prefix(0x0A0A_0100, 24)
+            .dst_prefix(0x0A00_FF00, 24)
+            .dst_port(22)
+            .protocol(6)
+            .build(),
+    );
     id += 1;
     // 2. Drop everything else aimed at the management network (deny rule —
     //    the action table is outside the classifier; the id is what counts).
     push(RuleBuilder::new(id).dst_prefix(0x0A00_FF00, 24).build());
     id += 1;
     // 3. VoIP gets its own class: SIP and RTP towards the PBX.
-    push(RuleBuilder::new(id).dst_prefix(0x0A01_2000, 24).dst_port(5060, ).protocol(17).build());
+    push(
+        RuleBuilder::new(id)
+            .dst_prefix(0x0A01_2000, 24)
+            .dst_port(5060)
+            .protocol(17)
+            .build(),
+    );
     id += 1;
-    push(RuleBuilder::new(id).dst_prefix(0x0A01_2000, 24).dst_port_range(16_384, 32_767).protocol(17).build());
+    push(
+        RuleBuilder::new(id)
+            .dst_prefix(0x0A01_2000, 24)
+            .dst_port_range(16_384, 32_767)
+            .protocol(17)
+            .build(),
+    );
     id += 1;
     // 4. Web servers in the DMZ.
-    push(RuleBuilder::new(id).dst_prefix(0x0A02_0000, 16).dst_port(80).protocol(6).build());
+    push(
+        RuleBuilder::new(id)
+            .dst_prefix(0x0A02_0000, 16)
+            .dst_port(80)
+            .protocol(6)
+            .build(),
+    );
     id += 1;
-    push(RuleBuilder::new(id).dst_prefix(0x0A02_0000, 16).dst_port(443).protocol(6).build());
+    push(
+        RuleBuilder::new(id)
+            .dst_prefix(0x0A02_0000, 16)
+            .dst_port(443)
+            .protocol(6)
+            .build(),
+    );
     id += 1;
     // 5. DNS to the resolvers.
-    push(RuleBuilder::new(id).dst_prefix(0x0A03_0053, 32).dst_port(53).protocol(17).build());
+    push(
+        RuleBuilder::new(id)
+            .dst_prefix(0x0A03_0053, 32)
+            .dst_port(53)
+            .protocol(17)
+            .build(),
+    );
     id += 1;
     // 6. Outbound mail only from the relay.
-    push(RuleBuilder::new(id).src_prefix(0x0A04_0019, 32).dst_port(25).protocol(6).build());
+    push(
+        RuleBuilder::new(id)
+            .src_prefix(0x0A04_0019, 32)
+            .dst_port(25)
+            .protocol(6)
+            .build(),
+    );
     id += 1;
     // 7. Block known-bad ephemeral range from the guest WLAN.
-    push(RuleBuilder::new(id).src_prefix(0x0A05_0000, 16).dst_port_range(6_881, 6_999).protocol(6).build());
+    push(
+        RuleBuilder::new(id)
+            .src_prefix(0x0A05_0000, 16)
+            .dst_port_range(6_881, 6_999)
+            .protocol(6)
+            .build(),
+    );
     id += 1;
     // 8. Guest WLAN may browse the web.
-    push(RuleBuilder::new(id).src_prefix(0x0A05_0000, 16).dst_port(80).protocol(6).build());
+    push(
+        RuleBuilder::new(id)
+            .src_prefix(0x0A05_0000, 16)
+            .dst_port(80)
+            .protocol(6)
+            .build(),
+    );
     id += 1;
-    push(RuleBuilder::new(id).src_prefix(0x0A05_0000, 16).dst_port(443).protocol(6).build());
+    push(
+        RuleBuilder::new(id)
+            .src_prefix(0x0A05_0000, 16)
+            .dst_port(443)
+            .protocol(6)
+            .build(),
+    );
     id += 1;
     // 9. Default rule: everything else (billing class "best effort").
     push(RuleBuilder::new(id).build());
@@ -70,7 +131,9 @@ fn main() {
     }
 
     // Traffic mix aimed at the policy plus background noise.
-    let trace = TraceGenerator::new(&policy, 2024).random_fraction(0.25).generate(50_000);
+    let trace = TraceGenerator::new(&policy, 2024)
+        .random_fraction(0.25)
+        .generate(50_000);
 
     let config = BuildConfig::paper_defaults(CutAlgorithm::HyperCuts);
     let program = HardwareProgram::build(&policy, &config).expect("policy fits easily");
@@ -93,7 +156,11 @@ fn main() {
         println!("  rule R{id:<2}  {count:>7} packets");
     }
     println!("  no match  {misses:>7} packets");
-    println!("\n  search structure : {} bytes in {} words", program.memory_bytes(), program.word_count());
+    println!(
+        "\n  search structure : {} bytes in {} words",
+        program.memory_bytes(),
+        program.word_count()
+    );
     println!("  worst-case cycles: {}", program.worst_case_cycles());
     println!("  avg cycles/packet: {:.3}", report.avg_cycles_per_packet());
 
@@ -101,11 +168,20 @@ fn main() {
     let tcam = TcamClassifier::program(&policy).expect("policy is prefix-expressible");
     let stats = tcam.stats();
     println!("\n== TCAM baseline ==");
-    println!("  entries            : {} (for {} rules)", stats.entries, stats.rules);
-    println!("  storage efficiency : {:.1} %", stats.storage_efficiency * 100.0);
+    println!(
+        "  entries            : {} (for {} rules)",
+        stats.entries, stats.rules
+    );
+    println!(
+        "  storage efficiency : {:.1} %",
+        stats.storage_efficiency * 100.0
+    );
     println!("  storage used       : {} bits", stats.storage_bits);
     for entry in trace.entries().iter().take(5_000) {
-        assert_eq!(tcam.classify(&entry.header), policy.classify_linear(&entry.header));
+        assert_eq!(
+            tcam.classify(&entry.header),
+            policy.classify_linear(&entry.header)
+        );
     }
     println!("  (TCAM decisions verified against linear search on 5,000 packets)");
 }

@@ -41,26 +41,54 @@ fn main() {
     let asic = AcceleratorEnergyModel::asic();
     let fpga = AcceleratorEnergyModel::fpga();
 
-    println!("Energy report for {} ({} rules, {} packets)\n", ruleset.name(), rules, packets);
+    println!(
+        "Energy report for {} ({} rules, {} packets)\n",
+        ruleset.name(),
+        rules,
+        packets
+    );
 
     // ---------------- Build energy (Table 3 shape) ----------------------
     println!("== Energy to build the search structure (SA-1100 model) ==");
     let sw_hicuts = HiCutsClassifier::build(&ruleset, &HiCutsConfig::paper_defaults());
     let sw_hyper = HyperCutsClassifier::build(&ruleset, &HyperCutsConfig::paper_defaults());
-    let hw_hicuts = HardwareProgram::build_with_capacity(&ruleset, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts), 4096).unwrap();
-    let hw_hyper = HardwareProgram::build_with_capacity(&ruleset, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts), 4096).unwrap();
+    let hw_hicuts = HardwareProgram::build_with_capacity(
+        &ruleset,
+        &BuildConfig::paper_defaults(CutAlgorithm::HiCuts),
+        4096,
+    )
+    .unwrap();
+    let hw_hyper = HardwareProgram::build_with_capacity(
+        &ruleset,
+        &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts),
+        4096,
+    )
+    .unwrap();
     let rows = [
-        ("HiCuts (original)", sa1100.build_energy_j(sw_hicuts.build_stats())),
-        ("HyperCuts (original)", sa1100.build_energy_j(sw_hyper.build_stats())),
-        ("HiCuts (modified)", sa1100.build_energy_j(hw_hicuts.build_stats())),
-        ("HyperCuts (modified)", sa1100.build_energy_j(hw_hyper.build_stats())),
+        (
+            "HiCuts (original)",
+            sa1100.build_energy_j(sw_hicuts.build_stats()),
+        ),
+        (
+            "HyperCuts (original)",
+            sa1100.build_energy_j(sw_hyper.build_stats()),
+        ),
+        (
+            "HiCuts (modified)",
+            sa1100.build_energy_j(hw_hicuts.build_stats()),
+        ),
+        (
+            "HyperCuts (modified)",
+            sa1100.build_energy_j(hw_hyper.build_stats()),
+        ),
     ];
     for (name, energy) in rows {
         println!("  {name:<22} {energy:>12.4e} J");
     }
     println!(
         "  modified/original HiCuts build-energy ratio: {:.2}x less",
-        sa1100.build_energy_j(sw_hicuts.build_stats()) / sa1100.build_energy_j(hw_hicuts.build_stats())
+        sa1100.build_energy_j(sw_hicuts.build_stats())
+            / sa1100.build_energy_j(hw_hicuts.build_stats())
     );
 
     // ---------------- Lookup energy and throughput ----------------------
@@ -105,18 +133,31 @@ fn main() {
     let sw_energy = sa1100.normalized_energy_j(&average_ops(&sw_total.ops, trace.len() as u64));
     let hw_report = Accelerator::new(&hw_hyper).classify_trace(&trace);
     let hw_energy = asic.energy_per_packet_j(&hw_report);
-    println!("\n  energy saving of the ASIC accelerator vs software HiCuts: {:.0}x", sw_energy / hw_energy);
+    println!(
+        "\n  energy saving of the ASIC accelerator vs software HiCuts: {:.0}x",
+        sw_energy / hw_energy
+    );
 
     // ---------------- TCAM comparison (§5.3) -----------------------------
     println!("\n== TCAM / SRAM comparison ==");
     let ayama_77 = TcamPart::ayama_10128_at_77mhz();
     let ayama_133 = TcamPart::ayama_10512_at_133mhz();
     let sram = SramPart::cy7c1381d();
-    println!("  FPGA accelerator @ 77 MHz : {:.2} W", fpga.device().power_w);
+    println!(
+        "  FPGA accelerator @ 77 MHz : {:.2} W",
+        fpga.device().power_w
+    );
     println!("  {} : {:.2} W", ayama_77.name, ayama_77.power_w);
-    println!("  ASIC accelerator @ 133 MHz: {:.2} mW", asic.device().power_at_frequency_w(133e6) * 1e3);
+    println!(
+        "  ASIC accelerator @ 133 MHz: {:.2} mW",
+        asic.device().power_at_frequency_w(133e6) * 1e3
+    );
     println!("  {} : {:.2} W", ayama_133.name, ayama_133.power_w);
-    println!("  {} (SRAM alone)    : {:.0} mW", sram.name, sram.power_w * 1e3);
+    println!(
+        "  {} (SRAM alone)    : {:.0} mW",
+        sram.name,
+        sram.power_w * 1e3
+    );
     println!(
         "  TCAM energy per search: {:.2e} J vs ASIC {:.2e} J per packet",
         ayama_133.energy_per_search_j(),

@@ -41,7 +41,14 @@ fn main() {
 
     println!(
         "{:<12} {:>6} {:>9} {:>7} {:>12} {:>10} {:>12} {:>10}",
-        "ruleset", "rules", "mem [B]", "cycles", "ASIC [Mpps]", "ASIC rate", "FPGA [Mpps]", "FPGA rate"
+        "ruleset",
+        "rules",
+        "mem [B]",
+        "cycles",
+        "ASIC [Mpps]",
+        "ASIC rate",
+        "FPGA [Mpps]",
+        "FPGA rate"
     );
 
     for style in [SeedStyle::Acl, SeedStyle::Ipc, SeedStyle::Fw] {
@@ -51,13 +58,14 @@ fn main() {
             let config = BuildConfig::paper_defaults(CutAlgorithm::HyperCuts);
             // FW-style sets can exceed the 1024-word FPGA budget; use the
             // full 12-bit address space the architecture supports.
-            let program = match pclass_core::HardwareProgram::build_with_capacity(&ruleset, &config, 4096) {
-                Ok(p) => p,
-                Err(e) => {
-                    println!("{:<12} {:>6} build failed: {e}", ruleset.name(), size);
-                    continue;
-                }
-            };
+            let program =
+                match pclass_core::HardwareProgram::build_with_capacity(&ruleset, &config, 4096) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        println!("{:<12} {:>6} build failed: {e}", ruleset.name(), size);
+                        continue;
+                    }
+                };
             let engine = Accelerator::new(&program);
             let report = engine.classify_trace(&trace);
 

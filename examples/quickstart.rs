@@ -39,12 +39,17 @@ fn main() {
     // ------------------------------------------------------------------
     let ruleset = ClassBenchGenerator::new(SeedStyle::Acl, 42).generate(2_000);
     let trace = TraceGenerator::new(&ruleset, 7).generate(20_000);
-    println!("\n== Hardware accelerator on {} ({} rules, {} packets) ==",
-             ruleset.name(), ruleset.len(), trace.len());
+    println!(
+        "\n== Hardware accelerator on {} ({} rules, {} packets) ==",
+        ruleset.name(),
+        ruleset.len(),
+        trace.len()
+    );
 
     for algorithm in [CutAlgorithm::HiCuts, CutAlgorithm::HyperCuts] {
         let config = BuildConfig::paper_defaults(algorithm);
-        let program = HardwareProgram::build(&ruleset, &config).expect("structure fits in 1024 words");
+        let program =
+            HardwareProgram::build(&ruleset, &config).expect("structure fits in 1024 words");
         let engine = Accelerator::new(&program);
         let report = engine.classify_trace(&trace);
 
@@ -59,15 +64,37 @@ fn main() {
         let asic = AcceleratorEnergyModel::asic();
         let fpga = AcceleratorEnergyModel::fpga();
         println!("\n  algorithm          : {}", algorithm.name());
-        println!("  memory             : {} bytes ({} words)", program.memory_bytes(), program.word_count());
+        println!(
+            "  memory             : {} bytes ({} words)",
+            program.memory_bytes(),
+            program.word_count()
+        );
         println!("  worst-case cycles  : {}", program.worst_case_cycles());
-        println!("  avg cycles/packet  : {:.3}", report.avg_cycles_per_packet());
-        println!("  ASIC throughput    : {:.1} Mpps", asic.packets_per_second(&report) / 1e6);
-        println!("  FPGA throughput    : {:.1} Mpps", fpga.packets_per_second(&report) / 1e6);
-        println!("  ASIC energy/packet : {:.3e} J", asic.energy_per_packet_j(&report));
-        println!("  FPGA energy/packet : {:.3e} J", fpga.energy_per_packet_j(&report));
+        println!(
+            "  avg cycles/packet  : {:.3}",
+            report.avg_cycles_per_packet()
+        );
+        println!(
+            "  ASIC throughput    : {:.1} Mpps",
+            asic.packets_per_second(&report) / 1e6
+        );
+        println!(
+            "  FPGA throughput    : {:.1} Mpps",
+            fpga.packets_per_second(&report) / 1e6
+        );
+        println!(
+            "  ASIC energy/packet : {:.3e} J",
+            asic.energy_per_packet_j(&report)
+        );
+        println!(
+            "  FPGA energy/packet : {:.3e} J",
+            fpga.energy_per_packet_j(&report)
+        );
         println!("  mismatches vs linear search: {mismatches}");
-        assert_eq!(mismatches, 0, "the accelerator must agree with linear search");
+        assert_eq!(
+            mismatches, 0,
+            "the accelerator must agree with linear search"
+        );
     }
 
     // ------------------------------------------------------------------
@@ -77,8 +104,14 @@ fn main() {
     let sa1100 = Sa1100Model::new();
     let classifiers: Vec<Box<dyn Classifier>> = vec![
         Box::new(LinearClassifier::new(ruleset.clone())),
-        Box::new(HiCutsClassifier::build(&ruleset, &HiCutsConfig::paper_defaults())),
-        Box::new(HyperCutsClassifier::build(&ruleset, &HyperCutsConfig::paper_defaults())),
+        Box::new(HiCutsClassifier::build(
+            &ruleset,
+            &HiCutsConfig::paper_defaults(),
+        )),
+        Box::new(HyperCutsClassifier::build(
+            &ruleset,
+            &HyperCutsConfig::paper_defaults(),
+        )),
     ];
     for classifier in &classifiers {
         let mut total = pclass_algos::LookupStats::new();

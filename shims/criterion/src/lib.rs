@@ -1,0 +1,314 @@
+//! Offline mini benchmark harness, API-compatible with the subset of
+//! `criterion` this workspace uses (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `bench_with_input`, `Bencher::iter`, `Throughput`).
+//!
+//! Each benchmark runs a short calibration pass, then measures
+//! `sample_size` samples of an iteration count sized to fill the configured
+//! measurement time, and prints the mean wall-clock time per iteration
+//! (plus element throughput when one is declared).  No statistics beyond
+//! the mean, no plots, no baselines — enough to smoke-run the benches and
+//! eyeball regressions offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration (`criterion::Criterion` stand-in).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the calibration/warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_benchmark(
+            &id.to_string(),
+            None,
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            &mut f,
+        );
+    }
+}
+
+/// A named benchmark within a group, optionally parameterised
+/// (`criterion::BenchmarkId` stand-in).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id with only a function name.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: parameter.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{}", self.function, p),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (packets, rules, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    // Per-group override, as upstream: must not leak into later groups.
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// per-benchmark, so this only ends the scope).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_secs_f64() * 1e9 / self.iters as f64;
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibration: run single iterations until the warm-up time elapses to
+    // estimate the per-iteration cost.
+    let calibration_start = Instant::now();
+    let mut calibration_runs: u32 = 0;
+    let mut bencher = Bencher {
+        iters: 1,
+        mean_ns: 0.0,
+    };
+    let mut estimate_ns = f64::INFINITY;
+    while calibration_start.elapsed() < warm_up_time && calibration_runs < 1000 {
+        f(&mut bencher);
+        estimate_ns = estimate_ns.min(bencher.mean_ns.max(1.0));
+        calibration_runs += 1;
+    }
+
+    // Measurement: `sample_size` samples, each sized to fill an equal share
+    // of the measurement time.
+    let per_sample_ns = measurement_time.as_secs_f64() * 1e9 / sample_size as f64;
+    let iters = ((per_sample_ns / estimate_ns) as u64).clamp(1, 10_000_000);
+    let mut total_ns = 0.0;
+    for _ in 0..sample_size {
+        let mut sample = Bencher {
+            iters,
+            mean_ns: 0.0,
+        };
+        f(&mut sample);
+        total_ns += sample.mean_ns;
+    }
+    let mean_ns = total_ns / sample_size as f64;
+
+    match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            let rate = n as f64 / (mean_ns * 1e-9);
+            println!("{label:<50} {mean_ns:>14.1} ns/iter  ({rate:.3e} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            let rate = n as f64 / (mean_ns * 1e-9) / (1 << 20) as f64;
+            println!("{label:<50} {mean_ns:>14.1} ns/iter  ({rate:.1} MiB/s)");
+        }
+        _ => println!("{label:<50} {mean_ns:>14.1} ns/iter"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; the shim
+            // runs every group unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_run_and_measure() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        let data: Vec<u64> = (0..100).collect();
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, data| {
+            b.iter(|| data.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

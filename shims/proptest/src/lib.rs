@@ -1,0 +1,335 @@
+//! Offline mini property-testing shim, API-compatible with the subset of
+//! `proptest` this workspace uses.
+//!
+//! The `proptest!` macro runs each property over a fixed number of cases
+//! (default 256, override with `#![proptest_config(...)]`).  Inputs are
+//! drawn from deterministic per-test generators seeded from the test name,
+//! so failures reproduce exactly.  There is no shrinking: a failing case
+//! panics with the assertion message (the bound inputs are printed by the
+//! case-wrapping panic hook below).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`ProptestConfig` stand-in).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of deterministic cases to execute.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The deterministic case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test name and case index.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name keeps distinct tests on distinct streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ (u64::from(case) << 32)))
+    }
+
+    /// Returns the next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Samples uniformly from an integer range, via the rand shim.
+    pub fn sample_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.gen_range(range)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values of one type (`proptest::strategy::Strategy`
+    /// stand-in, restricted to sampling).
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.sample_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.sample_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// `any::<T>()` and the full-domain strategy it returns.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Full-domain strategy returned by [`any`].
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Returns a strategy producing arbitrary values of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `Option` strategies (`proptest::option` stand-in).
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy yielding `None` for 1 case in 4 (upstream's default
+    /// weighting) and `Some` of the inner strategy otherwise.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps `strategy` so it also produces `None`.
+    pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+        OptionStrategy(strategy)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array` stand-in).
+pub mod array {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `[S::Value; 5]` built from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct Uniform5<S>(S);
+
+    /// Applies `strategy` independently to each of 5 array slots.
+    pub fn uniform5<S: Strategy>(strategy: S) -> Uniform5<S> {
+        Uniform5(strategy)
+    }
+
+    impl<S: Strategy> Strategy for Uniform5<S> {
+        type Value = [S::Value; 5];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; 5] {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure, like an
+/// unshrunk upstream failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// The property-test entry point.  Supports the upstream grammar subset:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn prop_name(x in 0u32..100, arr in array::uniform5(0u32..9), raw: u64) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn` in a `proptest!` block. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                // One closure per case so `prop_assume!` can skip via
+                // `return` without ending the whole property.
+                let __run = |__rng: &mut $crate::TestRng| {
+                    $crate::__proptest_bind! { __rng; $($params)* }
+                    $body
+                };
+                __run(&mut __rng);
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: binds one `name in strategy` / `name: Type` parameter. Not
+/// public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $n:ident in $s:expr) => {
+        let $n = $crate::strategy::Strategy::sample(&($s), $rng);
+    };
+    ($rng:ident; $n:ident in $s:expr, $($rest:tt)*) => {
+        let $n = $crate::strategy::Strategy::sample(&($s), $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $n:ident : $t:ty) => {
+        let $n: $t = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$t>(), $rng);
+    };
+    ($rng:ident; $n:ident : $t:ty, $($rest:tt)*) => {
+        let $n: $t = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$t>(), $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..100, y in 1u16..=9) {
+            prop_assert!(x < 100);
+            prop_assert!((1..=9).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn arrays_and_typed_params(
+            arr in crate::array::uniform5(0u32..7),
+            raw: u64,
+        ) {
+            for v in arr {
+                prop_assert!(v < 7);
+            }
+            let _ = raw;
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| crate::TestRng::for_case("t", c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| crate::TestRng::for_case("t", c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(
+            crate::TestRng::for_case("t", 0).next_u64(),
+            crate::TestRng::for_case("u", 0).next_u64()
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline API-surface shim for the `rand` crate.
+//!
+//! Implements the subset of the rand 0.8 API this workspace uses —
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`] and the [`rngs::StdRng`] /
+//! [`rngs::SmallRng`] generators — on top of xoshiro256++ seeded through
+//! SplitMix64.  Sequences are deterministic per seed but are *not*
+//! value-compatible with upstream `rand`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64` (rand's `SeedableRng`
+/// surface restricted to `seed_from_u64`, the only constructor used here).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random-value methods (rand's `Rng` surface restricted to what
+/// the workspace uses).
+pub trait Rng {
+    /// Returns the next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` uniformly over its full domain
+    /// (`f64` samples uniformly in `[0, 1)`, as upstream's `Standard`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        f64::sample(self.next_u64()) < p
+    }
+
+    /// Samples uniformly from a half-open (`lo..hi`) or inclusive
+    /// (`lo..=hi`) integer range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(&mut || self.next_u64())
+    }
+}
+
+/// Types that can be drawn uniformly from their full domain ([`Rng::gen`]).
+pub trait Standard: Sized {
+    /// Maps 64 raw bits to a uniform value of `Self`.
+    fn sample(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(bits: u64) -> $t {
+                bits as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 high bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(bits: u64) -> f32 {
+        ((bits >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range; `raw` yields raw 64-bit
+    /// words from the generator.
+    fn sample_from(self, raw: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Integer types usable as [`Rng::gen_range`] bounds.
+pub trait UniformInt: Copy {
+    /// Lossless widening to `u64` (shifting signed domains up).
+    fn to_u64(self) -> u64;
+    /// Inverse of [`UniformInt::to_u64`].
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_sint {
+    ($($t:ty : $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                (self as $u ^ <$t>::MIN as $u) as u64
+            }
+            fn from_u64(v: u64) -> $t {
+                (v as $u ^ <$t>::MIN as $u) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_sint!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+fn sample_below(width: u64, raw: &mut dyn FnMut() -> u64) -> u64 {
+    // Rejection sampling over the largest multiple of `width`, so the
+    // result is exactly uniform.  `width == 0` encodes "the full u64
+    // domain" (only reachable from `lo..=u64::MAX`-style ranges).
+    if width == 0 {
+        return raw();
+    }
+    let zone = u64::MAX - (u64::MAX - width + 1) % width;
+    loop {
+        let v = raw();
+        if v <= zone {
+            return v % width;
+        }
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from(self, raw: &mut dyn FnMut() -> u64) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "gen_range: empty range");
+        T::from_u64(lo + sample_below(hi - lo, raw))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, raw: &mut dyn FnMut() -> u64) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "gen_range: empty range");
+        // `wrapping_add` turns the full-domain width into the 0 sentinel
+        // `sample_below` expects.
+        T::from_u64(lo + sample_below((hi - lo).wrapping_add(1), raw))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, raw: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(raw()) * (self.end - self.start)
+    }
+}
+
+/// The xoshiro256++ core shared by both named generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the four state words through SplitMix64, as the xoshiro
+    /// authors recommend.
+    pub fn new(seed: u64) -> Xoshiro256 {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Advances the state and returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Named generator types mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng, Xoshiro256};
+
+    macro_rules! define_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone, PartialEq, Eq)]
+            pub struct $name(Xoshiro256);
+
+            impl SeedableRng for $name {
+                fn seed_from_u64(seed: u64) -> $name {
+                    $name(Xoshiro256::new(seed))
+                }
+            }
+
+            impl Rng for $name {
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next_u64()
+                }
+            }
+        };
+    }
+
+    define_rng!(
+        /// Drop-in stand-in for `rand::rngs::StdRng`.
+        StdRng
+    );
+    define_rng!(
+        /// Drop-in stand-in for `rand::rngs::SmallRng`.
+        SmallRng
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0u16..=u16::MAX);
+            let _ = w; // full-domain inclusive range must not panic
+            let x = r.gen_range(5usize..=5);
+            assert_eq!(x, 5);
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "p=0.3 gave {hits}/100000");
+        assert!((0..1000).all(|_| !r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_produces_all_widths() {
+        let mut r = StdRng::seed_from_u64(3);
+        let _: u8 = r.gen();
+        let _: u16 = r.gen();
+        let _: u32 = r.gen();
+        let _: u64 = r.gen();
+        let f: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = r.gen_range(-50i32..50);
+            assert!((-50..50).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline API-surface shim for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.  The derives are
+//! no-ops and the traits are empty markers: nothing in the workspace
+//! serializes data yet (see `shims/README.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

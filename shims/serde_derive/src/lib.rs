@@ -1,0 +1,20 @@
+//! Offline no-op stand-ins for serde's derive macros.
+//!
+//! Nothing in this workspace serializes data yet — the derives exist so the
+//! type definitions stay source-compatible with upstream `serde` — so both
+//! macros expand to nothing.  When real serialization lands, replace the
+//! `shims/serde*` crates with the registry versions.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

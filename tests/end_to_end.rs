@@ -43,11 +43,23 @@ fn every_engine_agrees_on_every_style() {
             let expected = rs.classify_linear(&entry.header);
             assert_eq!(linear.classify(&entry.header), expected);
             assert_eq!(hicuts.classify(&entry.header), expected, "{style} hicuts");
-            assert_eq!(hypercuts.classify(&entry.header), expected, "{style} hypercuts");
+            assert_eq!(
+                hypercuts.classify(&entry.header),
+                expected,
+                "{style} hypercuts"
+            );
             assert_eq!(rfc.classify(&entry.header), expected, "{style} rfc");
             assert_eq!(tcam.classify(&entry.header), expected, "{style} tcam");
-            assert_eq!(engine_hi.classify_packet(&entry.header).0, expected, "{style} hw hicuts");
-            assert_eq!(engine_hyper.classify_packet(&entry.header).0, expected, "{style} hw hypercuts");
+            assert_eq!(
+                engine_hi.classify_packet(&entry.header).0,
+                expected,
+                "{style} hw hicuts"
+            );
+            assert_eq!(
+                engine_hyper.classify_packet(&entry.header).0,
+                expected,
+                "{style} hw hypercuts"
+            );
         }
     }
 }
@@ -99,7 +111,8 @@ fn hardware_beats_software_on_throughput_and_energy() {
     let sw_energy = sa1100.normalized_energy_j(&avg);
 
     // Hardware accelerator (ASIC target).
-    let program = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
+    let program =
+        HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts)).unwrap();
     let report = Accelerator::new(&program).classify_trace(&trace);
     let asic = AcceleratorEnergyModel::asic();
     let hw_pps = asic.packets_per_second(&report);
@@ -124,7 +137,8 @@ fn modified_builders_use_less_build_energy_than_originals() {
     let sa1100 = Sa1100Model::new();
 
     let sw = HiCutsClassifier::build(&rs, &HiCutsConfig::paper_defaults());
-    let hw = HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
+    let hw =
+        HardwareProgram::build(&rs, &BuildConfig::paper_defaults(CutAlgorithm::HiCuts)).unwrap();
     let sw_energy = sa1100.build_energy_j(sw.build_stats());
     let hw_energy = sa1100.build_energy_j(hw.build_stats());
     assert!(
@@ -166,7 +180,10 @@ fn tcam_storage_efficiency_sits_in_the_papers_band() {
         efficiencies.push(tcam.stats().storage_efficiency);
     }
     for eff in &efficiencies {
-        assert!(*eff > 0.05 && *eff < 0.95, "efficiency {eff} out of plausible range");
+        assert!(
+            *eff > 0.05 && *eff < 0.95,
+            "efficiency {eff} out of plausible range"
+        );
     }
     // At least one style should be well below 60 % (heavy range usage).
     assert!(efficiencies.iter().any(|&e| e < 0.6));
@@ -202,6 +219,9 @@ fn worst_case_cycles_scale_like_table4() {
         Ok(p) => assert!(p.memory_bytes() > acl_large.memory_bytes()),
         // FW-style sets legitimately exceed even the 4096-word budget at
         // this size; that is itself the Table 4 trend (fw1 ≫ acl1).
-        Err(e) => assert!(matches!(e, pclass_core::builder::BuildError::CapacityExceeded { .. }), "{e}"),
+        Err(e) => assert!(
+            matches!(e, pclass_core::builder::BuildError::CapacityExceeded { .. }),
+            "{e}"
+        ),
     }
 }
