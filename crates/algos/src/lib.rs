@@ -2,7 +2,8 @@
 //!
 //! The paper compares its hardware accelerator against software algorithms
 //! running on the processing engine of a programmable network processor
-//! (a StrongARM SA-1100 in the companion study [12]).  This crate implements
+//! (a StrongARM SA-1100 in the companion study, reference \[12\] of the
+//! paper).  This crate implements
 //! those baselines, fully instrumented so that the energy models in
 //! `pclass-energy` can translate their work into joules:
 //!
@@ -51,6 +52,25 @@ pub trait Classifier {
 
     /// Classifies one packet.
     fn classify(&self, pkt: &PacketHeader) -> MatchResult;
+
+    /// Classifies a batch of packets, appending one result per packet to
+    /// `out` in input order.
+    ///
+    /// The default implementation is a per-packet loop; implementations with
+    /// exploitable data locality should override it with a cache-friendly
+    /// batched loop (RFC runs each phase table over the whole batch so the
+    /// table stays hot — see `rfc`).  The serving layer in `pclass-engine`
+    /// feeds every classifier through this method, so an override speeds up
+    /// batched serving without touching any call site.
+    ///
+    /// Implementations must be pure batching: the results must be exactly
+    /// what per-packet [`Classifier::classify`] calls would produce.
+    fn classify_batch(&self, pkts: &[PacketHeader], out: &mut Vec<MatchResult>) {
+        out.reserve(pkts.len());
+        for pkt in pkts {
+            out.push(self.classify(pkt));
+        }
+    }
 
     /// Classifies one packet and records the work performed (memory accesses,
     /// comparisons, ALU operations) into `stats`.

@@ -1,0 +1,177 @@
+//! Serving-throughput harness: every classifier, batched and multi-core.
+//!
+//! ```text
+//! cargo run --release -p pclass-bench --bin throughput
+//! cargo run --release -p pclass-bench --bin throughput -- --quick
+//! cargo run --release -p pclass-bench --bin throughput -- --out perf.json
+//! ```
+//!
+//! Runs every classifier in the workspace — linear search, original HiCuts
+//! and HyperCuts, RFC, the functional TCAM model and the accelerator model
+//! with both modified cut algorithms — through the `pclass-engine` serving
+//! layer over ClassBench-style generated rulesets at several sizes and
+//! worker counts, verifies every run packet-for-packet against linear
+//! search, and writes the measurements to `BENCH_throughput.json` (schema
+//! documented in the README's "Serving throughput" section).  CI runs
+//! `--quick` as the `perf-smoke` job and uploads the JSON as a build
+//! artifact, so the numbers form a trajectory across PRs.
+//!
+//! Exit status is non-zero if any classifier disagrees with linear search,
+//! which is what makes the CI job a correctness gate as well as a perf
+//! recorder.
+
+use pclass_bench::{acl_ruleset, serving_roster, trace_for, WORKLOAD_SEED};
+use pclass_engine::{Engine, WorkerReport};
+use pclass_types::{MatchResult, RuleSet, Trace};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One engine run in the JSON record.
+#[derive(Debug, Clone, Serialize)]
+struct RunRecord {
+    classifier: String,
+    ruleset: String,
+    rules: usize,
+    packets: usize,
+    workers: usize,
+    batch: usize,
+    wall_ns: u64,
+    mpps: f64,
+    per_worker: Vec<WorkerReport>,
+}
+
+/// A classifier that could not be built for a ruleset (with the reason), so
+/// gaps in the trajectory are explicit rather than silent.
+#[derive(Debug, Clone, Serialize)]
+struct SkipRecord {
+    classifier: String,
+    ruleset: String,
+    reason: String,
+}
+
+/// Top-level schema of `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize)]
+struct BenchFile {
+    schema: String,
+    seed: u64,
+    quick: bool,
+    worker_counts: Vec<usize>,
+    runs: Vec<RunRecord>,
+    skipped: Vec<SkipRecord>,
+}
+
+struct Workload {
+    ruleset: RuleSet,
+    trace: Trace,
+    truth: Vec<MatchResult>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    let sizes: &[usize] = if quick {
+        &[500, 2_000]
+    } else {
+        &[500, 2_000, 10_000]
+    };
+    let packets = if quick { 4_000 } else { 20_000 };
+    let worker_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
+
+    let mut runs = Vec::new();
+    let mut skipped = Vec::new();
+    let mut mismatches = 0usize;
+
+    for &size in sizes {
+        let ruleset = acl_ruleset(size);
+        let trace = trace_for(&ruleset, packets);
+        let truth = trace.ground_truth(&ruleset);
+        let workload = Workload {
+            ruleset,
+            trace,
+            truth,
+        };
+        println!(
+            "== {} ({} rules, {} packets) ==",
+            workload.ruleset.name(),
+            size,
+            packets
+        );
+        println!(
+            "{:<14} {:>7} | {:>10} {:>10}",
+            "classifier", "workers", "wall [ms]", "Mpps"
+        );
+
+        let roster = serving_roster(&workload.ruleset);
+        for skip in roster.skipped {
+            eprintln!(
+                "skip {} on {}: {}",
+                skip.classifier,
+                workload.ruleset.name(),
+                skip.reason
+            );
+            skipped.push(SkipRecord {
+                classifier: skip.classifier.to_string(),
+                ruleset: workload.ruleset.name().to_string(),
+                reason: skip.reason,
+            });
+        }
+        for (name, classifier) in roster.classifiers {
+            for &workers in worker_counts {
+                let engine = Engine::from_shared(workers, Arc::clone(&classifier));
+                let run = engine.classify_trace(&workload.trace);
+                if run.results != workload.truth {
+                    mismatches += 1;
+                    eprintln!(
+                        "MISMATCH: {} with {} workers disagrees with linear search on {}",
+                        name,
+                        workers,
+                        workload.ruleset.name()
+                    );
+                    continue;
+                }
+                println!(
+                    "{:<14} {:>7} | {:>10.2} {:>10.3}",
+                    name,
+                    workers,
+                    run.report.wall_ns as f64 / 1e6,
+                    run.report.mpps
+                );
+                runs.push(RunRecord {
+                    classifier: name.to_string(),
+                    ruleset: workload.ruleset.name().to_string(),
+                    rules: size,
+                    packets,
+                    workers,
+                    batch: engine.batch_size(),
+                    wall_ns: run.report.wall_ns,
+                    mpps: run.report.mpps,
+                    per_worker: run.report.per_worker,
+                });
+            }
+        }
+    }
+
+    let file = BenchFile {
+        schema: "pclass-throughput/v1".to_string(),
+        seed: WORKLOAD_SEED,
+        quick,
+        worker_counts: worker_counts.to_vec(),
+        runs,
+        skipped,
+    };
+    std::fs::write(&out_path, serde::json::to_file_string(&file))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {} ({} runs)", out_path, file.runs.len());
+
+    if mismatches > 0 {
+        eprintln!("{mismatches} engine run(s) disagreed with linear search");
+        std::process::exit(1);
+    }
+}

@@ -10,14 +10,17 @@
 
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
-use pclass_algos::{Classifier, LookupStats, OpCounters};
+use pclass_algos::{Classifier, LinearClassifier, LookupStats, OpCounters, RfcClassifier};
 use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
 use pclass_core::builder::HwTree;
 use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
-use pclass_core::hw::{Accelerator, ClassificationReport};
+use pclass_core::hw::{Accelerator, AcceleratorClassifier, ClassificationReport};
 use pclass_core::program::{HardwareProgram, ProgramStats};
 use pclass_energy::sa1100::Sa1100Model;
+use pclass_engine::SharedClassifier;
+use pclass_tcam::TcamClassifier;
 use pclass_types::{RuleSet, Trace};
+use std::sync::Arc;
 
 /// Deterministic seed used for every generated workload so tables are
 /// reproducible run to run.
@@ -129,6 +132,92 @@ pub fn plan_hardware(
     ))
 }
 
+/// A classifier that could not be built for a ruleset, with the reason —
+/// RFC can exceed its memory budget and the accelerator its address space
+/// on the largest sets.
+#[derive(Debug, Clone)]
+pub struct RosterSkip {
+    /// Classifier name as it would have appeared in the roster.
+    pub classifier: &'static str,
+    /// Human-readable build-failure reason.
+    pub reason: String,
+}
+
+/// The full serving roster for one ruleset: every classifier in the
+/// workspace that can serve it, plus explicit skips for the ones that
+/// cannot.
+pub struct ClassifierRoster {
+    /// `(name, classifier)` pairs, in the fixed roster order: linear,
+    /// hicuts, hypercuts, rfc, tcam, hw-hicuts, hw-hypercuts.
+    pub classifiers: Vec<(&'static str, SharedClassifier)>,
+    /// Classifiers whose build failed on this ruleset.
+    pub skipped: Vec<RosterSkip>,
+}
+
+/// Builds every classifier in the workspace for a ruleset, behind shared
+/// handles the `pclass-engine` serving layer can fan out across workers.
+///
+/// This is the single source of truth for the serving roster — the
+/// `throughput` binary, the engine equivalence tests and the
+/// `serving_throughput` example all use it, so adding a classifier to the
+/// workspace means adding it here once.
+pub fn serving_roster(ruleset: &RuleSet) -> ClassifierRoster {
+    let mut classifiers: Vec<(&'static str, SharedClassifier)> = vec![
+        ("linear", Arc::new(LinearClassifier::new(ruleset.clone()))),
+        (
+            "hicuts",
+            Arc::new(HiCutsClassifier::build(
+                ruleset,
+                &HiCutsConfig::paper_defaults(),
+            )),
+        ),
+        (
+            "hypercuts",
+            Arc::new(HyperCutsClassifier::build(
+                ruleset,
+                &HyperCutsConfig::paper_defaults(),
+            )),
+        ),
+    ];
+    let mut skipped = Vec::new();
+    match RfcClassifier::build(ruleset) {
+        Ok(rfc) => classifiers.push(("rfc", Arc::new(rfc))),
+        Err(e) => skipped.push(RosterSkip {
+            classifier: "rfc",
+            reason: e.to_string(),
+        }),
+    }
+    match TcamClassifier::program(ruleset) {
+        Ok(tcam) => classifiers.push(("tcam", Arc::new(tcam))),
+        Err(e) => skipped.push(RosterSkip {
+            classifier: "tcam",
+            reason: e.to_string(),
+        }),
+    }
+    for algorithm in [CutAlgorithm::HiCuts, CutAlgorithm::HyperCuts] {
+        let config = BuildConfig::paper_defaults(algorithm);
+        match HardwareProgram::build_with_capacity(ruleset, &config, 4096) {
+            Ok(program) => {
+                let adapter = AcceleratorClassifier::new(program);
+                classifiers.push((Classifier::name(&adapter), Arc::new(adapter)));
+            }
+            Err(e) => skipped.push(RosterSkip {
+                // The adapter's trait name, so skip records correlate with
+                // run records in BENCH_throughput.json.
+                classifier: match algorithm {
+                    CutAlgorithm::HiCuts => "hw-hicuts",
+                    CutAlgorithm::HyperCuts => "hw-hypercuts",
+                },
+                reason: e.to_string(),
+            }),
+        }
+    }
+    ClassifierRoster {
+        classifiers,
+        skipped,
+    }
+}
+
 /// Builds the original (software) HiCuts classifier with paper parameters.
 pub fn software_hicuts(ruleset: &RuleSet) -> HiCutsClassifier {
     HiCutsClassifier::build(ruleset, &HiCutsConfig::paper_defaults())
@@ -151,6 +240,32 @@ mod tests {
         assert_eq!(large.len(), 150);
         for (a, b) in small.rules().iter().zip(large.rules()) {
             assert_eq!(a.ranges, b.ranges);
+        }
+    }
+
+    #[test]
+    fn serving_roster_covers_every_classifier_on_small_sets() {
+        let rs = acl_ruleset(150);
+        let roster = serving_roster(&rs);
+        let names: Vec<&str> = roster.classifiers.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "linear",
+                "hicuts",
+                "hypercuts",
+                "rfc",
+                "tcam",
+                "hw-hicuts",
+                "hw-hypercuts"
+            ]
+        );
+        assert!(roster.skipped.is_empty(), "{:?}", roster.skipped);
+        // Roster names match what the classifiers report about themselves,
+        // so run records and skip records in BENCH_throughput.json always
+        // correlate.
+        for (name, classifier) in &roster.classifiers {
+            assert_eq!(*name, classifier.name());
         }
     }
 

@@ -226,6 +226,94 @@ impl<'p> Accelerator<'p> {
     }
 }
 
+/// The accelerator wrapped as a software [`Classifier`](pclass_algos::Classifier),
+/// so the hardware
+/// model plugs into every generic harness in the workspace (the serving
+/// engine in `pclass-engine`, the throughput benchmark, the equivalence
+/// tests).
+///
+/// Unlike [`Accelerator`], which borrows a program, this adapter *owns* its
+/// [`HardwareProgram`] — the trait's `&self` methods leave no room for an
+/// external lifetime, and ownership is what lets a serving layer hold the
+/// classifier behind `Arc<dyn Classifier>` across worker threads.
+#[derive(Debug, Clone)]
+pub struct AcceleratorClassifier {
+    program: HardwareProgram,
+}
+
+impl AcceleratorClassifier {
+    /// Wraps an already-built program.
+    pub fn new(program: HardwareProgram) -> AcceleratorClassifier {
+        AcceleratorClassifier { program }
+    }
+
+    /// Builds the program for a ruleset and wraps it.
+    pub fn build(
+        ruleset: &pclass_types::RuleSet,
+        config: &crate::builder::BuildConfig,
+    ) -> Result<AcceleratorClassifier, crate::builder::BuildError> {
+        HardwareProgram::build(ruleset, config).map(AcceleratorClassifier::new)
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &HardwareProgram {
+        &self.program
+    }
+
+    /// Unwraps the program again.
+    pub fn into_program(self) -> HardwareProgram {
+        self.program
+    }
+}
+
+impl pclass_algos::Classifier for AcceleratorClassifier {
+    fn name(&self) -> &'static str {
+        match self.program.config().algorithm {
+            crate::builder::CutAlgorithm::HiCuts => "hw-hicuts",
+            crate::builder::CutAlgorithm::HyperCuts => "hw-hypercuts",
+        }
+    }
+
+    fn classify(&self, pkt: &PacketHeader) -> MatchResult {
+        Accelerator::new(&self.program).classify_packet(pkt).0
+    }
+
+    fn classify_batch(&self, pkts: &[PacketHeader], out: &mut Vec<MatchResult>) {
+        // One engine for the whole batch (one root preload instead of one
+        // per packet).
+        let engine = Accelerator::new(&self.program);
+        out.reserve(pkts.len());
+        for pkt in pkts {
+            out.push(engine.classify_packet(pkt).0);
+        }
+    }
+
+    fn classify_with_stats(
+        &self,
+        pkt: &PacketHeader,
+        stats: &mut pclass_algos::LookupStats,
+    ) -> MatchResult {
+        let (result, pc) = Accelerator::new(&self.program).classify_packet(pkt);
+        // Each fetched 4800-bit word is one memory access; the comparator
+        // array examines a whole word per cycle, modelled as one load plus
+        // the per-rule compare work in the ALU column.
+        stats.memory_accesses += u64::from(pc.memory_accesses());
+        stats.nodes_visited += u64::from(pc.internal_fetches);
+        stats.rules_compared += u64::from(pc.rules_examined);
+        stats.ops.loads += u64::from(pc.memory_accesses());
+        stats.ops.alu += u64::from(pc.rules_examined);
+        result
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.program.memory_bytes()
+    }
+
+    fn worst_case_memory_accesses(&self) -> Option<u64> {
+        Some(u64::from(self.program.worst_case_cycles()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +335,29 @@ mod tests {
             HardwareProgram::build_with_capacity(&rs, &BuildConfig::paper_defaults(algo), 4096)
                 .unwrap();
         (rs, trace, program)
+    }
+
+    #[test]
+    fn classifier_adapter_matches_raw_accelerator() {
+        use pclass_algos::Classifier as _;
+        let (rs, trace, program) = setup(SeedStyle::Acl, 300, 800, CutAlgorithm::HyperCuts);
+        let raw = Accelerator::new(&program).classify_trace(&trace);
+        let adapter = AcceleratorClassifier::new(program.clone());
+        assert_eq!(adapter.name(), "hw-hypercuts");
+        assert_eq!(adapter.memory_bytes(), program.memory_bytes());
+        assert_eq!(
+            adapter.worst_case_memory_accesses(),
+            Some(u64::from(program.worst_case_cycles()))
+        );
+        let headers: Vec<PacketHeader> = trace.headers().copied().collect();
+        let mut batched = Vec::new();
+        adapter.classify_batch(&headers, &mut batched);
+        assert_eq!(batched, raw.results);
+        let mut stats = pclass_algos::LookupStats::new();
+        let first = adapter.classify_with_stats(&headers[0], &mut stats);
+        assert_eq!(first, raw.results[0]);
+        assert!(stats.memory_accesses >= 1);
+        let _ = rs;
     }
 
     #[test]

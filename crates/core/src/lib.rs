@@ -22,8 +22,11 @@
 //!    next packet overlapped with the leaf search of the current one).
 //! 5. [`parallel`] — a multi-engine frontend that shards a trace over
 //!    several accelerator instances (the "multiple memory blocks in
-//!    parallel" deployment the introduction describes) using crossbeam
-//!    scoped threads.
+//!    parallel" deployment the introduction describes) using scoped
+//!    threads.  The same accelerator also serves behind the generic
+//!    software `Classifier` trait via [`hw::AcceleratorClassifier`], which
+//!    is how the `pclass-engine` serving layer and the throughput harness
+//!    drive it.
 //!
 //! Every classification decision produced by the accelerator model is
 //! checked against linear search in the test suite; cycle counts follow the
@@ -40,7 +43,7 @@ pub mod parallel;
 pub mod program;
 
 pub use builder::{BuildConfig, BuildError, CutAlgorithm, SpeedMode};
-pub use hw::{Accelerator, ClassificationReport};
+pub use hw::{Accelerator, AcceleratorClassifier, ClassificationReport};
 pub use parallel::ParallelAccelerator;
 pub use program::{HardwareProgram, ProgramStats};
 

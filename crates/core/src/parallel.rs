@@ -10,9 +10,10 @@
 //! order.
 //!
 //! Scoped threads (`std::thread::scope`) are used so the program can be
-//! borrowed without reference counting; the work split is deterministic
-//! (contiguous chunks), so results and cycle counts do not depend on
-//! scheduling.
+//! borrowed without reference counting; the work split is the deterministic
+//! balanced chunking of [`pclass_types::shard_slices`] (shared with the
+//! software serving engine in `pclass-engine`), so results and cycle counts
+//! do not depend on scheduling.
 
 use crate::hw::{Accelerator, ClassificationReport, PacketCycles};
 use crate::program::HardwareProgram;
@@ -59,12 +60,15 @@ impl<'p> ParallelAccelerator<'p> {
             };
         }
         let entries = trace.entries();
-        let chunk = entries.len().div_ceil(self.engines);
+        let shards = trace.shards(self.engines);
         let mut partial: Vec<Option<EnginePartial>> = (0..self.engines).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (i, slice) in entries.chunks(chunk).enumerate() {
+            for (i, slice) in shards.into_iter().enumerate() {
+                if slice.is_empty() {
+                    continue;
+                }
                 let program = self.program;
                 handles.push((
                     i,

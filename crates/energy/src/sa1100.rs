@@ -1,7 +1,8 @@
 //! Operation-level energy model of the StrongARM SA-1100.
 //!
 //! The paper obtains its software energy figures by simulating the
-//! algorithms on a StrongARM SA-1100 with Sim-Panalyzer [17].  Reproducing a
+//! algorithms on a StrongARM SA-1100 with Sim-Panalyzer (reference \[17\]
+//! of the paper).  Reproducing a
 //! micro-architectural power simulator is out of scope, so this module uses
 //! an operation-level substitute: every instrumented classifier and builder
 //! reports how many loads, stores, ALU operations, branches, multiplies and

@@ -1,0 +1,377 @@
+//! Batched, multi-core serving layer over every classifier.
+//!
+//! The paper's parallel deployment — several search engines sharing one
+//! read-only structure, each consuming a shard of the traffic — is not
+//! specific to the hardware model: any [`Classifier`] can serve a sharded
+//! trace the same way.  This crate generalises the sharding previously
+//! hard-coded for the accelerator in `pclass-core::parallel` into an
+//! [`Engine`] that
+//!
+//! * owns one shared classifier handle per worker shard
+//!   (`Arc<dyn Classifier + Send + Sync>`),
+//! * splits a [`Trace`] into the deterministic balanced chunks of
+//!   [`pclass_types::shard_slices`] over `std::thread::scope` workers,
+//! * drives each shard through [`Classifier::classify_batch`] in
+//!   cache-friendly sub-batches, and
+//! * merges the per-worker outputs back in trace order, together with a
+//!   machine-readable [`ThroughputReport`].
+//!
+//! The report serializes to JSON through the workspace serde shim; the
+//! `throughput` binary in `pclass-bench` uses that to record the
+//! performance trajectory (`BENCH_throughput.json`) in CI.
+//!
+//! Determinism: results are *always* packet-for-packet identical to a
+//! sequential per-packet run of the same classifier — sharding only changes
+//! wall-clock time, never decisions.  The integration tests enforce this
+//! for every classifier in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pclass_algos::Classifier;
+use pclass_types::{MatchResult, PacketHeader, Trace};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A classifier handle the engine can share across worker threads.
+pub type SharedClassifier = Arc<dyn Classifier + Send + Sync>;
+
+/// Default number of packets handed to [`Classifier::classify_batch`] at a
+/// time.  Large enough to amortise per-batch overhead and let batched
+/// implementations (RFC's phase-major loop) reuse their tables, small
+/// enough that the copied header block stays in L1.
+pub const DEFAULT_BATCH_SIZE: usize = 512;
+
+/// Throughput of one worker over its shard.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkerReport {
+    /// Worker index (shard index in trace order).
+    pub worker: usize,
+    /// Packets this worker classified.
+    pub pkts: u64,
+    /// Wall-clock nanoseconds the worker spent classifying.
+    pub wall_ns: u64,
+    /// Millions of packets per second sustained by this worker.
+    pub mpps: f64,
+}
+
+/// Merged throughput measurement of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ThroughputReport {
+    /// Total packets classified.
+    pub pkts: u64,
+    /// Wall-clock nanoseconds for the whole run (slowest worker plus
+    /// fork/join overhead).
+    pub wall_ns: u64,
+    /// Millions of packets per second over the whole run.
+    pub mpps: f64,
+    /// Per-worker breakdown, one entry per shard.
+    pub per_worker: Vec<WorkerReport>,
+}
+
+/// Output of [`Engine::classify_trace`]: the merged decisions in trace
+/// order plus the throughput measurement.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// One result per trace packet, in arrival order.
+    pub results: Vec<MatchResult>,
+    /// The throughput measurement of this run.
+    pub report: ThroughputReport,
+}
+
+fn mpps(pkts: u64, wall_ns: u64) -> f64 {
+    if wall_ns == 0 {
+        return 0.0;
+    }
+    // pkts / (wall_ns / 1e9) / 1e6
+    pkts as f64 * 1e3 / wall_ns as f64
+}
+
+/// A bank of worker shards serving one classifier.
+///
+/// ```
+/// use pclass_algos::LinearClassifier;
+/// use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+/// use pclass_engine::Engine;
+/// use std::sync::Arc;
+///
+/// let rs = ClassBenchGenerator::new(SeedStyle::Acl, 1).generate(200);
+/// let trace = TraceGenerator::new(&rs, 2).generate(1_000);
+/// let engine = Engine::from_shared(4, Arc::new(LinearClassifier::new(rs.clone())));
+/// let run = engine.classify_trace(&trace);
+/// assert_eq!(run.results, trace.ground_truth(&rs));
+/// assert_eq!(run.report.pkts, 1_000);
+/// ```
+pub struct Engine {
+    shards: Vec<SharedClassifier>,
+    batch: usize,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.shards.len())
+            .field("batch", &self.batch)
+            .field("classifier", &self.name())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine of `workers` shards (at least 1), calling
+    /// `factory(worker_index)` once per shard.
+    ///
+    /// Use this when each worker should own its own copy of the search
+    /// structure (e.g. to place it in that worker's NUMA domain); use
+    /// [`Engine::from_shared`] to share one read-only structure.
+    pub fn new(workers: usize, mut factory: impl FnMut(usize) -> SharedClassifier) -> Engine {
+        let workers = workers.max(1);
+        Engine {
+            shards: (0..workers).map(&mut factory).collect(),
+            batch: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Creates an engine of `workers` shards (at least 1) all sharing one
+    /// classifier — the common deployment, mirroring the paper's engines
+    /// sharing one read-only memory image.
+    pub fn from_shared(workers: usize, classifier: SharedClassifier) -> Engine {
+        Engine::new(workers, |_| Arc::clone(&classifier))
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current sub-batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Overrides the sub-batch size (clamped to at least 1).
+    pub fn with_batch_size(mut self, batch: usize) -> Engine {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Name reported by the shard classifiers (they are all the same
+    /// algorithm by construction; the first shard's name is used).
+    pub fn name(&self) -> &'static str {
+        self.shards[0].name()
+    }
+
+    /// Classifies a whole trace, sharding it across the workers.
+    ///
+    /// Results are merged in trace order and are identical to what a
+    /// sequential per-packet loop over the same classifier would produce.
+    pub fn classify_trace(&self, trace: &Trace) -> EngineRun {
+        let workers = self.shards.len();
+        let started = Instant::now();
+        let shards = trace.shards(workers);
+        let mut partials: Vec<Option<(Vec<MatchResult>, u64)>> =
+            (0..workers).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slice) in shards.into_iter().enumerate() {
+                if slice.is_empty() {
+                    partials[i] = Some((Vec::new(), 0));
+                    continue;
+                }
+                let classifier = Arc::clone(&self.shards[i]);
+                let batch = self.batch;
+                handles.push((
+                    i,
+                    scope.spawn(move || {
+                        let worker_started = Instant::now();
+                        let mut results = Vec::with_capacity(slice.len());
+                        let mut headers: Vec<PacketHeader> =
+                            Vec::with_capacity(batch.min(slice.len()));
+                        for sub in slice.chunks(batch) {
+                            headers.clear();
+                            headers.extend(sub.iter().map(|e| e.header));
+                            classifier.classify_batch(&headers, &mut results);
+                        }
+                        let wall_ns = worker_started.elapsed().as_nanos() as u64;
+                        (results, wall_ns)
+                    }),
+                ));
+            }
+            for (i, handle) in handles {
+                partials[i] = Some(handle.join().expect("engine worker panicked"));
+            }
+        });
+
+        let mut results = Vec::with_capacity(trace.len());
+        let mut per_worker = Vec::with_capacity(workers);
+        for (worker, partial) in partials.into_iter().enumerate() {
+            let (shard_results, wall_ns) = partial.expect("worker output missing");
+            let pkts = shard_results.len() as u64;
+            per_worker.push(WorkerReport {
+                worker,
+                pkts,
+                wall_ns,
+                mpps: mpps(pkts, wall_ns),
+            });
+            results.extend(shard_results);
+        }
+        debug_assert_eq!(results.len(), trace.len());
+
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let pkts = results.len() as u64;
+        EngineRun {
+            results,
+            report: ThroughputReport {
+                pkts,
+                wall_ns,
+                mpps: mpps(pkts, wall_ns),
+                per_worker,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclass_algos::{
+        HiCutsClassifier, HiCutsConfig, HyperCutsClassifier, HyperCutsConfig, LinearClassifier,
+        RfcClassifier,
+    };
+    use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+    use pclass_core::builder::{BuildConfig, CutAlgorithm};
+    use pclass_core::AcceleratorClassifier;
+    use pclass_tcam::TcamClassifier;
+
+    fn workload(rules: usize, packets: usize) -> (pclass_types::RuleSet, Trace) {
+        let rs = ClassBenchGenerator::new(SeedStyle::Acl, 31).generate(rules);
+        let trace = TraceGenerator::new(&rs, 32).generate(packets);
+        (rs, trace)
+    }
+
+    // Local minimal roster: the canonical `pclass_bench::serving_roster`
+    // lives downstream of this crate (pclass-bench depends on pclass-engine),
+    // so the unit tests keep their own copy; workspace-level coverage in
+    // `tests/engine_equivalence.rs` uses the canonical one.
+    fn all_classifiers(rs: &pclass_types::RuleSet) -> Vec<SharedClassifier> {
+        vec![
+            Arc::new(LinearClassifier::new(rs.clone())),
+            Arc::new(HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults())),
+            Arc::new(HyperCutsClassifier::build(
+                rs,
+                &HyperCutsConfig::paper_defaults(),
+            )),
+            Arc::new(RfcClassifier::build(rs).expect("RFC fits")),
+            Arc::new(TcamClassifier::program(rs).expect("TCAM programs")),
+            Arc::new(
+                AcceleratorClassifier::build(
+                    rs,
+                    &BuildConfig::paper_defaults(CutAlgorithm::HyperCuts),
+                )
+                .expect("program fits"),
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_classifier_serves_identically_at_every_worker_count() {
+        let (rs, trace) = workload(250, 1_200);
+        let truth = trace.ground_truth(&rs);
+        for classifier in all_classifiers(&rs) {
+            for workers in [1usize, 2, 4, 7] {
+                let engine = Engine::from_shared(workers, Arc::clone(&classifier));
+                assert_eq!(engine.workers(), workers);
+                let run = engine.classify_trace(&trace);
+                assert_eq!(run.results, truth, "{} x{workers}", engine.name());
+                assert_eq!(run.report.pkts, trace.len() as u64);
+                assert_eq!(run.report.per_worker.len(), workers);
+                let shard_sum: u64 = run.report.per_worker.iter().map(|w| w.pkts).sum();
+                assert_eq!(shard_sum, trace.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_and_tiny_traces_are_served() {
+        let (rs, _) = workload(50, 1);
+        let classifier: SharedClassifier = Arc::new(LinearClassifier::new(rs.clone()));
+        let engine = Engine::from_shared(4, Arc::clone(&classifier));
+
+        let empty = Trace::from_headers("empty", vec![]);
+        let run = engine.classify_trace(&empty);
+        assert!(run.results.is_empty());
+        assert_eq!(run.report.pkts, 0);
+        assert_eq!(run.report.per_worker.len(), 4);
+        assert!(run.report.per_worker.iter().all(|w| w.pkts == 0));
+
+        // Fewer packets than workers: trailing shards idle, order preserved.
+        let tiny = TraceGenerator::new(&rs, 5).generate(3);
+        let run = engine.classify_trace(&tiny);
+        assert_eq!(run.results, tiny.ground_truth(&rs));
+        assert_eq!(run.report.pkts, 3);
+    }
+
+    #[test]
+    fn sub_batch_size_does_not_change_results() {
+        let (rs, trace) = workload(120, 700);
+        let truth = trace.ground_truth(&rs);
+        let classifier: SharedClassifier = Arc::new(RfcClassifier::build(&rs).unwrap());
+        for batch in [1usize, 3, 64, 512, 10_000] {
+            let engine = Engine::from_shared(3, Arc::clone(&classifier)).with_batch_size(batch);
+            assert_eq!(engine.batch_size(), batch.max(1));
+            assert_eq!(
+                engine.classify_trace(&trace).results,
+                truth,
+                "batch {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let (rs, trace) = workload(40, 60);
+        let engine = Engine::from_shared(0, Arc::new(LinearClassifier::new(rs.clone())));
+        assert_eq!(engine.workers(), 1);
+        assert_eq!(
+            engine.classify_trace(&trace).results,
+            trace.ground_truth(&rs)
+        );
+    }
+
+    #[test]
+    fn per_worker_factory_is_called_once_per_shard() {
+        let (rs, trace) = workload(40, 200);
+        let mut calls = 0usize;
+        let engine = Engine::new(3, |worker| {
+            assert_eq!(worker, calls);
+            calls += 1;
+            Arc::new(LinearClassifier::new(rs.clone()))
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(
+            engine.classify_trace(&trace).results,
+            trace.ground_truth(&rs)
+        );
+    }
+
+    #[test]
+    fn throughput_report_serializes_to_json() {
+        let report = ThroughputReport {
+            pkts: 2,
+            wall_ns: 1_000,
+            mpps: 2.0,
+            per_worker: vec![WorkerReport {
+                worker: 0,
+                pkts: 2,
+                wall_ns: 900,
+                mpps: 2.2,
+            }],
+        };
+        assert_eq!(
+            serde::json::to_string(&report),
+            r#"{"pkts":2,"wall_ns":1000,"mpps":2.0,"per_worker":[{"worker":0,"pkts":2,"wall_ns":900,"mpps":2.2}]}"#
+        );
+    }
+}

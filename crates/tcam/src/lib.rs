@@ -165,6 +165,41 @@ impl TcamClassifier {
     }
 }
 
+impl pclass_algos::Classifier for TcamClassifier {
+    fn name(&self) -> &'static str {
+        "tcam"
+    }
+
+    fn classify(&self, pkt: &PacketHeader) -> MatchResult {
+        TcamClassifier::classify(self, pkt)
+    }
+
+    fn classify_with_stats(
+        &self,
+        pkt: &PacketHeader,
+        stats: &mut pclass_algos::LookupStats,
+    ) -> MatchResult {
+        // A real TCAM compares every entry against the key in one clock and
+        // priority-encodes the result: one memory access for the lookup, all
+        // entries compared in parallel.  The comparator work is charged to
+        // the ALU column so energy models see the match fabric's activity.
+        stats.memory_accesses += 1;
+        stats.rules_compared += self.entries.len() as u64;
+        stats.ops.loads += 1;
+        stats.ops.alu += self.entries.len() as u64;
+        TcamClassifier::classify(self, pkt)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.stats().storage_bits.div_ceil(8)
+    }
+
+    fn worst_case_memory_accesses(&self) -> Option<u64> {
+        // The parallel match makes every lookup a single access.
+        Some(1)
+    }
+}
+
 /// Expands one rule into ternary entries: the cross product of the prefix
 /// expansions of its two port ranges (IP fields are prefixes already;
 /// protocol is exact or wildcard).
@@ -366,6 +401,28 @@ mod tests {
         let stats = tcam.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.storage_efficiency, 0.0);
+    }
+
+    #[test]
+    fn classifier_trait_impl_matches_inherent_lookup() {
+        use pclass_algos::Classifier;
+        let rs = sample_set();
+        let tcam = TcamClassifier::program(&rs).unwrap();
+        assert_eq!(Classifier::name(&tcam), "tcam");
+        assert_eq!(tcam.worst_case_memory_accesses(), Some(1));
+        assert_eq!(tcam.memory_bytes(), tcam.stats().storage_bits.div_ceil(8));
+        let pkts: Vec<PacketHeader> = (0u32..40)
+            .map(|i| PacketHeader::five_tuple(0x0A01_0101 ^ i, 0xC0A8_0105, 4000, 80, 6))
+            .collect();
+        let mut batched = Vec::new();
+        tcam.classify_batch(&pkts, &mut batched);
+        for (pkt, got) in pkts.iter().zip(&batched) {
+            assert_eq!(*got, TcamClassifier::classify(&tcam, pkt));
+        }
+        let mut stats = pclass_algos::LookupStats::new();
+        tcam.classify_with_stats(&pkts[0], &mut stats);
+        assert_eq!(stats.memory_accesses, 1);
+        assert_eq!(stats.rules_compared, tcam.entries().len() as u64);
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub use range::FieldRange;
 pub use rule::{Protocol, Rule, RuleBuilder, RuleId};
 pub use ruleset::{MatchResult, RuleSet, RuleSetError};
 pub use stats::RuleSetStats;
-pub use trace::{Trace, TraceEntry};
+pub use trace::{shard_slices, Trace, TraceEntry};

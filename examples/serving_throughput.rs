@@ -1,0 +1,53 @@
+//! Batched multi-core serving over every classifier.
+//!
+//! The ROADMAP's north star is a serving system, not a single lookup: this
+//! example builds one ruleset, takes the full classifier roster from
+//! `pclass_bench::serving_roster` — software baselines, the TCAM model and
+//! the hardware accelerator — behind the same `pclass-engine` serving
+//! layer, replays a trace across worker shards, and prints the measured
+//! throughput, verifying every decision against linear search as it goes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serving_throughput
+//! ```
+
+use packet_classifier::prelude::*;
+use pclass_bench::serving_roster;
+use std::sync::Arc;
+
+fn main() {
+    let ruleset = ClassBenchGenerator::new(SeedStyle::Acl, 42).generate(1_000);
+    let trace = TraceGenerator::new(&ruleset, 7).generate(10_000);
+    let truth = trace.ground_truth(&ruleset);
+
+    println!(
+        "serving {} packets against {} ({} rules)\n",
+        trace.len(),
+        ruleset.name(),
+        ruleset.len()
+    );
+    println!(
+        "{:<14} {:>7} | {:>10} {:>8}",
+        "classifier", "workers", "wall [ms]", "Mpps"
+    );
+    let roster = serving_roster(&ruleset);
+    for skip in &roster.skipped {
+        println!("{:<14} skipped: {}", skip.classifier, skip.reason);
+    }
+    for (name, classifier) in roster.classifiers {
+        for workers in [1usize, 4] {
+            let engine = Engine::from_shared(workers, Arc::clone(&classifier));
+            let run = engine.classify_trace(&trace);
+            assert_eq!(run.results, truth, "{name} disagrees with linear");
+            println!(
+                "{:<14} {:>7} | {:>10.2} {:>8.3}",
+                name,
+                workers,
+                run.report.wall_ns as f64 / 1e6,
+                run.report.mpps
+            );
+        }
+    }
+    println!("\nall decisions verified against linear search");
+}

@@ -1,18 +1,395 @@
-//! Offline API-surface shim for `serde`.
+//! Offline API-surface shim for `serde`, with a working JSON backend.
 //!
 //! Provides the `Serialize` / `Deserialize` names in both the trait and
 //! macro namespaces so `use serde::{Deserialize, Serialize};` plus
-//! `#[derive(Serialize, Deserialize)]` compile unchanged.  The derives are
-//! no-ops and the traits are empty markers: nothing in the workspace
-//! serializes data yet (see `shims/README.md`).
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.  Unlike the
+//! original marker-only shim, `Serialize` is now functional: the derive in
+//! `serde_derive` generates real implementations that stream a value into
+//! the [`json::JsonWriter`], and [`json::to_string`] renders any
+//! serializable value as a JSON document (this is what the benchmark
+//! harness uses to emit `BENCH_throughput.json`).
+//!
+//! Divergence from upstream worth knowing about when this shim is ever
+//! replaced by the registry crates: upstream's `Serialize::serialize` is
+//! generic over a `Serializer`; here it is monomorphic over the JSON writer
+//! (the only backend the workspace needs), and `json::to_string` plays the
+//! role of `serde_json::to_string` but returns `String` directly instead of
+//! a `Result`.  `Deserialize` remains a marker trait — nothing in the
+//! workspace parses serialized data yet.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+/// A value that can be written as JSON.
+///
+/// Stand-in for `serde::Serialize`; implementations are usually generated
+/// by `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Streams `self` into the JSON writer as one complete value.
+    fn serialize(&self, writer: &mut json::JsonWriter);
+}
 
 /// Marker stand-in for `serde::Deserialize`.
 pub trait Deserialize<'de>: Sized {}
+
+/// Minimal JSON emission — the shim's stand-in for `serde_json`.
+pub mod json {
+    use super::Serialize;
+
+    /// Renders a serializable value as a JSON document.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut writer = JsonWriter::new();
+        value.serialize(&mut writer);
+        writer.finish()
+    }
+
+    /// Renders a serializable value as JSON with trailing newline, the
+    /// conventional shape for files committed as build artifacts.
+    pub fn to_file_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut s = to_string(value);
+        s.push('\n');
+        s
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Frame {
+        in_array: bool,
+        items: usize,
+    }
+
+    /// An append-only JSON stream writer.
+    ///
+    /// Values call [`JsonWriter::begin_object`] / [`JsonWriter::key`] /
+    /// scalar methods in document order; the writer inserts commas and
+    /// colons.  The output is compact (no whitespace) and UTF-8 clean.
+    #[derive(Debug, Default)]
+    pub struct JsonWriter {
+        out: String,
+        stack: Vec<Frame>,
+        after_key: bool,
+    }
+
+    impl JsonWriter {
+        /// An empty writer.
+        pub fn new() -> JsonWriter {
+            JsonWriter::default()
+        }
+
+        /// Consumes the writer and returns the JSON text.
+        ///
+        /// # Panics
+        /// Panics if an object or array was left open.
+        pub fn finish(self) -> String {
+            assert!(
+                self.stack.is_empty(),
+                "JsonWriter finished with {} unclosed container(s)",
+                self.stack.len()
+            );
+            self.out
+        }
+
+        /// Comma bookkeeping shared by every value-producing method: a value
+        /// directly follows a key (no comma), or is an array element
+        /// (comma-separated), or is the document root.
+        fn value_prelude(&mut self) {
+            if self.after_key {
+                self.after_key = false;
+                return;
+            }
+            if let Some(frame) = self.stack.last_mut() {
+                debug_assert!(frame.in_array, "object member written without a key");
+                if frame.items > 0 {
+                    self.out.push(',');
+                }
+                frame.items += 1;
+            }
+        }
+
+        /// Opens an object (`{`).
+        pub fn begin_object(&mut self) {
+            self.value_prelude();
+            self.out.push('{');
+            self.stack.push(Frame {
+                in_array: false,
+                items: 0,
+            });
+        }
+
+        /// Closes the innermost object (`}`).
+        pub fn end_object(&mut self) {
+            let frame = self.stack.pop().expect("end_object with no open object");
+            debug_assert!(!frame.in_array, "end_object closing an array");
+            self.out.push('}');
+        }
+
+        /// Opens an array (`[`).
+        pub fn begin_array(&mut self) {
+            self.value_prelude();
+            self.out.push('[');
+            self.stack.push(Frame {
+                in_array: true,
+                items: 0,
+            });
+        }
+
+        /// Closes the innermost array (`]`).
+        pub fn end_array(&mut self) {
+            let frame = self.stack.pop().expect("end_array with no open array");
+            debug_assert!(frame.in_array, "end_array closing an object");
+            self.out.push(']');
+        }
+
+        /// Writes an object key; the next write is its value.
+        pub fn key(&mut self, key: &str) {
+            let frame = self.stack.last_mut().expect("key outside an object");
+            debug_assert!(!frame.in_array, "key inside an array");
+            if frame.items > 0 {
+                self.out.push(',');
+            }
+            frame.items += 1;
+            write_escaped(&mut self.out, key);
+            self.out.push(':');
+            self.after_key = true;
+        }
+
+        /// Writes a string value.
+        pub fn string(&mut self, value: &str) {
+            self.value_prelude();
+            write_escaped(&mut self.out, value);
+        }
+
+        /// Writes an unsigned integer value.
+        pub fn unsigned(&mut self, value: u128) {
+            self.value_prelude();
+            self.out.push_str(&value.to_string());
+        }
+
+        /// Writes a signed integer value.
+        pub fn signed(&mut self, value: i128) {
+            self.value_prelude();
+            self.out.push_str(&value.to_string());
+        }
+
+        /// Writes a floating-point value (`null` for NaN/infinities, which
+        /// JSON cannot represent).
+        pub fn float(&mut self, value: f64) {
+            self.value_prelude();
+            if value.is_finite() {
+                // Rust's float Display is the shortest round-trippable form,
+                // but it omits the fractional part for integral values;
+                // keep a `.0` so consumers see a JSON number with a clear
+                // floating-point intent.
+                let text = value.to_string();
+                self.out.push_str(&text);
+                if !text.contains(['.', 'e', 'E']) {
+                    self.out.push_str(".0");
+                }
+            } else {
+                self.out.push_str("null");
+            }
+        }
+
+        /// Writes a boolean value.
+        pub fn boolean(&mut self, value: bool) {
+            self.value_prelude();
+            self.out.push_str(if value { "true" } else { "false" });
+        }
+
+        /// Writes a JSON `null`.
+        pub fn null(&mut self) {
+            self.value_prelude();
+            self.out.push_str("null");
+        }
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, writer: &mut json::JsonWriter) {
+                writer.unsigned(u128::from(*self));
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, u128);
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, writer: &mut json::JsonWriter) {
+                writer.signed(i128::from(*self));
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, i128);
+
+impl Serialize for usize {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.unsigned(*self as u128);
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.signed(*self as i128);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.float(f64::from(*self));
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.float(*self);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.boolean(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        (**self).serialize(writer);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        match self {
+            Some(value) => value.serialize(writer),
+            None => writer.null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.begin_array();
+        for item in self {
+            item.serialize(writer);
+        }
+        writer.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        self.as_slice().serialize(writer);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        self.as_slice().serialize(writer);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.begin_array();
+        self.0.serialize(writer);
+        self.1.serialize(writer);
+        writer.end_array();
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, writer: &mut json::JsonWriter) {
+        writer.begin_array();
+        self.0.serialize(writer);
+        self.1.serialize(writer);
+        self.2.serialize(writer);
+        writer.end_array();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(json::to_string(&42u32), "42");
+        assert_eq!(json::to_string(&-7i64), "-7");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&2.0f64), "2.0");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string("hi \"there\"\n"), r#""hi \"there\"\n""#);
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(json::to_string(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json::to_string(&[1u8, 2]), "[1,2]");
+        assert_eq!(json::to_string(&Some(5u8)), "5");
+        assert_eq!(json::to_string(&Option::<u8>::None), "null");
+        assert_eq!(json::to_string(&(1u8, "x")), "[1,\"x\"]");
+        assert_eq!(json::to_string(&(1u8, 2u8, 3u8)), "[1,2,3]");
+    }
+
+    #[test]
+    fn writer_builds_objects() {
+        let mut w = json::JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.unsigned(1);
+        w.key("b");
+        w.begin_array();
+        w.string("x");
+        w.string("y");
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":["x","y"]}"#);
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json::to_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn file_string_ends_with_newline() {
+        assert_eq!(json::to_file_string(&1u8), "1\n");
+    }
+}

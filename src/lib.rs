@@ -17,6 +17,8 @@
 //! * [`energy`] — SA-1100, ASIC, FPGA and TCAM/SRAM energy & power models
 //!   ([`pclass_energy`]).
 //! * [`tcam`] — functional TCAM baseline ([`pclass_tcam`]).
+//! * [`engine`] — batched, multi-core serving layer over every classifier
+//!   ([`pclass_engine`]).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use pclass_algos as algos;
 pub use pclass_classbench as classbench;
 pub use pclass_core as core;
 pub use pclass_energy as energy;
+pub use pclass_engine as engine;
 pub use pclass_tcam as tcam;
 pub use pclass_types as types;
 
@@ -59,10 +62,11 @@ pub mod prelude {
     pub use pclass_algos::Classifier;
     pub use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
     pub use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
-    pub use pclass_core::hw::{Accelerator, ClassificationReport};
+    pub use pclass_core::hw::{Accelerator, AcceleratorClassifier, ClassificationReport};
     pub use pclass_core::program::HardwareProgram;
     pub use pclass_energy::device::{DeviceModel, TechnologyNode};
     pub use pclass_energy::sa1100::Sa1100Model;
+    pub use pclass_engine::{Engine, EngineRun, SharedClassifier, ThroughputReport, WorkerReport};
     pub use pclass_tcam::TcamClassifier;
     pub use pclass_types::{
         Dimension, DimensionSpec, FieldRange, MatchResult, PacketHeader, Prefix, Rule, RuleBuilder,

@@ -1,0 +1,85 @@
+//! Property-based equivalence of the serving engine: for every classifier
+//! in the workspace, `pclass_engine::Engine` must produce exactly the
+//! per-packet sequential decisions, for any worker count and any trace
+//! length — including the chunk-boundary edge cases (empty trace, trace
+//! smaller than the worker count, trace length not divisible by workers).
+//!
+//! The classifier roster comes from `pclass_bench::serving_roster`, the
+//! same single source of truth the `throughput` CI harness uses, so a
+//! classifier added to the workspace is automatically covered here.
+
+use packet_classifier::prelude::*;
+use pclass_bench::serving_roster;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// All serveable classifiers for one ruleset; small rulesets must never
+/// produce build skips.
+fn classifiers(rs: &RuleSet) -> Vec<SharedClassifier> {
+    let roster = serving_roster(rs);
+    assert!(
+        roster.skipped.is_empty(),
+        "unexpected build skips on a small ruleset: {:?}",
+        roster.skipped
+    );
+    roster.classifiers.into_iter().map(|(_, c)| c).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn engine_matches_sequential_classification(
+        seed in 0u64..1_000_000,
+        rules in 1usize..120,
+        packets in 0usize..300,
+    ) {
+        let rs = ClassBenchGenerator::new(SeedStyle::Acl, seed).generate(rules);
+        let trace = TraceGenerator::new(&rs, seed ^ 0xBEEF).generate(packets);
+        for classifier in classifiers(&rs) {
+            // Sequential per-packet reference over the same classifier.
+            let sequential: Vec<MatchResult> =
+                trace.headers().map(|h| classifier.classify(h)).collect();
+            for workers in [1usize, 2, 4] {
+                let engine = Engine::from_shared(workers, Arc::clone(&classifier));
+                let run = engine.classify_trace(&trace);
+                prop_assert_eq!(
+                    &run.results,
+                    &sequential,
+                    "{} with {} workers on {} packets",
+                    engine.name(),
+                    workers,
+                    packets
+                );
+                prop_assert_eq!(run.report.pkts, packets as u64);
+                prop_assert_eq!(run.report.per_worker.len(), workers);
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_handles_empty_trace_for_every_classifier() {
+    let rs = ClassBenchGenerator::new(SeedStyle::Acl, 77).generate(40);
+    let empty = Trace::from_headers("empty", vec![]);
+    for classifier in classifiers(&rs) {
+        for workers in [1usize, 2, 4] {
+            let run = Engine::from_shared(workers, Arc::clone(&classifier)).classify_trace(&empty);
+            assert!(run.results.is_empty());
+            assert_eq!(run.report.pkts, 0);
+        }
+    }
+}
+
+#[test]
+fn engine_handles_trace_smaller_than_worker_count() {
+    let rs = ClassBenchGenerator::new(SeedStyle::Ipc, 78).generate(60);
+    let trace = TraceGenerator::new(&rs, 79).generate(3);
+    let truth = trace.ground_truth(&rs);
+    for classifier in classifiers(&rs) {
+        let run = Engine::from_shared(4, Arc::clone(&classifier)).classify_trace(&trace);
+        assert_eq!(run.results, truth);
+        // Exactly one result per packet even though one shard is idle.
+        let served: u64 = run.report.per_worker.iter().map(|w| w.pkts).sum();
+        assert_eq!(served, 3);
+    }
+}
