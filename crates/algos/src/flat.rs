@@ -1,0 +1,665 @@
+//! Cache-compact flat arena representation of a decision tree, with a
+//! batched level-synchronous traversal.
+//!
+//! The pointer trees built by [`crate::hicuts`] and [`crate::hypercuts`]
+//! classify one packet at a time by chasing [`NodeId`] indirections through
+//! an enum-of-`Vec`s [`DecisionTree`]: every step loads a large [`Node`]
+//! (a 40-byte region, a depth, and a `NodeKind` whose `Vec` payloads live in
+//! separate heap allocations), so a traversal is a chain of dependent cache
+//! misses — exactly the memory-latency wall the HiCuts and HyperCuts papers
+//! identify as the cost of decision-tree classification.
+//!
+//! [`FlatTree`] re-packs a built tree into a handful of dense arrays:
+//!
+//! * per-node *records* in struct-of-arrays form — a cut-slab span, a
+//!   child-base index and a rule-slab span per node (the span length doubles
+//!   as the leaf flag: a node with no cut records is a leaf);
+//! * one shared **cut slab** of `(dimension, parts, lo, hi)` records, in
+//!   dimension order so the mixed-radix child index of
+//!   [`CutSpec::child_index`](crate::dtree::CutSpec::child_index) is reproduced exactly;
+//! * one shared **child slab** holding every child pointer array
+//!   back-to-back, addressed by `(child_base + index)`;
+//! * one shared **rule slab** with all leaf rule lists and pushed-up rule
+//!   lists packed end to end as inline rule *images* (id + the five range
+//!   pairs), addressed by `(offset, len)` — a leaf scan is one sequential
+//!   read, with no second indirection into a rules array.
+//!
+//! Nodes are renumbered in breadth-first discovery order during
+//! [`FlatTree::from_tree`], so the records of one tree level are contiguous
+//! in memory.  [`FlatTree::classify_batch`] exploits that: it advances a
+//! whole batch of packets one level at a time (a per-batch worklist), so the
+//! node records of the hot top levels are touched by every packet while they
+//! are still in cache — the tree analogue of RFC's phase-major batched loop.
+//!
+//! The flat traversal is decision-for-decision identical to
+//! [`DecisionTree::classify`]; the property tests in
+//! `tests/flat_equivalence.rs` enforce this packet-for-packet across random
+//! rulesets, builder configurations and batch sizes.
+
+use crate::counters::LookupStats;
+use crate::dtree::{DecisionTree, Node, NodeId, NodeKind};
+use crate::hicuts::HiCutsClassifier;
+use crate::hypercuts::HyperCutsClassifier;
+use crate::Classifier;
+use pclass_types::{ArenaStats, FieldRange, MatchResult, PacketHeader, Rule, RuleId, FIELD_COUNT};
+
+/// Sentinel for "no match found yet" in the batched traversal (no rule id
+/// can take this value: rule ids equal ruleset positions).
+const NO_MATCH: u32 = u32::MAX;
+
+/// A `(offset, len)` span into one of the shared slabs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    off: u32,
+    len: u32,
+}
+
+impl Span {
+    #[inline]
+    fn range(self) -> std::ops::Range<usize> {
+        self.off as usize..(self.off + self.len) as usize
+    }
+}
+
+/// One cut dimension of an internal node: `parts` equal-width partitions of
+/// the (possibly compacted) region `[lo, hi]` along dimension `dim`.
+///
+/// Records of one node are stored consecutively in dimension order, so
+/// folding them most-significant-first reproduces the mixed-radix child
+/// index of the pointer tree.
+///
+/// The partition parameters of [`FieldRange::index_of`] (`base` child
+/// width, `rem` leading children one wider, `wide_span = rem * (base+1)`)
+/// depend only on the region and `parts`, so they are precomputed at
+/// flatten time — the per-packet child selection then needs at most one
+/// division instead of three (the same division-removal idea the paper
+/// applies in its hardware-oriented cut algorithms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FlatCut {
+    dim: u32,
+    parts: u32,
+    lo: u32,
+    hi: u32,
+    /// Child width (`region_len / parts`); meaningless when `direct`.
+    base: u32,
+    /// Number of leading children of width `base + 1`.
+    rem: u32,
+    /// `rem * (base + 1)`: offsets below this fall in a wide child.
+    wide_span: u32,
+    /// 1 when `parts >= region_len`: the child index is just the offset.
+    direct: u32,
+}
+
+impl FlatCut {
+    /// Builds a cut record for `parts` partitions of `[lo, hi]` along
+    /// dimension index `dim`.
+    fn new(dim: usize, parts: u32, region: FieldRange) -> FlatCut {
+        let total = region.len();
+        let direct = u64::from(parts) >= total;
+        let (base, rem) = if direct {
+            (0, 0)
+        } else {
+            (total / u64::from(parts), total % u64::from(parts))
+        };
+        // rem * (base + 1) < total <= 2^32, so the narrowing casts are exact
+        // (parts >= 2 for any real cut keeps base below 2^31).
+        FlatCut {
+            dim: dim as u32,
+            parts,
+            lo: region.lo,
+            hi: region.hi,
+            base: base as u32,
+            rem: rem as u32,
+            wide_span: (rem * (base + 1)) as u32,
+            direct: u32::from(direct),
+        }
+    }
+
+    /// Index of the child containing `v`, mirroring
+    /// [`FieldRange::index_of`] over the precomputed parameters.  The
+    /// caller has already checked `lo <= v <= hi`.
+    #[inline]
+    fn sub_index(&self, v: u32) -> u32 {
+        let offset = v - self.lo;
+        if self.direct != 0 {
+            offset
+        } else if offset < self.wide_span {
+            offset / (self.base + 1)
+        } else {
+            self.rem + (offset - self.wide_span) / self.base
+        }
+    }
+}
+
+/// A rule image packed into the rule slab: the id (= priority) and the
+/// five `[lo, hi]` range pairs, inline.
+///
+/// Storing the image instead of a rule *id* makes a leaf scan one
+/// sequential read over the slab — no second indirection into a rules
+/// array — the same idea as the paper's 144-bit packed software rule
+/// images.  The match test is evaluated branch-free over all five
+/// dimensions (non-lazy `&`), which trades a handful of always-executed
+/// compares for the data-dependent branch mispredictions of the
+/// short-circuiting [`Rule::matches`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedRule {
+    id: RuleId,
+    lo: [u32; FIELD_COUNT],
+    hi: [u32; FIELD_COUNT],
+}
+
+impl PackedRule {
+    fn new(rule: &Rule) -> PackedRule {
+        PackedRule {
+            id: rule.id,
+            lo: std::array::from_fn(|d| rule.ranges[d].lo),
+            hi: std::array::from_fn(|d| rule.ranges[d].hi),
+        }
+    }
+
+    #[inline]
+    fn matches(&self, fields: &[u32; FIELD_COUNT]) -> bool {
+        let mut ok = true;
+        for ((&lo, &hi), &v) in self.lo.iter().zip(&self.hi).zip(fields) {
+            ok &= (lo <= v) & (v <= hi);
+        }
+        ok
+    }
+}
+
+/// A decision tree flattened into contiguous arrays (see the module docs
+/// for the layout).  Built from a [`DecisionTree`] with
+/// [`FlatTree::from_tree`]; the root is always record 0.  The arena is
+/// self-contained: classification touches only these dense arrays (the
+/// rule slab stores full rule images, not references).
+#[derive(Debug, Clone)]
+pub struct FlatTree {
+    /// Per-node span into `cuts`; `len == 0` marks a leaf.
+    node_cuts: Vec<Span>,
+    /// Per-node base index into `children` (unused for leaves).
+    node_child_base: Vec<u32>,
+    /// Per-node span into `rule_slab`: the leaf rules of a leaf, the
+    /// pushed-up stored rules of an internal node.
+    node_rules: Vec<Span>,
+    /// Shared cut-record slab.
+    cuts: Vec<FlatCut>,
+    /// Shared child-pointer slab (flat node ids).
+    children: Vec<u32>,
+    /// Shared packed-rule-image slab.
+    rule_slab: Vec<PackedRule>,
+}
+
+impl FlatTree {
+    /// Flattens a built pointer tree into the arena layout.
+    ///
+    /// Nodes are renumbered in breadth-first discovery order (root = 0), so
+    /// shared nodes (merged leaves, the builders' shared empty leaf) keep a
+    /// single record and records of one level stay contiguous.
+    pub fn from_tree(tree: &DecisionTree) -> FlatTree {
+        let nodes: &[Node] = tree.nodes();
+        assert!(
+            nodes.len() < u32::MAX as usize,
+            "tree too large to flatten: {} nodes",
+            nodes.len()
+        );
+        let mut map = vec![u32::MAX; nodes.len()];
+        let mut order: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        map[tree.root() as usize] = 0;
+        order.push(tree.root());
+
+        let rules = tree.rules();
+        let mut flat = FlatTree {
+            node_cuts: Vec::with_capacity(nodes.len()),
+            node_child_base: Vec::with_capacity(nodes.len()),
+            node_rules: Vec::with_capacity(nodes.len()),
+            cuts: Vec::new(),
+            children: Vec::new(),
+            rule_slab: Vec::new(),
+        };
+
+        let mut head = 0usize;
+        while head < order.len() {
+            let node = &nodes[order[head] as usize];
+            head += 1;
+            match &node.kind {
+                NodeKind::Leaf { rules: ids } => {
+                    flat.node_cuts.push(Span {
+                        off: flat.cuts.len() as u32,
+                        len: 0,
+                    });
+                    flat.node_child_base.push(0);
+                    flat.node_rules
+                        .push(push_slab(&mut flat.rule_slab, rules, ids));
+                }
+                NodeKind::Internal {
+                    cuts,
+                    children,
+                    stored_rules,
+                    cut_region,
+                } => {
+                    let off = flat.cuts.len() as u32;
+                    for d in cuts.cut_dimensions() {
+                        let i = d.index();
+                        flat.cuts
+                            .push(FlatCut::new(i, cuts.parts[i], cut_region[i]));
+                    }
+                    flat.node_cuts.push(Span {
+                        off,
+                        len: flat.cuts.len() as u32 - off,
+                    });
+                    flat.node_child_base.push(flat.children.len() as u32);
+                    for &child in children {
+                        let slot = &mut map[child as usize];
+                        if *slot == u32::MAX {
+                            *slot = order.len() as u32;
+                            order.push(child);
+                        }
+                        flat.children.push(*slot);
+                    }
+                    flat.node_rules
+                        .push(push_slab(&mut flat.rule_slab, rules, stored_rules));
+                }
+            }
+        }
+        assert!(
+            flat.children.len() < u32::MAX as usize
+                && flat.rule_slab.len() < u32::MAX as usize
+                && flat.cuts.len() < u32::MAX as usize,
+            "flat arena slab exceeds u32 addressing"
+        );
+        // Drop the growth slack so arena_stats' "actual in-memory bytes"
+        // claim is true of the allocations, not just the lengths.
+        flat.node_cuts.shrink_to_fit();
+        flat.node_child_base.shrink_to_fit();
+        flat.node_rules.shrink_to_fit();
+        flat.cuts.shrink_to_fit();
+        flat.children.shrink_to_fit();
+        flat.rule_slab.shrink_to_fit();
+        flat
+    }
+
+    /// Number of node records in the arena.
+    pub fn node_count(&self) -> usize {
+        self.node_cuts.len()
+    }
+
+    /// Sizes and actual in-memory footprint of the arena arrays (the
+    /// "Arena" rows of the README's memory table and of
+    /// `BENCH_throughput.json`'s `builds` records).
+    pub fn arena_stats(&self) -> ArenaStats {
+        use std::mem::size_of;
+        let structure_bytes = self.node_cuts.len() * (size_of::<Span>() * 2 + size_of::<u32>())
+            + self.cuts.len() * size_of::<FlatCut>()
+            + self.children.len() * size_of::<u32>();
+        ArenaStats {
+            nodes: self.node_cuts.len(),
+            cut_records: self.cuts.len(),
+            child_slots: self.children.len(),
+            rule_refs: self.rule_slab.len(),
+            arena_bytes: structure_bytes,
+            total_bytes: structure_bytes + self.rule_slab.len() * size_of::<PackedRule>(),
+        }
+    }
+
+    /// Mixed-radix child index of `pkt` under the cut records `span`, or
+    /// `None` when the packet lies outside the (compacted) cut region —
+    /// the flat mirror of [`CutSpec::child_index`](crate::dtree::CutSpec::child_index).
+    #[inline]
+    fn child_index(&self, span: Span, pkt: &PacketHeader) -> Option<u64> {
+        let mut idx: u64 = 0;
+        for cut in &self.cuts[span.range()] {
+            let v = pkt.fields[cut.dim as usize];
+            if v < cut.lo || v > cut.hi {
+                return None;
+            }
+            idx = idx * u64::from(cut.parts) + u64::from(cut.sub_index(v));
+        }
+        Some(idx)
+    }
+
+    /// Linear scan of a rule-slab span, updating the best (lowest id) match
+    /// in `best` (`NO_MATCH` = none yet) and returning the number of rules
+    /// compared (for operation accounting).  Mirrors the early-exit logic of
+    /// the pointer tree's scan: slab lists are in ascending id order, so the
+    /// first hit wins within a list and ids at or above the current best
+    /// cannot improve it.
+    #[inline]
+    fn scan_slab(&self, span: Span, pkt: &PacketHeader, best: &mut u32) -> u64 {
+        let mut compared = 0u64;
+        for rule in &self.rule_slab[span.range()] {
+            compared += 1;
+            if rule.id >= *best {
+                break;
+            }
+            if rule.matches(&pkt.fields) {
+                *best = rule.id;
+                break;
+            }
+        }
+        compared
+    }
+
+    /// Classifies one packet by walking the arena, optionally recording the
+    /// performed work into `stats` with the same accounting as
+    /// [`DecisionTree::classify`].
+    pub fn classify(&self, pkt: &PacketHeader, mut stats: Option<&mut LookupStats>) -> MatchResult {
+        let mut best = NO_MATCH;
+        let mut node = 0usize;
+        loop {
+            let cuts = self.node_cuts[node];
+            let rules = self.node_rules[node];
+            if let Some(s) = stats.as_deref_mut() {
+                s.memory_accesses += 1;
+                s.ops.loads += 2; // node record + cut span
+                s.ops.alu += 4;
+                s.ops.branches += 1;
+            }
+            if cuts.len == 0 {
+                let compared = self.scan_slab(rules, pkt, &mut best);
+                if let Some(s) = stats.as_deref_mut() {
+                    count_scan(s, compared);
+                }
+                break;
+            }
+            if let Some(s) = stats.as_deref_mut() {
+                s.nodes_visited += 1;
+            }
+            if rules.len > 0 {
+                let compared = self.scan_slab(rules, pkt, &mut best);
+                if let Some(s) = stats.as_deref_mut() {
+                    count_scan(s, compared);
+                }
+            }
+            match self.child_index(cuts, pkt) {
+                Some(idx) => {
+                    if let Some(s) = stats.as_deref_mut() {
+                        let dims = u64::from(cuts.len);
+                        s.ops.alu += 3 * dims;
+                        s.ops.muls += dims;
+                        s.ops.loads += 1;
+                    }
+                    node =
+                        self.children[self.node_child_base[node] as usize + idx as usize] as usize;
+                }
+                None => break,
+            }
+        }
+        decode(best)
+    }
+
+    /// Classifies a batch of packets level-synchronously, appending one
+    /// result per packet to `out` in input order.
+    ///
+    /// All packets advance through tree level *k* before any packet touches
+    /// level *k + 1*; combined with the breadth-first record order this
+    /// keeps the hot node records of the shallow levels in cache across the
+    /// whole batch.  Results are exactly what per-packet
+    /// [`FlatTree::classify`] calls would produce.
+    pub fn classify_batch(&self, pkts: &[PacketHeader], out: &mut Vec<MatchResult>) {
+        let n = pkts.len();
+        let base = out.len();
+        out.resize(base + n, MatchResult::NoMatch);
+        if n == 0 {
+            return;
+        }
+        let mut node = vec![0u32; n];
+        let mut best = vec![NO_MATCH; n];
+        let mut cur: Vec<u32> = (0..n as u32).collect();
+        let mut next: Vec<u32> = Vec::with_capacity(n);
+        while !cur.is_empty() {
+            for &p in &cur {
+                let pi = p as usize;
+                let nid = node[pi] as usize;
+                let cuts = self.node_cuts[nid];
+                let rules = self.node_rules[nid];
+                let pkt = &pkts[pi];
+                if cuts.len == 0 {
+                    self.scan_slab(rules, pkt, &mut best[pi]);
+                    out[base + pi] = decode(best[pi]);
+                    continue;
+                }
+                if rules.len > 0 {
+                    self.scan_slab(rules, pkt, &mut best[pi]);
+                }
+                match self.child_index(cuts, pkt) {
+                    Some(idx) => {
+                        node[pi] = self.children[self.node_child_base[nid] as usize + idx as usize];
+                        next.push(p);
+                    }
+                    None => out[base + pi] = decode(best[pi]),
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+            next.clear();
+        }
+    }
+}
+
+#[inline]
+fn decode(best: u32) -> MatchResult {
+    if best == NO_MATCH {
+        MatchResult::NoMatch
+    } else {
+        MatchResult::Matched(best)
+    }
+}
+
+/// Appends the packed images of `ids` to `slab` and returns the span
+/// covering them.
+fn push_slab(slab: &mut Vec<PackedRule>, rules: &[Rule], ids: &[RuleId]) -> Span {
+    let off = slab.len() as u32;
+    slab.extend(ids.iter().map(|&id| PackedRule::new(&rules[id as usize])));
+    Span {
+        off,
+        len: ids.len() as u32,
+    }
+}
+
+/// Per-scanned-rule operation accounting, identical to the pointer tree's.
+fn count_scan(s: &mut LookupStats, compared: u64) {
+    s.rules_compared += compared;
+    s.memory_accesses += compared;
+    s.ops.loads += 5 * compared;
+    s.ops.alu += 10 * compared;
+    s.ops.branches += 5 * compared;
+}
+
+/// A [`Classifier`] serving a [`FlatTree`] arena.
+///
+/// Obtained from a built pointer-tree classifier via
+/// [`HiCutsClassifier::flatten`] or [`HyperCutsClassifier::flatten`]; the
+/// serving roster registers these as `hicuts-flat` / `hypercuts-flat`, so
+/// the engine, the equivalence tests and the `throughput` harness pick the
+/// flat variants up with no extra glue.
+#[derive(Debug, Clone)]
+pub struct FlatTreeClassifier {
+    name: &'static str,
+    flat: FlatTree,
+    worst_case_accesses: u64,
+}
+
+impl FlatTreeClassifier {
+    /// Wraps a flattened tree under a roster name.
+    pub fn new(name: &'static str, flat: FlatTree, worst_case_accesses: u64) -> FlatTreeClassifier {
+        FlatTreeClassifier {
+            name,
+            flat,
+            worst_case_accesses,
+        }
+    }
+
+    /// The underlying arena.
+    pub fn flat_tree(&self) -> &FlatTree {
+        &self.flat
+    }
+
+    /// Arena footprint statistics (recorded per build by the `throughput`
+    /// harness).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.flat.arena_stats()
+    }
+}
+
+impl Classifier for FlatTreeClassifier {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn classify(&self, pkt: &PacketHeader) -> MatchResult {
+        self.flat.classify(pkt, None)
+    }
+
+    fn classify_batch(&self, pkts: &[PacketHeader], out: &mut Vec<MatchResult>) {
+        self.flat.classify_batch(pkts, out);
+    }
+
+    fn classify_with_stats(&self, pkt: &PacketHeader, stats: &mut LookupStats) -> MatchResult {
+        self.flat.classify(pkt, Some(stats))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // The arena is measured by its actual in-memory bytes (that is the
+        // point of the layout), not by the idealised 32-bit software model
+        // the pointer trees report under.
+        self.flat.arena_stats().total_bytes
+    }
+
+    fn worst_case_memory_accesses(&self) -> Option<u64> {
+        Some(self.worst_case_accesses)
+    }
+}
+
+impl HiCutsClassifier {
+    /// Flattens the built tree into a cache-compact arena classifier
+    /// (roster name `hicuts-flat`).
+    pub fn flatten(&self) -> FlatTreeClassifier {
+        FlatTreeClassifier::new(
+            "hicuts-flat",
+            FlatTree::from_tree(self.tree()),
+            self.tree().stats().worst_case_accesses,
+        )
+    }
+}
+
+impl HyperCutsClassifier {
+    /// Flattens the built tree into a cache-compact arena classifier
+    /// (roster name `hypercuts-flat`).
+    pub fn flatten(&self) -> FlatTreeClassifier {
+        FlatTreeClassifier::new(
+            "hypercuts-flat",
+            FlatTree::from_tree(self.tree()),
+            self.tree().stats().worst_case_accesses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hicuts::HiCutsConfig;
+    use crate::hypercuts::HyperCutsConfig;
+    use pclass_types::toy;
+
+    fn toy_flat() -> (HiCutsClassifier, FlatTreeClassifier) {
+        let rs = toy::table1_ruleset();
+        let hc = HiCutsClassifier::build(&rs, &HiCutsConfig::figure1());
+        let flat = hc.flatten();
+        (hc, flat)
+    }
+
+    #[test]
+    fn flat_agrees_with_pointer_tree_per_packet() {
+        let (hc, flat) = toy_flat();
+        for f0 in (0..=255u32).step_by(3) {
+            for f4 in (0..=255u32).step_by(5) {
+                let pkt = PacketHeader::from_fields([f0, 80, 40, 180, f4]);
+                assert_eq!(flat.classify(&pkt), hc.classify(&pkt), "pkt {pkt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_batch_matches_per_packet_all_batch_sizes() {
+        let rs = toy::table1_ruleset();
+        let hc = HyperCutsClassifier::build(&rs, &HyperCutsConfig::paper_defaults());
+        let flat = hc.flatten();
+        let pkts: Vec<PacketHeader> = (0..97u32)
+            .map(|i| {
+                PacketHeader::from_fields([(i * 37) % 256, 80, 40, (i * 11) % 256, (i * 53) % 256])
+            })
+            .collect();
+        let per_packet: Vec<MatchResult> = pkts.iter().map(|p| flat.classify(p)).collect();
+        for take in [0usize, 1, 2, 7, 96, 97] {
+            let mut out = Vec::new();
+            flat.classify_batch(&pkts[..take], &mut out);
+            assert_eq!(out, per_packet[..take], "batch size {take}");
+        }
+    }
+
+    #[test]
+    fn batch_appends_after_existing_results() {
+        let (_, flat) = toy_flat();
+        let pkt = PacketHeader::from_fields([145, 100, 10, 10, 200]);
+        let mut out = vec![MatchResult::NoMatch];
+        flat.classify_batch(&[pkt], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1], flat.classify(&pkt));
+    }
+
+    #[test]
+    fn root_is_record_zero_and_shared_leaves_are_deduplicated() {
+        let (hc, flat) = toy_flat();
+        let tree_nodes = hc.tree().nodes().len();
+        // BFS renumbering visits each node at most once, so the arena can
+        // only shrink relative to the node vector (unreachable nodes drop).
+        assert!(flat.flat_tree().node_count() <= tree_nodes);
+        assert!(flat.flat_tree().node_count() >= 2);
+    }
+
+    #[test]
+    fn arena_stats_are_consistent() {
+        let (hc, flat) = toy_flat();
+        let stats = flat.arena_stats();
+        assert_eq!(stats.nodes, flat.flat_tree().node_count());
+        assert!(stats.cut_records >= 1);
+        assert!(stats.child_slots >= 2);
+        assert!(stats.arena_bytes > 0);
+        assert!(stats.total_bytes > stats.arena_bytes);
+        assert_eq!(flat.memory_bytes(), stats.total_bytes);
+        assert_eq!(
+            flat.worst_case_memory_accesses(),
+            Some(hc.tree().stats().worst_case_accesses)
+        );
+        assert_eq!(flat.name(), "hicuts-flat");
+    }
+
+    #[test]
+    fn lookup_stats_match_pointer_tree_accounting() {
+        let (hc, flat) = toy_flat();
+        let pkt = PacketHeader::from_fields([145, 100, 10, 10, 200]);
+        let mut a = LookupStats::new();
+        let mut b = LookupStats::new();
+        assert_eq!(
+            hc.classify_with_stats(&pkt, &mut a),
+            flat.classify_with_stats(&pkt, &mut b)
+        );
+        assert_eq!(a.nodes_visited, b.nodes_visited);
+        assert_eq!(a.rules_compared, b.rules_compared);
+        assert_eq!(a.memory_accesses, b.memory_accesses);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn empty_ruleset_flattens_to_single_leaf() {
+        let spec = *toy::table1_ruleset().spec();
+        let empty = pclass_types::RuleSet::new("empty", spec, vec![]).unwrap();
+        let hc = HiCutsClassifier::build(&empty, &HiCutsConfig::paper_defaults());
+        let flat = hc.flatten();
+        assert_eq!(flat.flat_tree().node_count(), 1);
+        let pkt = PacketHeader::from_fields([1, 2, 3, 4, 5]);
+        assert_eq!(flat.classify(&pkt), MatchResult::NoMatch);
+        let mut out = Vec::new();
+        flat.classify_batch(&[pkt, pkt], &mut out);
+        assert_eq!(out, vec![MatchResult::NoMatch; 2]);
+    }
+}

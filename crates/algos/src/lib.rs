@@ -18,6 +18,10 @@
 //! * [`rfc::RfcClassifier`] — Recursive Flow Classification, the fastest
 //!   software algorithm in the paper's comparison (§5.2 quotes a ×546
 //!   speed-up of the ASIC over RFC).
+//! * [`flat::FlatTreeClassifier`] — the HiCuts/HyperCuts trees re-packed
+//!   into a cache-compact flat arena ([`flat::FlatTree`]) with a batched
+//!   level-synchronous traversal; built from the pointer trees via
+//!   `flatten()` and served as `hicuts-flat` / `hypercuts-flat`.
 //!
 //! The *modified*, hardware-oriented HiCuts/HyperCuts variants live in
 //! `pclass-core`; they share the [`counters`] instrumentation defined here so
@@ -28,12 +32,14 @@
 
 pub mod counters;
 pub mod dtree;
+pub mod flat;
 pub mod hicuts;
 pub mod hypercuts;
 pub mod linear;
 pub mod rfc;
 
 pub use counters::{BuildStats, LookupStats, OpCounters};
+pub use flat::{FlatTree, FlatTreeClassifier};
 pub use hicuts::{HiCutsClassifier, HiCutsConfig};
 pub use hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 pub use linear::LinearClassifier;
@@ -59,7 +65,9 @@ pub trait Classifier {
     /// The default implementation is a per-packet loop; implementations with
     /// exploitable data locality should override it with a cache-friendly
     /// batched loop (RFC runs each phase table over the whole batch so the
-    /// table stays hot — see `rfc`).  The serving layer in `pclass-engine`
+    /// table stays hot — see `rfc`; the flat decision-tree arenas advance
+    /// the whole batch through the tree level by level — see `flat`).  The
+    /// serving layer in `pclass-engine`
     /// feeds every classifier through this method, so an override speeds up
     /// batched serving without touching any call site.
     ///

@@ -605,13 +605,6 @@ impl Classifier for RfcClassifier {
     }
 }
 
-// Keep clippy quiet about the unused `classes` field on the final table: it
-// is a `PhaseTable` only for uniformity.
-#[allow(dead_code)]
-fn _final_table_classes_unused(t: &PhaseTable) -> usize {
-    t.classes
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

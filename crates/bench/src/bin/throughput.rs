@@ -1,28 +1,54 @@
-//! Serving-throughput harness: every classifier, batched and multi-core.
+//! Serving-throughput harness: every classifier, batched and multi-core,
+//! with an optional regression gate against a committed baseline.
 //!
 //! ```text
 //! cargo run --release -p pclass-bench --bin throughput
 //! cargo run --release -p pclass-bench --bin throughput -- --quick
 //! cargo run --release -p pclass-bench --bin throughput -- --out perf.json
+//! cargo run --release -p pclass-bench --bin throughput -- --quick \
+//!     --check BENCH_throughput.json --tolerance 0.5
 //! ```
 //!
 //! Runs every classifier in the workspace — linear search, original HiCuts
-//! and HyperCuts, RFC, the functional TCAM model and the accelerator model
-//! with both modified cut algorithms — through the `pclass-engine` serving
-//! layer over ClassBench-style generated rulesets at several sizes and
-//! worker counts, verifies every run packet-for-packet against linear
-//! search, and writes the measurements to `BENCH_throughput.json` (schema
-//! documented in the README's "Serving throughput" section).  CI runs
-//! `--quick` as the `perf-smoke` job and uploads the JSON as a build
-//! artifact, so the numbers form a trajectory across PRs.
+//! and HyperCuts plus their flat-arena variants, RFC, the functional TCAM
+//! model and the accelerator model with both modified cut algorithms —
+//! through the `pclass-engine` serving layer over ClassBench-style
+//! generated rulesets at several sizes and worker counts, verifies every
+//! run packet-for-packet against linear search, and writes the
+//! measurements to `BENCH_throughput.json` (schema documented in the
+//! README's "Serving throughput" section).  Each `builds` record carries
+//! the memory footprint of one classifier build; the flat-arena variants
+//! additionally record their arena layout statistics.
 //!
-//! Exit status is non-zero if any classifier disagrees with linear search,
-//! which is what makes the CI job a correctness gate as well as a perf
-//! recorder.
+//! Every cell is measured as the best of two back-to-back engine runs (the
+//! first doubling as a warmup), so a one-off scheduler burst on a shared
+//! CI runner cannot produce a spuriously slow cell.
+//!
+//! With `--check <baseline.json>` the harness re-runs the sweep and then
+//! compares every `(classifier, ruleset, workers)` cell present in both the
+//! fresh run and the baseline.  Because absolute Mpps depends on the host,
+//! the comparison is *calibrated*: the median of the per-cell new/baseline
+//! ratios, capped at 1, is taken as the machine-speed factor, and a cell
+//! regresses when it falls more than `--tolerance` (default 0.5, i.e. 50%)
+//! below its calibrated expectation; multi-worker cells, which fold in the
+//! host's core count and scheduler placement, get a tolerance halfway to 1
+//! (0.75 at the default).  A uniform slowdown moves the
+//! calibration factor, not the verdict, while a broad genuine *speedup*
+//! never raises the bar for untouched cells (the cap) — the gate exists to
+//! catch *selective* regressions, e.g. a PR that quietly gives back the
+//! flat-tree or phase-major batching wins on one hot path while everything
+//! else keeps its speed.  CI runs `--quick --check BENCH_throughput.json`
+//! as the `perf-smoke` job.
+//!
+//! Exit status: 1 if any classifier disagrees with linear search, 2 if the
+//! regression check fails, 3 if the baseline cannot be read or shares no
+//! cells with the fresh run.
 
+use pclass_bench::check::{self, RunCell};
 use pclass_bench::{acl_ruleset, serving_roster, trace_for, WORKLOAD_SEED};
 use pclass_engine::{Engine, WorkerReport};
-use pclass_types::{MatchResult, RuleSet, Trace};
+use pclass_types::{ArenaStats, MatchResult, RuleSet, Trace};
+use serde::json;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -49,6 +75,17 @@ struct SkipRecord {
     reason: String,
 }
 
+/// Memory footprint of one classifier build (one record per successful
+/// (classifier, ruleset) build; `arena` is present for the flat variants).
+#[derive(Debug, Clone, Serialize)]
+struct BuildRecord {
+    classifier: String,
+    ruleset: String,
+    rules: usize,
+    memory_bytes: usize,
+    arena: Option<ArenaStats>,
+}
+
 /// Top-level schema of `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize)]
 struct BenchFile {
@@ -58,6 +95,7 @@ struct BenchFile {
     worker_counts: Vec<usize>,
     runs: Vec<RunRecord>,
     skipped: Vec<SkipRecord>,
+    builds: Vec<BuildRecord>,
 }
 
 struct Workload {
@@ -69,12 +107,47 @@ struct Workload {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    // A value-taking flag with its value missing must be a hard error: a
+    // silently ignored `--check` would leave the regression gate off while
+    // CI stays green.
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(3);
+                })
+        })
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let check_path = flag_value("--check");
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| {
+            let parsed: f64 = t.parse().unwrap_or(f64::NAN);
+            // Outside [0, 1) the gate degenerates: >= 1 can never flag a
+            // cell (silently off), < 0 flags nearly all of them.
+            if !(0.0..1.0).contains(&parsed) {
+                eprintln!("--tolerance must be a fraction in [0, 1), got {t}");
+                std::process::exit(3);
+            }
+            parsed
+        })
+        .unwrap_or(0.5);
+
+    // Read the baseline *before* the sweep so `--check` and `--out` may
+    // point at the same file (the CI perf-smoke job does exactly that).
+    let baseline = check_path.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(3);
+        });
+        json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {path}: {e}");
+            std::process::exit(3);
+        })
+    });
 
     let sizes: &[usize] = if quick {
         &[500, 2_000]
@@ -86,6 +159,7 @@ fn main() {
 
     let mut runs = Vec::new();
     let mut skipped = Vec::new();
+    let mut builds = Vec::new();
     let mut mismatches = 0usize;
 
     for &size in sizes {
@@ -122,10 +196,30 @@ fn main() {
                 reason: skip.reason,
             });
         }
+        for build in roster.builds {
+            builds.push(BuildRecord {
+                classifier: build.classifier.to_string(),
+                ruleset: workload.ruleset.name().to_string(),
+                rules: size,
+                memory_bytes: build.memory_bytes,
+                arena: build.arena,
+            });
+        }
         for (name, classifier) in roster.classifiers {
             for &workers in worker_counts {
                 let engine = Engine::from_shared(workers, Arc::clone(&classifier));
-                let run = engine.classify_trace(&workload.trace);
+                // Best of two back-to-back runs: the first doubles as a
+                // warmup (cold arena, page faults), and a one-off scheduler
+                // burst in either window cannot produce a spuriously slow
+                // cell — important because the --check gate compares single
+                // cells against the committed baseline.
+                let first = engine.classify_trace(&workload.trace);
+                let second = engine.classify_trace(&workload.trace);
+                let run = if second.report.mpps >= first.report.mpps {
+                    second
+                } else {
+                    first
+                };
                 if run.results != workload.truth {
                     mismatches += 1;
                     eprintln!(
@@ -159,19 +253,100 @@ fn main() {
     }
 
     let file = BenchFile {
-        schema: "pclass-throughput/v1".to_string(),
+        schema: "pclass-throughput/v2".to_string(),
         seed: WORKLOAD_SEED,
         quick,
         worker_counts: worker_counts.to_vec(),
         runs,
         skipped,
+        builds,
     };
-    std::fs::write(&out_path, serde::json::to_file_string(&file))
+    std::fs::write(&out_path, json::to_file_string(&file))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("\nwrote {} ({} runs)", out_path, file.runs.len());
 
     if mismatches > 0 {
         eprintln!("{mismatches} engine run(s) disagreed with linear search");
         std::process::exit(1);
+    }
+
+    if let (Some(baseline), Some(path)) = (baseline, check_path) {
+        if !check_against_baseline(&baseline, &path, &file.runs, tolerance) {
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Runs the [`check`] comparison and prints the per-cell report; returns
+/// `false` when the gate fails (see `pclass_bench::check` for the model —
+/// the decision logic is unit-tested there).
+fn check_against_baseline(
+    baseline: &json::Value,
+    path: &str,
+    runs: &[RunRecord],
+    tolerance: f64,
+) -> bool {
+    let base = check::baseline_cells(baseline);
+    let fresh: Vec<RunCell> = runs
+        .iter()
+        .map(|run| RunCell {
+            classifier: run.classifier.clone(),
+            ruleset: run.ruleset.clone(),
+            workers: run.workers as u64,
+            mpps: run.mpps,
+        })
+        .collect();
+    let report = match check::compare(&base, &fresh, tolerance) {
+        Ok(report) => report,
+        Err(check::CheckError::NoComparableCells) => {
+            eprintln!("--check: no comparable (classifier, ruleset, workers) cells in {path}");
+            std::process::exit(3);
+        }
+    };
+
+    println!(
+        "\ncheck vs {path}: {} cells, median ratio x{:.3}, calibration x{:.3}, tolerance {:.0}%",
+        report.cells.len(),
+        report.median_ratio,
+        report.calibration,
+        tolerance * 100.0
+    );
+    println!(
+        "{:<16} {:<10} {:>7} | {:>9} {:>9} {:>7}  status",
+        "classifier", "ruleset", "workers", "base", "new", "rel"
+    );
+    for verdict in &report.cells {
+        println!(
+            "{:<16} {:<10} {:>7} | {:>9.3} {:>9.3} {:>7.2}  {}",
+            verdict.cell.classifier,
+            verdict.cell.ruleset,
+            verdict.cell.workers,
+            verdict.base_mpps,
+            verdict.cell.mpps,
+            verdict.rel,
+            if verdict.regressed {
+                "REGRESSION"
+            } else {
+                "ok"
+            }
+        );
+    }
+    if !report.missing_classifiers.is_empty() {
+        eprintln!(
+            "--check: baseline classifier(s) missing from the fresh sweep: {}",
+            report.missing_classifiers.join(", ")
+        );
+    }
+    if report.passed() {
+        println!("regression check passed");
+        true
+    } else {
+        if report.regressions() > 0 {
+            eprintln!(
+                "{} cell(s) regressed below the calibrated baseline",
+                report.regressions()
+            );
+        }
+        false
     }
 }

@@ -1,0 +1,335 @@
+//! The throughput-regression comparison behind `throughput --check`.
+//!
+//! Pure data-in/data-out so the gate CI relies on is unit-testable: the
+//! binary parses flags, runs the sweep and prints; everything that decides
+//! *pass or fail* lives here.
+//!
+//! Comparison model (see the README's "Regression gate" section): cells are
+//! matched by `(classifier, ruleset, workers)`; the median new/baseline
+//! ratio, capped at 1, calibrates for host speed; a cell regresses when it
+//! falls more than the tolerance below its calibrated expectation, with
+//! multi-worker cells — which fold in core count and scheduler placement —
+//! getting a tolerance halfway to 1.  A classifier present in the baseline
+//! but absent from the fresh sweep fails the check outright.
+
+use serde::json::Value;
+
+/// One comparable `(classifier, ruleset, workers)` measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCell {
+    /// Classifier roster name.
+    pub classifier: String,
+    /// Ruleset name (e.g. `acl1_2000`).
+    pub ruleset: String,
+    /// Engine worker count.
+    pub workers: u64,
+    /// Measured throughput.
+    pub mpps: f64,
+}
+
+/// Why a check could not produce a verdict (distinct from a regression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The baseline shares no `(classifier, ruleset, workers)` cells with
+    /// the fresh run — wrong file, or an incompatible schema.
+    NoComparableCells,
+}
+
+/// The verdict for one compared cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellVerdict {
+    /// The fresh measurement.
+    pub cell: RunCell,
+    /// The baseline throughput for the same cell.
+    pub base_mpps: f64,
+    /// Speed relative to the calibrated expectation (1.0 = exactly as the
+    /// baseline predicts on this host).
+    pub rel: f64,
+    /// Whether the cell fails the gate.
+    pub regressed: bool,
+}
+
+/// Outcome of a full comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    /// Median new/baseline ratio over the compared cells.
+    pub median_ratio: f64,
+    /// The applied machine-speed factor (`median_ratio` capped at 1).
+    pub calibration: f64,
+    /// Baseline classifiers with no cell at all in the fresh run; a
+    /// non-empty list fails the check (a vanished build must not pass
+    /// silently).
+    pub missing_classifiers: Vec<String>,
+    /// Per-cell verdicts, in fresh-run order.
+    pub cells: Vec<CellVerdict>,
+}
+
+impl CheckReport {
+    /// Number of regressed cells.
+    pub fn regressions(&self) -> usize {
+        self.cells.iter().filter(|c| c.regressed).count()
+    }
+
+    /// `true` when the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0 && self.missing_classifiers.is_empty()
+    }
+}
+
+/// Extracts the comparable cells of a parsed throughput file (either
+/// schema version; records missing any field are skipped).
+pub fn baseline_cells(baseline: &Value) -> Vec<RunCell> {
+    let runs = baseline
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&[]);
+    runs.iter()
+        .filter_map(|run| {
+            Some(RunCell {
+                classifier: run.get("classifier")?.as_str()?.to_string(),
+                ruleset: run.get("ruleset")?.as_str()?.to_string(),
+                workers: run.get("workers")?.as_u64()?,
+                mpps: run.get("mpps")?.as_f64()?,
+            })
+        })
+        .collect()
+}
+
+/// Compares fresh cells against a baseline under `tolerance`
+/// (a fraction in `[0, 1)`).
+pub fn compare(
+    baseline: &[RunCell],
+    fresh: &[RunCell],
+    tolerance: f64,
+) -> Result<CheckReport, CheckError> {
+    let matched: Vec<(&RunCell, f64)> = fresh
+        .iter()
+        .filter_map(|cell| {
+            baseline
+                .iter()
+                .find(|b| {
+                    b.classifier == cell.classifier
+                        && b.ruleset == cell.ruleset
+                        && b.workers == cell.workers
+                })
+                .map(|b| (cell, b.mpps))
+        })
+        .collect();
+    if matched.is_empty() {
+        return Err(CheckError::NoComparableCells);
+    }
+
+    let mut missing_classifiers: Vec<String> = baseline
+        .iter()
+        .map(|b| b.classifier.clone())
+        .filter(|name| !fresh.iter().any(|f| &f.classifier == name))
+        .collect();
+    missing_classifiers.sort_unstable();
+    missing_classifiers.dedup();
+
+    let mut ratios: Vec<f64> = matched
+        .iter()
+        .map(|(cell, base)| cell.mpps / base)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = ratios[ratios.len() / 2];
+    // The calibration factor models *host* speed, which is shared by every
+    // cell — it is never allowed above 1: a PR that genuinely speeds up
+    // more than half the cells must not raise the bar for the cells it did
+    // not touch.  (A slower host pushes the median below 1 and is applied
+    // as-is.)
+    let calibration = median_ratio.min(1.0);
+
+    let cells = matched
+        .into_iter()
+        .map(|(cell, base_mpps)| {
+            let rel = cell.mpps / (base_mpps * calibration);
+            let cell_tolerance = if cell.workers > 1 {
+                tolerance + (1.0 - tolerance) / 2.0
+            } else {
+                tolerance
+            };
+            CellVerdict {
+                cell: cell.clone(),
+                base_mpps,
+                rel,
+                regressed: rel < 1.0 - cell_tolerance,
+            }
+        })
+        .collect();
+
+    Ok(CheckReport {
+        median_ratio,
+        calibration,
+        missing_classifiers,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::json;
+
+    fn cell(classifier: &str, ruleset: &str, workers: u64, mpps: f64) -> RunCell {
+        RunCell {
+            classifier: classifier.to_string(),
+            ruleset: ruleset.to_string(),
+            workers,
+            mpps,
+        }
+    }
+
+    #[test]
+    fn baseline_cells_parse_and_skip_malformed_records() {
+        let doc = json::parse(
+            r#"{"runs":[
+                {"classifier":"hicuts","ruleset":"acl1_500","workers":1,"mpps":10.0},
+                {"classifier":"broken","ruleset":"acl1_500","workers":1},
+                {"classifier":"rfc","ruleset":"acl1_500","workers":4,"mpps":20.5}
+            ]}"#,
+        )
+        .unwrap();
+        let cells = baseline_cells(&doc);
+        assert_eq!(
+            cells,
+            vec![
+                cell("hicuts", "acl1_500", 1, 10.0),
+                cell("rfc", "acl1_500", 4, 20.5),
+            ]
+        );
+        assert!(baseline_cells(&json::parse("{}").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn identical_runs_pass_with_unit_calibration() {
+        let base = vec![cell("a", "r", 1, 10.0), cell("b", "r", 1, 20.0)];
+        let report = compare(&base, &base, 0.5).unwrap();
+        assert_eq!(report.median_ratio, 1.0);
+        assert_eq!(report.calibration, 1.0);
+        assert!(report.passed());
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn selective_regression_is_flagged() {
+        let base = vec![
+            cell("a", "r", 1, 10.0),
+            cell("b", "r", 1, 20.0),
+            cell("c", "r", 1, 30.0),
+        ];
+        let fresh = vec![
+            cell("a", "r", 1, 10.0),
+            cell("b", "r", 1, 20.0),
+            cell("c", "r", 1, 10.0), // 3x slower, others unchanged
+        ];
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert_eq!(report.calibration, 1.0);
+        assert_eq!(report.regressions(), 1);
+        assert!(!report.passed());
+        let bad = report.cells.iter().find(|c| c.regressed).unwrap();
+        assert_eq!(bad.cell.classifier, "c");
+    }
+
+    #[test]
+    fn uniform_host_slowdown_is_calibrated_away() {
+        let base = vec![
+            cell("a", "r", 1, 10.0),
+            cell("b", "r", 1, 20.0),
+            cell("c", "r", 1, 30.0),
+        ];
+        let fresh: Vec<RunCell> = base
+            .iter()
+            .map(|c| cell(&c.classifier, &c.ruleset, c.workers, c.mpps / 3.0))
+            .collect();
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert!((report.calibration - 1.0 / 3.0).abs() < 1e-9);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn broad_speedup_does_not_raise_the_bar_for_untouched_cells() {
+        let base = vec![
+            cell("a", "r", 1, 10.0),
+            cell("b", "r", 1, 10.0),
+            cell("c", "r", 1, 10.0),
+        ];
+        let fresh = vec![
+            cell("a", "r", 1, 30.0), // 3x faster
+            cell("b", "r", 1, 30.0), // 3x faster
+            cell("c", "r", 1, 10.0), // untouched — must not be flagged
+        ];
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert_eq!(report.calibration, 1.0, "median 3.0 must be capped");
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn multi_worker_cells_get_wider_tolerance() {
+        let base = vec![cell("a", "r", 1, 10.0), cell("a", "r", 4, 10.0)];
+        // Both cells at 30% of baseline: the 1-worker cell fails (rel 0.3 <
+        // 0.5) but the 4-worker cell passes (0.3 > 0.25).  Calibration is
+        // the median of {0.3, 0.3} = 0.3... which would absorb it, so pin
+        // the median with extra unchanged single-worker cells.
+        let base_padded = [
+            base.clone(),
+            vec![
+                cell("b", "r", 1, 10.0),
+                cell("c", "r", 1, 10.0),
+                cell("d", "r", 1, 10.0),
+            ],
+        ]
+        .concat();
+        let fresh = vec![
+            cell("a", "r", 1, 3.0),
+            cell("a", "r", 4, 3.0),
+            cell("b", "r", 1, 10.0),
+            cell("c", "r", 1, 10.0),
+            cell("d", "r", 1, 10.0),
+        ];
+        let report = compare(&base_padded, &fresh, 0.5).unwrap();
+        assert_eq!(report.calibration, 1.0);
+        let one = report
+            .cells
+            .iter()
+            .find(|c| c.cell.workers == 1 && c.cell.classifier == "a");
+        let four = report.cells.iter().find(|c| c.cell.workers == 4).unwrap();
+        assert!(one.unwrap().regressed, "single-worker 0.3 must fail at 0.5");
+        assert!(!four.regressed, "multi-worker 0.3 must pass at 0.75");
+    }
+
+    #[test]
+    fn vanished_classifier_fails_the_check() {
+        let base = vec![cell("a", "r", 1, 10.0), cell("ghost", "r", 1, 10.0)];
+        let fresh = vec![cell("a", "r", 1, 10.0)];
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert_eq!(report.missing_classifiers, vec!["ghost".to_string()]);
+        assert_eq!(report.regressions(), 0);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn quick_subset_of_full_baseline_is_comparable() {
+        // Fresh quick run lacks the baseline's 2-worker and 10k cells but
+        // covers every classifier: only the intersection is compared.
+        let base = vec![
+            cell("a", "acl1_500", 1, 10.0),
+            cell("a", "acl1_500", 2, 15.0),
+            cell("a", "acl1_10000", 1, 2.0),
+        ];
+        let fresh = vec![cell("a", "acl1_500", 1, 9.5)];
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn disjoint_cell_sets_are_an_error() {
+        let base = vec![cell("a", "r", 1, 10.0)];
+        let fresh = vec![cell("b", "x", 2, 10.0)];
+        assert_eq!(
+            compare(&base, &fresh, 0.5),
+            Err(CheckError::NoComparableCells)
+        );
+    }
+}

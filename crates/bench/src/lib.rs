@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
+
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 use pclass_algos::{Classifier, LinearClassifier, LookupStats, OpCounters, RfcClassifier};
@@ -19,7 +21,7 @@ use pclass_core::program::{HardwareProgram, ProgramStats};
 use pclass_energy::sa1100::Sa1100Model;
 use pclass_engine::SharedClassifier;
 use pclass_tcam::TcamClassifier;
-use pclass_types::{RuleSet, Trace};
+use pclass_types::{ArenaStats, RuleSet, Trace};
 use std::sync::Arc;
 
 /// Deterministic seed used for every generated workload so tables are
@@ -143,15 +145,32 @@ pub struct RosterSkip {
     pub reason: String,
 }
 
+/// Footprint of one successful classifier build in the roster.
+#[derive(Debug, Clone)]
+pub struct RosterBuild {
+    /// Classifier name (matches the roster entry).
+    pub classifier: &'static str,
+    /// Bytes reported by [`Classifier::memory_bytes`] (the software memory
+    /// model for the pointer structures, actual in-memory bytes for the
+    /// flat arenas).
+    pub memory_bytes: usize,
+    /// Arena layout statistics for the flat decision-tree variants.
+    pub arena: Option<ArenaStats>,
+}
+
 /// The full serving roster for one ruleset: every classifier in the
 /// workspace that can serve it, plus explicit skips for the ones that
 /// cannot.
 pub struct ClassifierRoster {
     /// `(name, classifier)` pairs, in the fixed roster order: linear,
-    /// hicuts, hypercuts, rfc, tcam, hw-hicuts, hw-hypercuts.
+    /// hicuts, hicuts-flat, hypercuts, hypercuts-flat, rfc, tcam,
+    /// hw-hicuts, hw-hypercuts.
     pub classifiers: Vec<(&'static str, SharedClassifier)>,
     /// Classifiers whose build failed on this ruleset.
     pub skipped: Vec<RosterSkip>,
+    /// Per-build memory footprint of every successful entry, in roster
+    /// order (recorded in `BENCH_throughput.json`'s `builds` array).
+    pub builds: Vec<RosterBuild>,
 }
 
 /// Builds every classifier in the workspace for a ruleset, behind shared
@@ -162,22 +181,23 @@ pub struct ClassifierRoster {
 /// `serving_throughput` example all use it, so adding a classifier to the
 /// workspace means adding it here once.
 pub fn serving_roster(ruleset: &RuleSet) -> ClassifierRoster {
+    let hicuts = HiCutsClassifier::build(ruleset, &HiCutsConfig::paper_defaults());
+    let hypercuts = HyperCutsClassifier::build(ruleset, &HyperCutsConfig::paper_defaults());
+    // The flat variants share nothing with their pointer trees at serve
+    // time: the arena is a deep re-packing, so both layouts can be measured
+    // side by side.
+    let hicuts_flat = hicuts.flatten();
+    let hypercuts_flat = hypercuts.flatten();
+    let arenas = [
+        ("hicuts-flat", hicuts_flat.arena_stats()),
+        ("hypercuts-flat", hypercuts_flat.arena_stats()),
+    ];
     let mut classifiers: Vec<(&'static str, SharedClassifier)> = vec![
         ("linear", Arc::new(LinearClassifier::new(ruleset.clone()))),
-        (
-            "hicuts",
-            Arc::new(HiCutsClassifier::build(
-                ruleset,
-                &HiCutsConfig::paper_defaults(),
-            )),
-        ),
-        (
-            "hypercuts",
-            Arc::new(HyperCutsClassifier::build(
-                ruleset,
-                &HyperCutsConfig::paper_defaults(),
-            )),
-        ),
+        ("hicuts", Arc::new(hicuts)),
+        ("hicuts-flat", Arc::new(hicuts_flat)),
+        ("hypercuts", Arc::new(hypercuts)),
+        ("hypercuts-flat", Arc::new(hypercuts_flat)),
     ];
     let mut skipped = Vec::new();
     match RfcClassifier::build(ruleset) {
@@ -212,9 +232,21 @@ pub fn serving_roster(ruleset: &RuleSet) -> ClassifierRoster {
             }),
         }
     }
+    let builds = classifiers
+        .iter()
+        .map(|(name, classifier)| RosterBuild {
+            classifier: name,
+            memory_bytes: classifier.memory_bytes(),
+            arena: arenas
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, stats)| *stats),
+        })
+        .collect();
     ClassifierRoster {
         classifiers,
         skipped,
+        builds,
     }
 }
 
@@ -253,7 +285,9 @@ mod tests {
             [
                 "linear",
                 "hicuts",
+                "hicuts-flat",
                 "hypercuts",
+                "hypercuts-flat",
                 "rfc",
                 "tcam",
                 "hw-hicuts",
@@ -266,6 +300,17 @@ mod tests {
         // correlate.
         for (name, classifier) in &roster.classifiers {
             assert_eq!(*name, classifier.name());
+        }
+        // One build record per entry, arena stats only on the flat variants.
+        assert_eq!(roster.builds.len(), roster.classifiers.len());
+        for build in &roster.builds {
+            assert!(build.memory_bytes > 0, "{}", build.classifier);
+            assert_eq!(
+                build.arena.is_some(),
+                build.classifier.ends_with("-flat"),
+                "{}",
+                build.classifier
+            );
         }
     }
 

@@ -12,7 +12,9 @@
 //! * splits a [`Trace`] into the deterministic balanced chunks of
 //!   [`pclass_types::shard_slices`] over `std::thread::scope` workers,
 //! * drives each shard through [`Classifier::classify_batch`] in
-//!   cache-friendly sub-batches, and
+//!   cache-friendly sub-batches (so classifiers with a batched override —
+//!   RFC's phase-major loop, the flat decision-tree arenas'
+//!   level-synchronous walk — get their locality win per shard), and
 //! * merges the per-worker outputs back in trace order, together with a
 //!   machine-readable [`ThroughputReport`].
 //!
@@ -173,36 +175,43 @@ impl Engine {
         let mut partials: Vec<Option<(Vec<MatchResult>, u64)>> =
             (0..workers).map(|_| None).collect();
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (i, slice) in shards.into_iter().enumerate() {
-                if slice.is_empty() {
-                    partials[i] = Some((Vec::new(), 0));
-                    continue;
+        let serve_shard =
+            |classifier: &SharedClassifier, slice: &[pclass_types::TraceEntry], batch: usize| {
+                let worker_started = Instant::now();
+                let mut results = Vec::with_capacity(slice.len());
+                let mut headers: Vec<PacketHeader> = Vec::with_capacity(batch.min(slice.len()));
+                for sub in slice.chunks(batch) {
+                    headers.clear();
+                    headers.extend(sub.iter().map(|e| e.header));
+                    classifier.classify_batch(&headers, &mut results);
                 }
-                let classifier = Arc::clone(&self.shards[i]);
-                let batch = self.batch;
-                handles.push((
-                    i,
-                    scope.spawn(move || {
-                        let worker_started = Instant::now();
-                        let mut results = Vec::with_capacity(slice.len());
-                        let mut headers: Vec<PacketHeader> =
-                            Vec::with_capacity(batch.min(slice.len()));
-                        for sub in slice.chunks(batch) {
-                            headers.clear();
-                            headers.extend(sub.iter().map(|e| e.header));
-                            classifier.classify_batch(&headers, &mut results);
-                        }
-                        let wall_ns = worker_started.elapsed().as_nanos() as u64;
-                        (results, wall_ns)
-                    }),
-                ));
-            }
-            for (i, handle) in handles {
-                partials[i] = Some(handle.join().expect("engine worker panicked"));
-            }
-        });
+                let wall_ns = worker_started.elapsed().as_nanos() as u64;
+                (results, wall_ns)
+            };
+
+        if workers == 1 {
+            // Single shard: serve inline on the caller thread.  Spawning a
+            // scoped thread costs tens of microseconds — pure overhead that
+            // would be charged to every measurement of a fast classifier.
+            partials[0] = Some(serve_shard(&self.shards[0], shards[0], self.batch));
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, slice) in shards.into_iter().enumerate() {
+                    if slice.is_empty() {
+                        partials[i] = Some((Vec::new(), 0));
+                        continue;
+                    }
+                    let classifier = Arc::clone(&self.shards[i]);
+                    let batch = self.batch;
+                    let serve = &serve_shard;
+                    handles.push((i, scope.spawn(move || serve(&classifier, slice, batch))));
+                }
+                for (i, handle) in handles {
+                    partials[i] = Some(handle.join().expect("engine worker panicked"));
+                }
+            });
+        }
 
         let mut results = Vec::with_capacity(trace.len());
         let mut per_worker = Vec::with_capacity(workers);
@@ -256,13 +265,14 @@ mod tests {
     // so the unit tests keep their own copy; workspace-level coverage in
     // `tests/engine_equivalence.rs` uses the canonical one.
     fn all_classifiers(rs: &pclass_types::RuleSet) -> Vec<SharedClassifier> {
+        let hicuts = HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults());
+        let hypercuts = HyperCutsClassifier::build(rs, &HyperCutsConfig::paper_defaults());
         vec![
             Arc::new(LinearClassifier::new(rs.clone())),
-            Arc::new(HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults())),
-            Arc::new(HyperCutsClassifier::build(
-                rs,
-                &HyperCutsConfig::paper_defaults(),
-            )),
+            Arc::new(hicuts.flatten()),
+            Arc::new(hicuts),
+            Arc::new(hypercuts.flatten()),
+            Arc::new(hypercuts),
             Arc::new(RfcClassifier::build(rs).expect("RFC fits")),
             Arc::new(TcamClassifier::program(rs).expect("TCAM programs")),
             Arc::new(

@@ -10,6 +10,32 @@ use crate::ruleset::RuleSet;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
+/// Footprint of a flattened (arena) search structure.
+///
+/// Produced by `pclass_algos::flat::FlatTree::arena_stats` and recorded per
+/// build in `BENCH_throughput.json`'s `builds` records; it lives here, next
+/// to [`RuleSetStats`], so every crate that serializes measurements shares
+/// one definition.  Unlike the idealised 32-bit software memory model the
+/// pointer trees report under, these byte counts are the *actual* in-memory
+/// sizes of the arena arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArenaStats {
+    /// Number of node records.
+    pub nodes: usize,
+    /// Number of cut-dimension records in the shared cut slab.
+    pub cut_records: usize,
+    /// Number of child-pointer slots in the shared child slab.
+    pub child_slots: usize,
+    /// Number of packed rule images in the shared rule slab.
+    pub rule_refs: usize,
+    /// Bytes of the tree structure (node records + cut slab + child slab),
+    /// excluding the rule slab.
+    pub arena_bytes: usize,
+    /// Structure bytes plus the packed rule-image slab — everything a
+    /// lookup can touch (the arena is self-contained).
+    pub total_bytes: usize,
+}
+
 /// Summary statistics of a ruleset's structure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuleSetStats {
