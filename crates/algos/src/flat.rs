@@ -35,16 +35,40 @@
 //! [`DecisionTree::classify`]; the property tests in
 //! `tests/flat_equivalence.rs` enforce this packet-for-packet across random
 //! rulesets, builder configurations and batch sizes.
+//!
+//! # Incremental updates
+//!
+//! The arena is *patchable in place* ([`FlatTree::insert`] /
+//! [`FlatTree::delete`]): an update descends only the subtrees the rule's
+//! ranges intersect (un-sharing merged leaves on the way down, exactly like
+//! the pointer tree) and edits the leaf's rule span inside the slab.  A
+//! delete shrinks the span, leaving a free slot of *slack* behind; an
+//! insert first fills span slack and only when the span is full parks the
+//! rule in a per-node **overflow side-table**, which lookups scan after the
+//! span (a one-byte per-node mark keeps the static path free of hash
+//! lookups).  The fraction of rules living outside their span — the
+//! [`FlatTree::dirty_ratio`] — is what degrades the cache-compact layout,
+//! so once it crosses a threshold [`FlatTreeClassifier`] triggers an
+//! amortized [`FlatTree::reflatten`]: one sequential compaction pass that
+//! rebuilds the slabs from the live node graph (no tree rebuild) and
+//! re-provisions every span with fresh slack.
 
 use crate::counters::LookupStats;
 use crate::dtree::{DecisionTree, Node, NodeId, NodeKind};
 use crate::hicuts::HiCutsClassifier;
 use crate::hypercuts::HyperCutsClassifier;
+use crate::update::UpdateError;
 use crate::Classifier;
-use pclass_types::{ArenaStats, FieldRange, MatchResult, PacketHeader, Rule, RuleId, FIELD_COUNT};
+use pclass_types::{
+    ArenaStats, Dimension, DimensionSpec, FieldRange, MatchResult, PacketHeader, Rule, RuleId,
+    UpdateStats, FIELD_COUNT,
+};
+use std::collections::{BTreeMap, HashMap};
 
 /// Sentinel for "no match found yet" in the batched traversal (no rule id
-/// can take this value: rule ids equal ruleset positions).
+/// can take this value: build-time ids equal ruleset positions, and
+/// [`FlatTree::insert`] rejects ids at or above the sparse-id limit, which
+/// is always below this sentinel).
 const NO_MATCH: u32 = u32::MAX;
 
 /// A `(offset, len)` span into one of the shared slabs.
@@ -149,12 +173,25 @@ struct PackedRule {
 }
 
 impl PackedRule {
+    /// Filler image for unused slack slots inside a span (`len..cap`);
+    /// never scanned because `len` guards every read.
+    const DEAD: PackedRule = PackedRule {
+        id: u32::MAX,
+        lo: [0; FIELD_COUNT],
+        hi: [0; FIELD_COUNT],
+    };
+
     fn new(rule: &Rule) -> PackedRule {
         PackedRule {
             id: rule.id,
             lo: std::array::from_fn(|d| rule.ranges[d].lo),
             hi: std::array::from_fn(|d| rule.ranges[d].hi),
         }
+    }
+
+    /// The rule's ranges, reassembled from the packed image.
+    fn ranges(&self) -> [FieldRange; FIELD_COUNT] {
+        std::array::from_fn(|d| FieldRange::new(self.lo[d], self.hi[d]))
     }
 
     #[inline]
@@ -174,6 +211,9 @@ impl PackedRule {
 /// rule slab stores full rule images, not references).
 #[derive(Debug, Clone)]
 pub struct FlatTree {
+    /// The geometry the tree classifies over (needed to validate inserted
+    /// rules and to rebuild a ruleset from the live set).
+    spec: DimensionSpec,
     /// Per-node span into `cuts`; `len == 0` marks a leaf.
     node_cuts: Vec<Span>,
     /// Per-node base index into `children` (unused for leaves).
@@ -181,12 +221,30 @@ pub struct FlatTree {
     /// Per-node span into `rule_slab`: the leaf rules of a leaf, the
     /// pushed-up stored rules of an internal node.
     node_rules: Vec<Span>,
+    /// Per-node capacity of the rule span: slots `len..cap` are free slack
+    /// an insert may claim in place.  Always `cap >= len`.
+    node_rule_cap: Vec<u32>,
+    /// Per-node flag: this node has overflow rules (one-byte check on the
+    /// hot path; the side-table is only consulted when set).
+    overflow_mark: Vec<bool>,
     /// Shared cut-record slab.
     cuts: Vec<FlatCut>,
     /// Shared child-pointer slab (flat node ids).
     children: Vec<u32>,
     /// Shared packed-rule-image slab.
     rule_slab: Vec<PackedRule>,
+    /// Overflow side-table: rules whose node span had no free slot, per
+    /// node, in ascending id order.
+    overflow: HashMap<u32, Vec<PackedRule>>,
+    /// The live rules by id — delete needs the ranges to retrace the
+    /// insert descent, and re-flatten verification needs the full set.
+    live: BTreeMap<RuleId, PackedRule>,
+    /// Per-node reference counts (child slots + 1 for the root), built
+    /// lazily by the first update and maintained by un-sharing clones.
+    refs: Option<Vec<u32>>,
+    /// Update-activity counters since the build (or last re-flatten for
+    /// the overflow gauge).
+    update_stats: UpdateStats,
 }
 
 impl FlatTree {
@@ -209,18 +267,30 @@ impl FlatTree {
 
         let rules = tree.rules();
         let mut flat = FlatTree {
+            spec: *tree.spec(),
             node_cuts: Vec::with_capacity(nodes.len()),
             node_child_base: Vec::with_capacity(nodes.len()),
             node_rules: Vec::with_capacity(nodes.len()),
+            node_rule_cap: Vec::with_capacity(nodes.len()),
+            overflow_mark: Vec::with_capacity(nodes.len()),
             cuts: Vec::new(),
             children: Vec::new(),
             rule_slab: Vec::new(),
+            overflow: HashMap::new(),
+            live: rules
+                .iter()
+                .filter(|r| tree.is_live(r.id))
+                .map(|r| (r.id, PackedRule::new(r)))
+                .collect(),
+            refs: None,
+            update_stats: UpdateStats::default(),
         };
 
         let mut head = 0usize;
         while head < order.len() {
             let node = &nodes[order[head] as usize];
             head += 1;
+            flat.overflow_mark.push(false);
             match &node.kind {
                 NodeKind::Leaf { rules: ids } => {
                     flat.node_cuts.push(Span {
@@ -228,8 +298,9 @@ impl FlatTree {
                         len: 0,
                     });
                     flat.node_child_base.push(0);
-                    flat.node_rules
-                        .push(push_slab(&mut flat.rule_slab, rules, ids));
+                    let span = push_slab(&mut flat.rule_slab, rules, ids);
+                    flat.node_rules.push(span);
+                    flat.node_rule_cap.push(span.len);
                 }
                 NodeKind::Internal {
                     cuts,
@@ -256,8 +327,9 @@ impl FlatTree {
                         }
                         flat.children.push(*slot);
                     }
-                    flat.node_rules
-                        .push(push_slab(&mut flat.rule_slab, rules, stored_rules));
+                    let span = push_slab(&mut flat.rule_slab, rules, stored_rules);
+                    flat.node_rules.push(span);
+                    flat.node_rule_cap.push(span.len);
                 }
             }
         }
@@ -272,6 +344,8 @@ impl FlatTree {
         flat.node_cuts.shrink_to_fit();
         flat.node_child_base.shrink_to_fit();
         flat.node_rules.shrink_to_fit();
+        flat.node_rule_cap.shrink_to_fit();
+        flat.overflow_mark.shrink_to_fit();
         flat.cuts.shrink_to_fit();
         flat.children.shrink_to_fit();
         flat.rule_slab.shrink_to_fit();
@@ -286,18 +360,28 @@ impl FlatTree {
     /// Sizes and actual in-memory footprint of the arena arrays (the
     /// "Arena" rows of the README's memory table and of
     /// `BENCH_throughput.json`'s `builds` records).
+    ///
+    /// Counts the *serving image* — node records, slabs and overflow
+    /// rules, everything a lookup can touch — not the write-path
+    /// bookkeeping (`live` map, lazy refcounts; see
+    /// [`ArenaStats`]'s docs).
     pub fn arena_stats(&self) -> ArenaStats {
         use std::mem::size_of;
-        let structure_bytes = self.node_cuts.len() * (size_of::<Span>() * 2 + size_of::<u32>())
+        // Per node: two spans, the child base, the rule-span capacity and
+        // the overflow mark.
+        let structure_bytes = self.node_cuts.len()
+            * (size_of::<Span>() * 2 + size_of::<u32>() * 2 + size_of::<bool>())
             + self.cuts.len() * size_of::<FlatCut>()
             + self.children.len() * size_of::<u32>();
+        let overflow_rules: usize = self.overflow.values().map(Vec::len).sum();
         ArenaStats {
             nodes: self.node_cuts.len(),
             cut_records: self.cuts.len(),
             child_slots: self.children.len(),
-            rule_refs: self.rule_slab.len(),
+            rule_refs: self.rule_slab.len() + overflow_rules,
             arena_bytes: structure_bytes,
-            total_bytes: structure_bytes + self.rule_slab.len() * size_of::<PackedRule>(),
+            total_bytes: structure_bytes
+                + (self.rule_slab.len() + overflow_rules) * size_of::<PackedRule>(),
         }
     }
 
@@ -339,6 +423,28 @@ impl FlatTree {
         compared
     }
 
+    /// Scans a node's overflow list with the same early-exit semantics as
+    /// [`FlatTree::scan_slab`].  Called only when the node's overflow mark
+    /// is set, so the untouched (no-churn) hot path never hashes.
+    #[inline]
+    fn scan_overflow(&self, node: u32, pkt: &PacketHeader, best: &mut u32) -> u64 {
+        let Some(list) = self.overflow.get(&node) else {
+            return 0;
+        };
+        let mut compared = 0u64;
+        for rule in list {
+            compared += 1;
+            if rule.id >= *best {
+                break;
+            }
+            if rule.matches(&pkt.fields) {
+                *best = rule.id;
+                break;
+            }
+        }
+        compared
+    }
+
     /// Classifies one packet by walking the arena, optionally recording the
     /// performed work into `stats` with the same accounting as
     /// [`DecisionTree::classify`].
@@ -355,7 +461,10 @@ impl FlatTree {
                 s.ops.branches += 1;
             }
             if cuts.len == 0 {
-                let compared = self.scan_slab(rules, pkt, &mut best);
+                let mut compared = self.scan_slab(rules, pkt, &mut best);
+                if self.overflow_mark[node] {
+                    compared += self.scan_overflow(node as u32, pkt, &mut best);
+                }
                 if let Some(s) = stats.as_deref_mut() {
                     count_scan(s, compared);
                 }
@@ -364,8 +473,11 @@ impl FlatTree {
             if let Some(s) = stats.as_deref_mut() {
                 s.nodes_visited += 1;
             }
-            if rules.len > 0 {
-                let compared = self.scan_slab(rules, pkt, &mut best);
+            if rules.len > 0 || self.overflow_mark[node] {
+                let mut compared = self.scan_slab(rules, pkt, &mut best);
+                if self.overflow_mark[node] {
+                    compared += self.scan_overflow(node as u32, pkt, &mut best);
+                }
                 if let Some(s) = stats.as_deref_mut() {
                     count_scan(s, compared);
                 }
@@ -415,11 +527,17 @@ impl FlatTree {
                 let pkt = &pkts[pi];
                 if cuts.len == 0 {
                     self.scan_slab(rules, pkt, &mut best[pi]);
+                    if self.overflow_mark[nid] {
+                        self.scan_overflow(nid as u32, pkt, &mut best[pi]);
+                    }
                     out[base + pi] = decode(best[pi]);
                     continue;
                 }
                 if rules.len > 0 {
                     self.scan_slab(rules, pkt, &mut best[pi]);
+                }
+                if self.overflow_mark[nid] {
+                    self.scan_overflow(nid as u32, pkt, &mut best[pi]);
                 }
                 match self.child_index(cuts, pkt) {
                     Some(idx) => {
@@ -433,6 +551,400 @@ impl FlatTree {
             next.clear();
         }
     }
+
+    /// The geometry the arena classifies over.
+    pub fn spec(&self) -> &DimensionSpec {
+        &self.spec
+    }
+
+    /// The live rules in ascending id (= priority) order, reassembled from
+    /// the packed images.
+    pub fn live_rules(&self) -> Vec<Rule> {
+        self.live
+            .iter()
+            .map(|(&id, img)| Rule::new(id, img.ranges()))
+            .collect()
+    }
+
+    /// Number of live rules.
+    pub fn live_rule_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Update-activity counters since the build (`overflow_rules` is a
+    /// gauge: it drops back to 0 on re-flatten).
+    pub fn update_stats(&self) -> UpdateStats {
+        self.update_stats
+    }
+
+    /// Fraction of rule images living in the overflow side-table instead
+    /// of their node's slab span — the measure of how far the arena has
+    /// drifted from its cache-compact layout.  0 when untouched.
+    pub fn dirty_ratio(&self) -> f64 {
+        let overflow = self.update_stats.overflow_rules as f64;
+        let total = self.rule_slab.len() as f64 + overflow;
+        if total == 0.0 {
+            0.0
+        } else {
+            overflow / total
+        }
+    }
+
+    /// Inserts a rule at the (currently unused) priority slot `rule.id` by
+    /// patching the arena in place — no rebuild, no re-flatten.
+    ///
+    /// The descent mirrors [`DecisionTree::insert`]: only subtrees the
+    /// rule's ranges intersect are visited, shared nodes are un-shared by
+    /// cloning (the clone's span gets fresh slack at the slab end), a rule
+    /// reaching beyond a node's compacted cut region in a cut dimension is
+    /// parked in that node's stored span, and the rule image lands in each
+    /// target span in ascending id order — via span slack when there is a
+    /// free slot, via the overflow side-table when the span is full.
+    pub fn insert(&mut self, rule: &Rule) -> Result<(), UpdateError> {
+        let id = rule.id;
+        if self.live.contains_key(&id) {
+            return Err(UpdateError::DuplicateRuleId(id));
+        }
+        // Same sparse-id bound as the pointer tree; also keeps every live
+        // id strictly below the NO_MATCH lookup sentinel.
+        let occupied_end = self
+            .live
+            .last_key_value()
+            .map(|(&k, _)| k as usize + 1)
+            .unwrap_or(0);
+        let limit = crate::update::id_limit(occupied_end);
+        if id >= limit {
+            return Err(UpdateError::RuleIdTooSparse { rule: id, limit });
+        }
+        for d in Dimension::ALL {
+            if rule.range(d).hi > self.spec.max_value(d) {
+                return Err(UpdateError::RangeExceedsWidth {
+                    rule: id,
+                    dimension: d,
+                });
+            }
+        }
+        self.ensure_refs();
+        let img = PackedRule::new(rule);
+        self.insert_at(0, rule.ranges, img);
+        self.live.insert(id, img);
+        self.update_stats.inserts += 1;
+        Ok(())
+    }
+
+    /// Deletes the live rule `id`, removing its image from every span and
+    /// overflow list the insert/build placement could have put it in.
+    pub fn delete(&mut self, id: RuleId) -> Result<(), UpdateError> {
+        let Some(img) = self.live.get(&id) else {
+            return Err(UpdateError::UnknownRuleId(id));
+        };
+        let ranges = img.ranges();
+        self.delete_at(0, &ranges, id);
+        self.live.remove(&id);
+        self.update_stats.deletes += 1;
+        Ok(())
+    }
+
+    /// Builds the per-node reference counts on the first update.
+    fn ensure_refs(&mut self) {
+        if self.refs.is_some() {
+            return;
+        }
+        let mut refs = vec![0u32; self.node_cuts.len()];
+        refs[0] += 1; // the root
+        for &c in &self.children {
+            refs[c as usize] += 1;
+        }
+        self.refs = Some(refs);
+    }
+
+    /// Number of children of an internal node (the product of its cut
+    /// record partition counts; not stored, the child slab span is
+    /// implicit).
+    fn child_count(&self, node: usize) -> usize {
+        self.cuts[self.node_cuts[node].range()]
+            .iter()
+            .map(|c| c.parts as usize)
+            .product()
+    }
+
+    /// Clones node `n` so one child slot can diverge from its sharers: the
+    /// immutable cut span is shared, the child slots and the rule span are
+    /// copied to their slab ends (the rule span with fresh slack), and the
+    /// overflow list (if any) is duplicated.
+    fn clone_node(&mut self, n: u32) -> u32 {
+        let nu = n as usize;
+        let clone = self.node_cuts.len() as u32;
+        let refs = self.refs.as_mut().expect("refs built before cloning");
+        refs[nu] -= 1;
+        refs.push(1);
+        self.node_cuts.push(self.node_cuts[nu]);
+        if self.node_cuts[nu].len > 0 {
+            let base = self.node_child_base[nu] as usize;
+            let count = self.child_count(nu);
+            let new_base = self.children.len() as u32;
+            for j in 0..count {
+                let g = self.children[base + j];
+                self.children.push(g);
+                self.refs.as_mut().expect("refs built")[g as usize] += 1;
+            }
+            self.node_child_base.push(new_base);
+        } else {
+            self.node_child_base.push(0);
+        }
+        let span = self.node_rules[nu];
+        let len = span.len;
+        let cap = len + span_slack(len);
+        let new_off = self.rule_slab.len() as u32;
+        for j in span.range() {
+            let img = self.rule_slab[j];
+            self.rule_slab.push(img);
+        }
+        self.rule_slab
+            .extend(std::iter::repeat_n(PackedRule::DEAD, (cap - len) as usize));
+        self.node_rules.push(Span { off: new_off, len });
+        self.node_rule_cap.push(cap);
+        let cloned_overflow = self.overflow.get(&n).cloned();
+        self.overflow_mark.push(cloned_overflow.is_some());
+        if let Some(list) = cloned_overflow {
+            self.update_stats.overflow_rules += list.len() as u64;
+            self.overflow.insert(clone, list);
+        }
+        clone
+    }
+
+    /// Adds a rule image to a node's rule list: into span slack when a
+    /// free slot exists, into the overflow side-table otherwise.
+    fn add_rule(&mut self, node: usize, img: PackedRule) {
+        let span = self.node_rules[node];
+        let (start, len) = (span.off as usize, span.len as usize);
+        if span.len < self.node_rule_cap[node] {
+            let pos =
+                match self.rule_slab[start..start + len].binary_search_by_key(&img.id, |r| r.id) {
+                    Ok(_) => return, // already present (defensive; descent visits once)
+                    Err(pos) => pos,
+                };
+            for j in (start + pos..start + len).rev() {
+                self.rule_slab[j + 1] = self.rule_slab[j];
+            }
+            self.rule_slab[start + pos] = img;
+            self.node_rules[node].len += 1;
+        } else {
+            let list = self.overflow.entry(node as u32).or_default();
+            if let Err(pos) = list.binary_search_by_key(&img.id, |r| r.id) {
+                list.insert(pos, img);
+                self.overflow_mark[node] = true;
+                self.update_stats.overflow_rules += 1;
+            }
+        }
+    }
+
+    /// Removes a rule id from a node's span or overflow list; returns
+    /// whether it was present.  A vacated span slot becomes slack.
+    fn remove_rule(&mut self, node: usize, id: RuleId) -> bool {
+        let span = self.node_rules[node];
+        let (start, len) = (span.off as usize, span.len as usize);
+        if let Ok(pos) = self.rule_slab[start..start + len].binary_search_by_key(&id, |r| r.id) {
+            for j in start + pos..start + len - 1 {
+                self.rule_slab[j] = self.rule_slab[j + 1];
+            }
+            self.rule_slab[start + len - 1] = PackedRule::DEAD;
+            self.node_rules[node].len -= 1;
+            return true;
+        }
+        if self.overflow_mark[node] {
+            if let Some(list) = self.overflow.get_mut(&(node as u32)) {
+                if let Ok(pos) = list.binary_search_by_key(&id, |r| r.id) {
+                    list.remove(pos);
+                    self.update_stats.overflow_rules -= 1;
+                    if list.is_empty() {
+                        self.overflow.remove(&(node as u32));
+                        self.overflow_mark[node] = false;
+                    }
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `clip` escapes the node's (possibly compacted) cut region
+    /// in any cut dimension — if so, packets outside the region stop at
+    /// this node and the rule must be searched here.
+    fn escapes_cut_region(&self, node: usize, clip: &[FieldRange; FIELD_COUNT]) -> bool {
+        self.cuts[self.node_cuts[node].range()].iter().any(|cut| {
+            let r = clip[cut.dim as usize];
+            r.lo < cut.lo || r.hi > cut.hi
+        })
+    }
+
+    /// Recursive insert descent (see [`FlatTree::insert`]).
+    fn insert_at(&mut self, node: usize, clip: [FieldRange; FIELD_COUNT], img: PackedRule) {
+        if self.node_cuts[node].len == 0 || self.escapes_cut_region(node, &clip) {
+            self.add_rule(node, img);
+            return;
+        }
+        self.for_each_intersecting_child(node, clip, &mut |flat, slot, child_clip| {
+            let mut child = flat.children[slot];
+            if flat.refs.as_ref().expect("refs built")[child as usize] > 1 {
+                let clone = flat.clone_node(child);
+                flat.children[slot] = clone;
+                child = clone;
+            }
+            flat.insert_at(child as usize, child_clip, img);
+        });
+    }
+
+    /// Recursive delete descent: a hit in an internal node's stored span
+    /// (or overflow) prunes the subtree below it.
+    fn delete_at(&mut self, node: usize, ranges: &[FieldRange; FIELD_COUNT], id: RuleId) {
+        if self.node_cuts[node].len == 0 || self.escapes_cut_region(node, ranges) {
+            self.remove_rule(node, id);
+            return;
+        }
+        if self.remove_rule(node, id) {
+            return;
+        }
+        self.for_each_intersecting_child(node, *ranges, &mut |flat, slot, child_clip| {
+            flat.delete_at(flat.children[slot] as usize, &child_clip, id);
+        });
+    }
+
+    /// Enumerates the mixed-radix child indices whose sub-regions
+    /// intersect `clip` (caller has verified `clip` does not escape the
+    /// cut region), invoking `visit(self, child_slot, clipped_ranges)` for
+    /// each.
+    fn for_each_intersecting_child(
+        &mut self,
+        node: usize,
+        clip: [FieldRange; FIELD_COUNT],
+        visit: &mut impl FnMut(&mut FlatTree, usize, [FieldRange; FIELD_COUNT]),
+    ) {
+        let cut_span = self.node_cuts[node];
+        self.enumerate_children(node, cut_span, 0, 0, clip, visit);
+    }
+
+    fn enumerate_children(
+        &mut self,
+        node: usize,
+        cut_span: Span,
+        k: u32,
+        idx: u64,
+        clip: [FieldRange; FIELD_COUNT],
+        visit: &mut impl FnMut(&mut FlatTree, usize, [FieldRange; FIELD_COUNT]),
+    ) {
+        if k == cut_span.len {
+            let slot = self.node_child_base[node] as usize + idx as usize;
+            visit(self, slot, clip);
+            return;
+        }
+        let cut = self.cuts[(cut_span.off + k) as usize];
+        let region = FieldRange::new(cut.lo, cut.hi);
+        let r = clip[cut.dim as usize];
+        let (a, b) = (cut.sub_index(r.lo), cut.sub_index(r.hi));
+        for i in a..=b {
+            let child_range = region.split_child(cut.parts, i);
+            let Some(clipped) = r.intersect(&child_range) else {
+                continue;
+            };
+            let mut child_clip = clip;
+            child_clip[cut.dim as usize] = clipped;
+            self.enumerate_children(
+                node,
+                cut_span,
+                k + 1,
+                idx * u64::from(cut.parts) + u64::from(i),
+                child_clip,
+                visit,
+            );
+        }
+    }
+
+    /// Rebuilds the slabs compactly from the live node graph — one
+    /// sequential pass, no tree rebuild.  Overflow rules are merged back
+    /// into their node's span, every span is re-provisioned with fresh
+    /// slack for future in-place inserts, and records left unreferenced by
+    /// un-sharing clones are dropped.  Classification results are
+    /// unchanged.
+    pub fn reflatten(&mut self) {
+        let old_nodes = self.node_cuts.len();
+        let mut map = vec![u32::MAX; old_nodes];
+        let mut order: Vec<u32> = vec![0];
+        map[0] = 0;
+
+        let mut new = FlatTree {
+            spec: self.spec,
+            node_cuts: Vec::with_capacity(old_nodes),
+            node_child_base: Vec::with_capacity(old_nodes),
+            node_rules: Vec::with_capacity(old_nodes),
+            node_rule_cap: Vec::with_capacity(old_nodes),
+            overflow_mark: Vec::with_capacity(old_nodes),
+            cuts: Vec::new(),
+            children: Vec::new(),
+            rule_slab: Vec::new(),
+            overflow: HashMap::new(),
+            live: std::mem::take(&mut self.live),
+            refs: None,
+            update_stats: UpdateStats {
+                overflow_rules: 0,
+                reflattens: self.update_stats.reflattens + 1,
+                ..self.update_stats
+            },
+        };
+
+        let mut head = 0usize;
+        while head < order.len() {
+            let old = order[head] as usize;
+            head += 1;
+            new.overflow_mark.push(false);
+
+            let cut_span = self.node_cuts[old];
+            let new_cut_off = new.cuts.len() as u32;
+            new.cuts.extend_from_slice(&self.cuts[cut_span.range()]);
+            new.node_cuts.push(Span {
+                off: new_cut_off,
+                len: cut_span.len,
+            });
+
+            if cut_span.len > 0 {
+                let base = self.node_child_base[old] as usize;
+                let count = self.child_count(old);
+                new.node_child_base.push(new.children.len() as u32);
+                for j in 0..count {
+                    let child = self.children[base + j] as usize;
+                    if map[child] == u32::MAX {
+                        map[child] = order.len() as u32;
+                        order.push(child as u32);
+                    }
+                    new.children.push(map[child]);
+                }
+            } else {
+                new.node_child_base.push(0);
+            }
+
+            let span = self.node_rules[old];
+            let new_off = new.rule_slab.len() as u32;
+            new.rule_slab
+                .extend_from_slice(&self.rule_slab[span.range()]);
+            if let Some(list) = self.overflow.get(&(old as u32)) {
+                new.rule_slab.extend_from_slice(list);
+                new.rule_slab[new_off as usize..].sort_unstable_by_key(|r| r.id);
+            }
+            let len = new.rule_slab.len() as u32 - new_off;
+            let cap = len + span_slack(len);
+            new.rule_slab
+                .extend(std::iter::repeat_n(PackedRule::DEAD, (cap - len) as usize));
+            new.node_rules.push(Span { off: new_off, len });
+            new.node_rule_cap.push(cap);
+        }
+        *self = new;
+    }
+}
+
+/// Slack slots appended to a re-provisioned rule span so the next few
+/// inserts into the node patch in place instead of overflowing.
+fn span_slack(len: u32) -> u32 {
+    (len / 4).max(2)
 }
 
 #[inline]
@@ -476,7 +988,12 @@ pub struct FlatTreeClassifier {
     name: &'static str,
     flat: FlatTree,
     worst_case_accesses: u64,
+    dirty_threshold: f64,
 }
+
+/// Default [`FlatTree::dirty_ratio`] past which [`FlatTreeClassifier`]
+/// triggers an amortized re-flatten after an update.
+pub const DEFAULT_DIRTY_THRESHOLD: f64 = 0.05;
 
 impl FlatTreeClassifier {
     /// Wraps a flattened tree under a roster name.
@@ -485,7 +1002,16 @@ impl FlatTreeClassifier {
             name,
             flat,
             worst_case_accesses,
+            dirty_threshold: DEFAULT_DIRTY_THRESHOLD,
         }
+    }
+
+    /// Overrides the dirty-ratio threshold that triggers an amortized
+    /// re-flatten after an update (tests use tiny values to force the
+    /// compaction path; `f64::INFINITY` disables it).
+    pub fn with_dirty_threshold(mut self, threshold: f64) -> FlatTreeClassifier {
+        self.dirty_threshold = threshold;
+        self
     }
 
     /// The underlying arena.
@@ -497,6 +1023,38 @@ impl FlatTreeClassifier {
     /// harness).
     pub fn arena_stats(&self) -> ArenaStats {
         self.flat.arena_stats()
+    }
+
+    fn maybe_reflatten(&mut self) {
+        if self.flat.dirty_ratio() > self.dirty_threshold {
+            self.flat.reflatten();
+        }
+    }
+}
+
+impl crate::update::UpdatableClassifier for FlatTreeClassifier {
+    fn insert(&mut self, rule: Rule) -> Result<(), UpdateError> {
+        self.flat.insert(&rule)?;
+        self.maybe_reflatten();
+        Ok(())
+    }
+
+    fn delete(&mut self, rule_id: RuleId) -> Result<(), UpdateError> {
+        self.flat.delete(rule_id)?;
+        self.maybe_reflatten();
+        Ok(())
+    }
+
+    fn live_rules(&self) -> Vec<Rule> {
+        self.flat.live_rules()
+    }
+
+    fn spec(&self) -> DimensionSpec {
+        *self.flat.spec()
+    }
+
+    fn update_stats(&self) -> UpdateStats {
+        self.flat.update_stats()
     }
 }
 
@@ -647,6 +1205,177 @@ mod tests {
         assert_eq!(a.rules_compared, b.rules_compared);
         assert_eq!(a.memory_accesses, b.memory_accesses);
         assert_eq!(a.ops, b.ops);
+    }
+
+    /// Sweeps a packet grid comparing the arena against linear search over
+    /// its live rules (per packet and batched).
+    fn assert_matches_live_linear(flat: &FlatTree) {
+        let live = flat.live_rules();
+        let mut pkts = Vec::new();
+        for f0 in (0..256).step_by(5) {
+            for f4 in (0..256).step_by(9) {
+                pkts.push(PacketHeader::from_fields([f0, 80, 40, 180, f4]));
+            }
+        }
+        let expected: Vec<MatchResult> = pkts
+            .iter()
+            .map(|p| crate::update::classify_live_linear(&live, p))
+            .collect();
+        for (pkt, want) in pkts.iter().zip(&expected) {
+            assert_eq!(flat.classify(pkt, None), *want, "packet {pkt:?}");
+        }
+        let mut out = Vec::new();
+        for chunk in pkts.chunks(7) {
+            flat.classify_batch(chunk, &mut out);
+        }
+        assert_eq!(out, expected, "batched");
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips_with_slack_reuse() {
+        let rs = toy::table1_ruleset();
+        let (_, flatc) = toy_flat();
+        let mut flat = flatc.flat_tree().clone();
+        assert_eq!(flat.live_rule_count(), 10);
+        assert_eq!(flat.dirty_ratio(), 0.0);
+        flat.delete(5).unwrap();
+        assert_eq!(flat.live_rule_count(), 9);
+        assert_matches_live_linear(&flat);
+        assert_eq!(flat.delete(5), Err(UpdateError::UnknownRuleId(5)));
+        // Re-inserting fills the slack the delete left behind: no overflow.
+        flat.insert(&rs.rules()[5]).unwrap();
+        assert_eq!(flat.update_stats().overflow_rules, 0);
+        assert_eq!(flat.dirty_ratio(), 0.0);
+        assert_matches_live_linear(&flat);
+        assert_eq!(
+            flat.insert(&rs.rules()[5]),
+            Err(UpdateError::DuplicateRuleId(5))
+        );
+        let stats = flat.update_stats();
+        assert_eq!((stats.inserts, stats.deletes, stats.reflattens), (1, 1, 0));
+    }
+
+    #[test]
+    fn full_spans_spill_to_overflow_and_reflatten_compacts() {
+        let (_, flatc) = toy_flat();
+        let mut flat = flatc.flat_tree().clone();
+        let spec = *flat.spec();
+        // Fresh ids land in full spans: they must spill to the overflow
+        // side-table (the pristine arena has zero slack) and still serve.
+        for id in [20u32, 21, 22] {
+            flat.insert(&Rule::wildcard(id, &spec)).unwrap();
+        }
+        assert!(flat.update_stats().overflow_rules > 0);
+        assert!(flat.dirty_ratio() > 0.0);
+        assert_matches_live_linear(&flat);
+        let before = flat.update_stats();
+        flat.reflatten();
+        let after = flat.update_stats();
+        assert_eq!(after.overflow_rules, 0);
+        assert_eq!(after.reflattens, before.reflattens + 1);
+        assert_eq!(flat.dirty_ratio(), 0.0);
+        assert_eq!(flat.live_rule_count(), 13);
+        assert_matches_live_linear(&flat);
+        // Post-reflatten spans carry slack: the next insert is in place.
+        flat.delete(20).unwrap();
+        flat.insert(&Rule::wildcard(20, &spec)).unwrap();
+        assert_eq!(flat.update_stats().overflow_rules, 0);
+        assert_matches_live_linear(&flat);
+    }
+
+    #[test]
+    fn classifier_triggers_amortized_reflatten_past_threshold() {
+        use crate::update::UpdatableClassifier;
+        let (_, flatc) = toy_flat();
+        let mut c = flatc.with_dirty_threshold(0.01);
+        let spec = UpdatableClassifier::spec(&c);
+        for id in [30u32, 31] {
+            c.insert(Rule::wildcard(id, &spec)).unwrap();
+        }
+        let stats = c.update_stats();
+        assert!(stats.reflattens >= 1, "{stats:?}");
+        assert_eq!(stats.overflow_rules, 0);
+        assert_eq!(c.live_rules().len(), 12);
+        // And with the threshold effectively off, overflow accumulates.
+        let (_, flatc) = toy_flat();
+        let mut c = flatc.with_dirty_threshold(f64::INFINITY);
+        c.insert(Rule::wildcard(30, &spec)).unwrap();
+        assert_eq!(c.update_stats().reflattens, 0);
+        assert!(c.update_stats().overflow_rules > 0);
+    }
+
+    #[test]
+    fn updates_unshare_merged_leaves() {
+        let (_, flatc) = toy_flat();
+        let mut flat = flatc.flat_tree().clone();
+        let spec = *flat.spec();
+        // A narrow rule: any leaf shared with an untouched region must be
+        // cloned, not mutated in place.
+        let mut rule = Rule::wildcard(12, &spec);
+        rule.ranges[0] = FieldRange::new(3, 7);
+        rule.ranges[4] = FieldRange::new(200, 210);
+        flat.insert(&rule).unwrap();
+        assert_matches_live_linear(&flat);
+        flat.delete(12).unwrap();
+        assert_matches_live_linear(&flat);
+        for id in [0u32, 3, 9] {
+            flat.delete(id).unwrap();
+        }
+        assert_matches_live_linear(&flat);
+        flat.reflatten();
+        assert_matches_live_linear(&flat);
+    }
+
+    #[test]
+    fn insert_rejects_ids_far_beyond_the_occupied_range() {
+        let (_, flatc) = toy_flat();
+        let mut flat = flatc.flat_tree().clone();
+        let spec = *flat.spec();
+        flat.insert(&Rule::wildcard(1_000, &spec)).unwrap();
+        // The NO_MATCH sentinel (u32::MAX) must never become a live id —
+        // it would be silently unmatchable.
+        let err = flat.insert(&Rule::wildcard(u32::MAX, &spec)).unwrap_err();
+        assert!(matches!(err, UpdateError::RuleIdTooSparse { .. }));
+        let err = flat.insert(&Rule::wildcard(2_000_000, &spec)).unwrap_err();
+        assert!(matches!(err, UpdateError::RuleIdTooSparse { .. }));
+        assert_eq!(flat.live_rule_count(), 11);
+        assert_matches_live_linear(&flat);
+    }
+
+    #[test]
+    fn insert_escaping_a_compacted_cut_region_is_still_found() {
+        use crate::hypercuts::HyperCutsConfig;
+        // A ruleset clustered in a small box, so region compaction shrinks
+        // the root cut region well below the full space.
+        let spec = *toy::table1_ruleset().spec();
+        let rules: Vec<Rule> = (0..8u32)
+            .map(|i| {
+                let mut r = Rule::wildcard(i, &spec);
+                r.ranges[0] = FieldRange::new(10 + i, 30 + i);
+                r.ranges[4] = FieldRange::new(40, 60);
+                r
+            })
+            .collect();
+        let rs = pclass_types::RuleSet::new("boxed", spec, rules).unwrap();
+        let hc = HyperCutsClassifier::build(
+            &rs,
+            &HyperCutsConfig {
+                binth: 2,
+                spfac: 4.0,
+                region_compaction: true,
+                push_common_rules: true,
+            },
+        );
+        let mut flat = FlatTree::from_tree(hc.tree());
+        // A wildcard rule reaches far outside the compacted box: packets
+        // out there must still match it after the insert.
+        flat.insert(&Rule::wildcard(9, &spec)).unwrap();
+        let outside = PacketHeader::from_fields([200, 200, 200, 200, 200]);
+        assert_eq!(flat.classify(&outside, None), MatchResult::Matched(9));
+        assert_matches_live_linear(&flat);
+        flat.delete(9).unwrap();
+        assert_eq!(flat.classify(&outside, None), MatchResult::NoMatch);
+        assert_matches_live_linear(&flat);
     }
 
     #[test]

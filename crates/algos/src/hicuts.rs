@@ -133,6 +133,28 @@ impl Classifier for HiCutsClassifier {
     }
 }
 
+impl crate::update::UpdatableClassifier for HiCutsClassifier {
+    fn insert(&mut self, rule: Rule) -> Result<(), crate::update::UpdateError> {
+        self.tree.insert(rule)
+    }
+
+    fn delete(&mut self, rule_id: RuleId) -> Result<(), crate::update::UpdateError> {
+        self.tree.delete(rule_id)
+    }
+
+    fn live_rules(&self) -> Vec<Rule> {
+        self.tree.live_rules()
+    }
+
+    fn spec(&self) -> pclass_types::DimensionSpec {
+        *self.tree.spec()
+    }
+
+    fn update_stats(&self) -> pclass_types::UpdateStats {
+        self.tree.update_stats()
+    }
+}
+
 /// Internal builder state.
 struct Builder<'a> {
     rules: &'a [Rule],

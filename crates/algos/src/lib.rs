@@ -37,6 +37,7 @@ pub mod hicuts;
 pub mod hypercuts;
 pub mod linear;
 pub mod rfc;
+pub mod update;
 
 pub use counters::{BuildStats, LookupStats, OpCounters};
 pub use flat::{FlatTree, FlatTreeClassifier};
@@ -44,6 +45,7 @@ pub use hicuts::{HiCutsClassifier, HiCutsConfig};
 pub use hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 pub use linear::LinearClassifier;
 pub use rfc::{RfcClassifier, RfcConfig, RfcError};
+pub use update::{RuleUpdate, UpdatableClassifier, UpdateError};
 
 use pclass_types::{MatchResult, PacketHeader};
 

@@ -1,0 +1,298 @@
+//! The live-update ("churn") workload behind `throughput --churn`.
+//!
+//! A churn cell measures one updatable classifier serving a trace through
+//! the `pclass-engine` epoch-swap cell *while* a deterministic stream of
+//! insert/delete bursts lands on the writer copy: the serving workers keep
+//! draining batches on the previous snapshot as each burst publishes the
+//! next generation.  The cell records
+//!
+//! * serving throughput over the churn window (packets served / wall),
+//! * per-burst update latency percentiles (p50/p95/p99 of
+//!   [`LiveClassifier::apply_batch`] wall time),
+//! * the structure's own update counters ([`UpdateStats`]: in-place
+//!   inserts vs overflow spills, amortized re-flattens), and
+//! * a **correctness verdict**: after the stream drains, the final
+//!   snapshot must classify the whole trace packet-for-packet like a
+//!   from-scratch rebuild of the surviving ruleset (and like linear search
+//!   over it) — this is the hard floor CI gates on.
+//!
+//! Everything is derived from [`crate::WORKLOAD_SEED`], so the stream is
+//! identical run to run and host to host.
+
+use pclass_algos::update::{
+    classify_live_linear, map_result, renumbered_ruleset, RuleUpdate, UpdatableClassifier,
+};
+use pclass_classbench::ClassBenchGenerator;
+use pclass_engine::{LiveClassifier, LiveEngine};
+use pclass_types::{Rule, RuleId, RuleSet, Trace, UpdateStats};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How a churn cell is driven.  The update stream itself is built
+/// separately by [`churn_updates`] and passed to [`run_churn`], so the
+/// config only shapes *how* the stream lands, not what is in it.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Serving worker shards while the stream lands.
+    pub workers: usize,
+    /// Updates per published burst.
+    pub burst_ops: usize,
+    /// Engine sub-batch size (smaller batches pick up generations sooner).
+    pub batch: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            workers: 2,
+            burst_ops: 4,
+            batch: 256,
+        }
+    }
+}
+
+/// Everything measured over one churn cell.
+#[derive(Debug, Clone)]
+pub struct ChurnMeasurement {
+    /// Packets classified while the update stream was landing (clipped to
+    /// the serving passes that completed inside the churn window, so the
+    /// quiescent drain after the last burst is not counted).
+    pub packets_served: u64,
+    /// Wall-clock nanoseconds of the measured serving window.
+    pub serve_wall_ns: u64,
+    /// Millions of packets per second sustained under churn.
+    pub mpps_under_churn: f64,
+    /// Total updates applied (inserts + deletes).
+    pub updates: u64,
+    /// Number of published bursts (= generations).
+    pub bursts: u64,
+    /// Median per-burst apply latency (nanoseconds).
+    pub update_p50_ns: u64,
+    /// 95th-percentile per-burst apply latency.
+    pub update_p95_ns: u64,
+    /// 99th-percentile per-burst apply latency.
+    pub update_p99_ns: u64,
+    /// The structure's own update counters after the stream drained.
+    pub update_stats: UpdateStats,
+    /// Post-churn packet-for-packet agreement with a from-scratch rebuild
+    /// of the surviving ruleset *and* with linear search over it.
+    pub verified: bool,
+}
+
+/// Builds the deterministic update stream for a ruleset: `fraction`
+/// of the rules is deleted (ids spread evenly across the priority range)
+/// and the same number of fresh rules is inserted at new ids past the
+/// current maximum, interleaved delete/insert so the live count stays
+/// within one rule of the original throughout.
+pub fn churn_updates(ruleset: &RuleSet, fraction: f64) -> Vec<RuleUpdate> {
+    let len = ruleset.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    // At least 2 pairs so every cell exercises both op kinds, but never
+    // more deletes than there are rules (the spread formula would emit
+    // duplicate delete ids otherwise).
+    let ops = ((len as f64 * fraction).round() as usize).clamp(2.min(len), len);
+    let style = pclass_classbench::SeedStyle::Acl;
+    let fresh = ClassBenchGenerator::new(style, crate::WORKLOAD_SEED ^ 0xC0DE).generate(ops);
+    let mut updates = Vec::with_capacity(ops * 2);
+    for k in 0..ops {
+        let delete_id = (k * len / ops) as RuleId;
+        updates.push(RuleUpdate::Delete(delete_id));
+        let insert_id = (len + k) as RuleId;
+        updates.push(RuleUpdate::Insert(Rule::new(
+            insert_id,
+            fresh.rules()[k].ranges,
+        )));
+    }
+    updates
+}
+
+/// Runs one churn cell: serve `trace` continuously on `config.workers`
+/// shards while `updates` land in bursts, then verify the final snapshot
+/// against `rebuild` applied to the surviving ruleset.
+///
+/// Returns an error string when an update is rejected (the stream is
+/// constructed to be valid, so a rejection is a harness or structure bug).
+pub fn run_churn<C>(
+    classifier: C,
+    rebuild: impl Fn(&RuleSet) -> C,
+    trace: &Trace,
+    updates: &[RuleUpdate],
+    config: &ChurnConfig,
+) -> Result<ChurnMeasurement, String>
+where
+    C: UpdatableClassifier + Clone + Send + Sync,
+{
+    let live = Arc::new(LiveClassifier::new(classifier));
+    let engine = LiveEngine::new(config.workers, Arc::clone(&live)).with_batch_size(config.batch);
+
+    // One quiescent pass calibrates the burst pacing: the stream is spread
+    // over roughly two trace passes so "throughput under churn" actually
+    // overlaps serving with updates instead of front-loading the stream.
+    let warmup = engine.classify_trace(trace);
+    let bursts: Vec<&[RuleUpdate]> = updates.chunks(config.burst_ops.max(1)).collect();
+    let pace_ns = (2 * warmup.report.wall_ns / bursts.len().max(1) as u64).min(5_000_000);
+
+    let stop = AtomicBool::new(false);
+    let mut latencies: Vec<u64> = Vec::with_capacity(bursts.len());
+    let mut apply_error: Option<String> = None;
+    let started = Instant::now();
+    let (checkpoints, churn_end_ns) = std::thread::scope(|scope| {
+        let engine_ref = &engine;
+        let stop_ref = &stop;
+        let started_ref = &started;
+        let server = scope.spawn(move || {
+            // Checkpoint (cumulative packets, elapsed) after every pass, so
+            // the caller can clip the measurement to the churn window: the
+            // pass that drains *after* the last burst would otherwise bias
+            // "throughput under churn" toward the quiescent rate.
+            let mut checkpoints: Vec<(u64, u64)> = Vec::new();
+            let mut pkts = 0u64;
+            loop {
+                pkts += engine_ref.classify_trace(trace).report.pkts;
+                checkpoints.push((pkts, started_ref.elapsed().as_nanos() as u64));
+                if stop_ref.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            checkpoints
+        });
+        for burst in &bursts {
+            let t = Instant::now();
+            if let Err(e) = live.apply_batch(burst) {
+                apply_error = Some(e.to_string());
+                break;
+            }
+            latencies.push(t.elapsed().as_nanos() as u64);
+            if pace_ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(pace_ns));
+            }
+        }
+        let churn_end_ns = started.elapsed().as_nanos() as u64;
+        stop.store(true, Ordering::Release);
+        (
+            server.join().expect("churn serving worker panicked"),
+            churn_end_ns,
+        )
+    });
+    if let Some(e) = apply_error {
+        return Err(format!("update rejected mid-stream: {e}"));
+    }
+    // Clip to the last pass that completed within the churn window (fall
+    // back to the first pass when the stream was shorter than one pass).
+    let (packets_served, serve_wall_ns) = checkpoints
+        .iter()
+        .rev()
+        .find(|&&(_, elapsed)| elapsed <= churn_end_ns)
+        .or_else(|| checkpoints.first())
+        .copied()
+        .ok_or_else(|| "serving loop recorded no passes".to_string())?;
+
+    // Post-churn verification on the final snapshot: one batched pass,
+    // compared packet-for-packet against (a) a from-scratch rebuild of the
+    // surviving ruleset and (b) linear search over it.
+    let snapshot = live.snapshot();
+    let final_live = snapshot.live_rules();
+    let spec = snapshot.spec();
+    let (rebuilt_set, id_map) = renumbered_ruleset("post-churn", spec, &final_live);
+    let rebuilt = rebuild(&rebuilt_set);
+    let mut served = Vec::with_capacity(trace.len());
+    let headers: Vec<pclass_types::PacketHeader> = trace.headers().copied().collect();
+    snapshot.classify_batch(&headers, &mut served);
+    let mut rebuilt_results = Vec::with_capacity(trace.len());
+    rebuilt.classify_batch(&headers, &mut rebuilt_results);
+    let verified = headers.iter().enumerate().all(|(i, pkt)| {
+        let updated = served[i];
+        updated == map_result(rebuilt_results[i], &id_map)
+            && updated == classify_live_linear(&final_live, pkt)
+    });
+
+    latencies.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[(latencies.len() * p / 100).min(latencies.len() - 1)]
+        }
+    };
+    Ok(ChurnMeasurement {
+        packets_served,
+        serve_wall_ns,
+        mpps_under_churn: if serve_wall_ns == 0 {
+            0.0
+        } else {
+            packets_served as f64 * 1e3 / serve_wall_ns as f64
+        },
+        updates: updates.len() as u64,
+        bursts: bursts.len() as u64,
+        update_p50_ns: pct(50),
+        update_p95_ns: pct(95),
+        update_p99_ns: pct(99),
+        update_stats: live.with_writer(|w| w.update_stats()),
+        verified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl_ruleset;
+    use pclass_algos::{HiCutsClassifier, HiCutsConfig};
+
+    #[test]
+    fn churn_stream_is_deterministic_and_balanced() {
+        let rs = acl_ruleset(200);
+        let a = churn_updates(&rs, 0.01);
+        let b = churn_updates(&rs, 0.01);
+        assert_eq!(a, b);
+        let deletes = a
+            .iter()
+            .filter(|u| matches!(u, RuleUpdate::Delete(_)))
+            .count();
+        let inserts = a.len() - deletes;
+        assert_eq!(deletes, inserts);
+        assert_eq!(deletes, 2); // 1% of 200
+                                // Fresh ids never collide with the base ruleset.
+        for u in &a {
+            if let RuleUpdate::Insert(rule) = u {
+                assert!(rule.id >= rs.len() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_stream_never_deletes_the_same_id_twice_on_tiny_rulesets() {
+        let one = acl_ruleset(2_191).truncated(1, "one");
+        let updates = churn_updates(&one, 0.01);
+        assert_eq!(updates.len(), 2, "one delete+insert pair on a 1-rule set");
+        assert!(matches!(updates[0], RuleUpdate::Delete(0)));
+        let empty = RuleSet::new("empty", *one.spec(), vec![]).expect("empty ruleset");
+        assert!(churn_updates(&empty, 0.5).is_empty());
+    }
+
+    #[test]
+    fn churn_cell_runs_and_verifies_on_a_small_workload() {
+        let rs = acl_ruleset(150);
+        let trace = crate::trace_for(&rs, 600);
+        let updates = churn_updates(&rs, 0.05);
+        let config = ChurnConfig {
+            workers: 2,
+            burst_ops: 3,
+            batch: 64,
+        };
+        let build =
+            |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten();
+        let m = run_churn(build(&rs), build, &trace, &updates, &config).unwrap();
+        assert!(m.verified, "post-churn mismatch");
+        assert_eq!(m.updates, updates.len() as u64);
+        assert!(m.bursts >= 1);
+        assert!(m.packets_served >= trace.len() as u64);
+        assert!(m.update_p50_ns > 0);
+        assert!(m.update_p99_ns >= m.update_p50_ns);
+        let stats = m.update_stats;
+        assert_eq!(stats.inserts, 8); // ceil-ish of 5% of 150 = 8 pairs
+        assert_eq!(stats.deletes, 8);
+    }
+}

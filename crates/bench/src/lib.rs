@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod churn;
 
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};

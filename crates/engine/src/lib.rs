@@ -30,6 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod live;
+
+pub use live::{LiveClassifier, LiveEngine};
+
 use pclass_algos::Classifier;
 use pclass_types::{MatchResult, PacketHeader, Trace};
 use serde::Serialize;
@@ -82,7 +86,7 @@ pub struct EngineRun {
     pub report: ThroughputReport,
 }
 
-fn mpps(pkts: u64, wall_ns: u64) -> f64 {
+pub(crate) fn mpps(pkts: u64, wall_ns: u64) -> f64 {
     if wall_ns == 0 {
         return 0.0;
     }
@@ -169,76 +173,95 @@ impl Engine {
     /// Results are merged in trace order and are identical to what a
     /// sequential per-packet loop over the same classifier would produce.
     pub fn classify_trace(&self, trace: &Trace) -> EngineRun {
-        let workers = self.shards.len();
-        let started = Instant::now();
-        let shards = trace.shards(workers);
-        let mut partials: Vec<Option<(Vec<MatchResult>, u64)>> =
-            (0..workers).map(|_| None).collect();
+        run_sharded(
+            trace,
+            self.shards.len(),
+            self.batch,
+            |worker, headers, results| self.shards[worker].classify_batch(headers, results),
+        )
+    }
+}
 
-        let serve_shard =
-            |classifier: &SharedClassifier, slice: &[pclass_types::TraceEntry], batch: usize| {
-                let worker_started = Instant::now();
-                let mut results = Vec::with_capacity(slice.len());
-                let mut headers: Vec<PacketHeader> = Vec::with_capacity(batch.min(slice.len()));
-                for sub in slice.chunks(batch) {
-                    headers.clear();
-                    headers.extend(sub.iter().map(|e| e.header));
-                    classifier.classify_batch(&headers, &mut results);
-                }
-                let wall_ns = worker_started.elapsed().as_nanos() as u64;
-                (results, wall_ns)
-            };
+/// The sharded serving loop shared by [`Engine`] and [`live::LiveEngine`]:
+/// splits the trace into deterministic balanced shards, drives each worker
+/// through `serve_batch(worker, headers, results)` in `batch`-sized
+/// sub-batches, and merges the per-worker outputs back in trace order with
+/// per-worker timing.  The engines differ only in how `serve_batch`
+/// obtains its classifier (a fixed shard handle vs a fresh epoch snapshot
+/// per sub-batch).
+pub(crate) fn run_sharded<F>(
+    trace: &Trace,
+    workers: usize,
+    batch: usize,
+    serve_batch: F,
+) -> EngineRun
+where
+    F: Fn(usize, &[PacketHeader], &mut Vec<MatchResult>) + Sync,
+{
+    let started = Instant::now();
+    let shards = trace.shards(workers);
+    let mut partials: Vec<Option<(Vec<MatchResult>, u64)>> = (0..workers).map(|_| None).collect();
 
-        if workers == 1 {
-            // Single shard: serve inline on the caller thread.  Spawning a
-            // scoped thread costs tens of microseconds — pure overhead that
-            // would be charged to every measurement of a fast classifier.
-            partials[0] = Some(serve_shard(&self.shards[0], shards[0], self.batch));
-        } else {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (i, slice) in shards.into_iter().enumerate() {
-                    if slice.is_empty() {
-                        partials[i] = Some((Vec::new(), 0));
-                        continue;
-                    }
-                    let classifier = Arc::clone(&self.shards[i]);
-                    let batch = self.batch;
-                    let serve = &serve_shard;
-                    handles.push((i, scope.spawn(move || serve(&classifier, slice, batch))));
-                }
-                for (i, handle) in handles {
-                    partials[i] = Some(handle.join().expect("engine worker panicked"));
-                }
-            });
+    let serve_shard = |worker: usize, slice: &[pclass_types::TraceEntry]| {
+        let worker_started = Instant::now();
+        let mut results = Vec::with_capacity(slice.len());
+        let mut headers: Vec<PacketHeader> = Vec::with_capacity(batch.min(slice.len()));
+        for sub in slice.chunks(batch) {
+            headers.clear();
+            headers.extend(sub.iter().map(|e| e.header));
+            serve_batch(worker, &headers, &mut results);
         }
+        let wall_ns = worker_started.elapsed().as_nanos() as u64;
+        (results, wall_ns)
+    };
 
-        let mut results = Vec::with_capacity(trace.len());
-        let mut per_worker = Vec::with_capacity(workers);
-        for (worker, partial) in partials.into_iter().enumerate() {
-            let (shard_results, wall_ns) = partial.expect("worker output missing");
-            let pkts = shard_results.len() as u64;
-            per_worker.push(WorkerReport {
-                worker,
-                pkts,
-                wall_ns,
-                mpps: mpps(pkts, wall_ns),
-            });
-            results.extend(shard_results);
-        }
-        debug_assert_eq!(results.len(), trace.len());
+    if workers == 1 {
+        // Single shard: serve inline on the caller thread.  Spawning a
+        // scoped thread costs tens of microseconds — pure overhead that
+        // would be charged to every measurement of a fast classifier.
+        partials[0] = Some(serve_shard(0, shards[0]));
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slice) in shards.into_iter().enumerate() {
+                if slice.is_empty() {
+                    partials[i] = Some((Vec::new(), 0));
+                    continue;
+                }
+                let serve = &serve_shard;
+                handles.push((i, scope.spawn(move || serve(i, slice))));
+            }
+            for (i, handle) in handles {
+                partials[i] = Some(handle.join().expect("engine worker panicked"));
+            }
+        });
+    }
 
-        let wall_ns = started.elapsed().as_nanos() as u64;
-        let pkts = results.len() as u64;
-        EngineRun {
-            results,
-            report: ThroughputReport {
-                pkts,
-                wall_ns,
-                mpps: mpps(pkts, wall_ns),
-                per_worker,
-            },
-        }
+    let mut results = Vec::with_capacity(trace.len());
+    let mut per_worker = Vec::with_capacity(workers);
+    for (worker, partial) in partials.into_iter().enumerate() {
+        let (shard_results, wall_ns) = partial.expect("worker output missing");
+        let pkts = shard_results.len() as u64;
+        per_worker.push(WorkerReport {
+            worker,
+            pkts,
+            wall_ns,
+            mpps: mpps(pkts, wall_ns),
+        });
+        results.extend(shard_results);
+    }
+    debug_assert_eq!(results.len(), trace.len());
+
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let pkts = results.len() as u64;
+    EngineRun {
+        results,
+        report: ThroughputReport {
+            pkts,
+            wall_ns,
+            mpps: mpps(pkts, wall_ns),
+            per_worker,
+        },
     }
 }
 

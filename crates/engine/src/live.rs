@@ -1,0 +1,254 @@
+//! Epoch-based serving of a classifier under live rule updates.
+//!
+//! The paper's deployment shares one *read-only* memory image between its
+//! search engines; real rulesets churn while traffic keeps flowing.
+//! [`LiveClassifier`] squares the two with an epoch (snapshot) swap built
+//! from `std` primitives only:
+//!
+//! * the **read path** is an `Arc` snapshot behind an `RwLock` taken for
+//!   nanoseconds per batch — workers clone the `Arc` at the start of a
+//!   sub-batch and classify the whole batch on that immutable snapshot,
+//!   draining in flight while newer generations are published;
+//! * the **write path** owns a private writer copy of the classifier
+//!   (`Mutex`): updates patch it in place through
+//!   [`UpdatableClassifier`]'s rebuild-free `insert`/`delete`, and
+//!   [`LiveClassifier::apply_batch`] publishes a clone of the patched
+//!   writer as the next snapshot, bumping a generation counter.
+//!
+//! Serving therefore never blocks on an update (readers hold the lock only
+//! to clone the `Arc`), updates never observe a torn structure (they only
+//! touch the writer copy), and every served batch is classified by exactly
+//! one consistent generation.  [`LiveEngine`] is the multi-worker serving
+//! loop over a [`LiveClassifier`]: the trace is sharded like
+//! [`crate::Engine`], but each worker re-snapshots per sub-batch, so a
+//! ruleset change lands mid-trace without stopping the stream.
+
+use crate::{EngineRun, DEFAULT_BATCH_SIZE};
+use pclass_algos::update::{RuleUpdate, UpdatableClassifier, UpdateError};
+use pclass_algos::Classifier;
+use pclass_types::Trace;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A classifier served through swappable immutable snapshots while a
+/// writer copy absorbs incremental updates.  See the module docs.
+pub struct LiveClassifier<C> {
+    snapshot: RwLock<Arc<C>>,
+    writer: Mutex<C>,
+    generation: AtomicU64,
+}
+
+impl<C: Classifier + Clone> LiveClassifier<C> {
+    /// Wraps a classifier: generation 0 serves its initial state.
+    pub fn new(classifier: C) -> LiveClassifier<C> {
+        LiveClassifier {
+            snapshot: RwLock::new(Arc::new(classifier.clone())),
+            writer: Mutex::new(classifier),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current immutable snapshot.  Cheap (one `Arc` clone under a
+    /// read lock); hold it for at most a batch so the previous arena can
+    /// be dropped once all in-flight batches drain.
+    pub fn snapshot(&self) -> Arc<C> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Number of published update generations (0 = never updated).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+impl<C: UpdatableClassifier + Clone> LiveClassifier<C> {
+    /// Applies a burst of updates to the writer copy and publishes the
+    /// result as the next snapshot generation.
+    ///
+    /// The burst is applied atomically with respect to readers: no served
+    /// batch ever observes a prefix of it.  On error the failed update and
+    /// everything after it are dropped but earlier updates of the burst
+    /// are still published (the writer copy has already absorbed them).
+    pub fn apply_batch(&self, updates: &[RuleUpdate]) -> Result<u64, UpdateError> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let result = updates.iter().try_for_each(|u| writer.apply(u));
+        let published = Arc::new(writer.clone());
+        *self.snapshot.write().expect("snapshot lock poisoned") = published;
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        result.map(|()| generation)
+    }
+
+    /// Runs a closure against the writer copy without publishing (used to
+    /// inspect update statistics mid-stream).
+    pub fn with_writer<T>(&self, f: impl FnOnce(&C) -> T) -> T {
+        f(&self.writer.lock().expect("writer lock poisoned"))
+    }
+}
+
+/// A bank of worker shards serving a [`LiveClassifier`], re-snapshotting
+/// at every sub-batch boundary so published updates land mid-trace.
+///
+/// Results are packet-for-packet what the per-batch snapshots decide — for
+/// a quiescent classifier (no updates in flight) that is exactly what
+/// [`crate::Engine`] over the same classifier produces.
+pub struct LiveEngine<C> {
+    live: Arc<LiveClassifier<C>>,
+    workers: usize,
+    batch: usize,
+}
+
+impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
+    /// Creates an engine of `workers` shards (at least 1) over a shared
+    /// live classifier.
+    pub fn new(workers: usize, live: Arc<LiveClassifier<C>>) -> LiveEngine<C> {
+        LiveEngine {
+            live,
+            workers: workers.max(1),
+            batch: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Overrides the sub-batch size (clamped to at least 1).  Smaller
+    /// batches pick up published generations sooner.
+    pub fn with_batch_size(mut self, batch: usize) -> LiveEngine<C> {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared live classifier.
+    pub fn live(&self) -> &LiveClassifier<C> {
+        &self.live
+    }
+
+    /// Classifies a whole trace, sharding it across the workers; each
+    /// sub-batch is served by the snapshot current at its start.
+    pub fn classify_trace(&self, trace: &Trace) -> EngineRun {
+        crate::run_sharded(trace, self.workers, self.batch, |_, headers, results| {
+            // Re-snapshot per sub-batch: a generation published mid-shard
+            // serves the remaining batches, while this batch drains on the
+            // snapshot it started with.
+            self.live.snapshot().classify_batch(headers, results)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclass_algos::update::classify_live_linear;
+    use pclass_algos::{HiCutsClassifier, HiCutsConfig};
+    use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+    use pclass_types::Rule;
+
+    fn workload(rules: usize, packets: usize) -> (pclass_types::RuleSet, Trace) {
+        let rs = ClassBenchGenerator::new(SeedStyle::Acl, 77).generate(rules);
+        let trace = TraceGenerator::new(&rs, 78).generate(packets);
+        (rs, trace)
+    }
+
+    fn flat_for(rs: &pclass_types::RuleSet) -> pclass_algos::FlatTreeClassifier {
+        HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten()
+    }
+
+    #[test]
+    fn quiescent_live_engine_matches_ground_truth_at_every_worker_count() {
+        let (rs, trace) = workload(200, 900);
+        let truth = trace.ground_truth(&rs);
+        let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
+        for workers in [1usize, 2, 4] {
+            let engine = LiveEngine::new(workers, Arc::clone(&live));
+            let run = engine.classify_trace(&trace);
+            assert_eq!(run.results, truth, "x{workers}");
+            assert_eq!(run.report.pkts, trace.len() as u64);
+            assert_eq!(run.report.per_worker.len(), workers);
+        }
+        assert_eq!(live.generation(), 0);
+    }
+
+    #[test]
+    fn apply_batch_publishes_a_new_generation_readers_pick_up() {
+        let (rs, trace) = workload(120, 400);
+        let live = LiveClassifier::new(flat_for(&rs));
+        let old = live.snapshot();
+        let spec = *rs.spec();
+        let updates = vec![
+            RuleUpdate::Delete(3),
+            RuleUpdate::Insert(Rule::wildcard(rs.len() as u32 + 5, &spec)),
+        ];
+        assert_eq!(live.apply_batch(&updates).unwrap(), 1);
+        assert_eq!(live.generation(), 1);
+        // The pre-update snapshot still serves the old ruleset (drain).
+        let pkt = trace.entries()[0].header;
+        assert_eq!(old.classify(&pkt), rs.classify_linear(&pkt));
+        // A fresh snapshot serves the updated ruleset.
+        let snap = live.snapshot();
+        let expected = classify_live_linear(&snap.live_rules(), &pkt);
+        assert_eq!(snap.classify(&pkt), expected);
+        let stats = live.with_writer(|w| w.update_stats());
+        assert_eq!((stats.inserts, stats.deletes), (1, 1));
+    }
+
+    #[test]
+    fn failed_update_keeps_earlier_burst_entries_and_still_publishes() {
+        let (rs, _) = workload(60, 1);
+        let live = LiveClassifier::new(flat_for(&rs));
+        let updates = vec![
+            RuleUpdate::Delete(1),
+            RuleUpdate::Delete(1), // second delete of the same id fails
+            RuleUpdate::Delete(2), // dropped: after the failure
+        ];
+        assert_eq!(
+            live.apply_batch(&updates),
+            Err(UpdateError::UnknownRuleId(1))
+        );
+        assert_eq!(live.generation(), 1);
+        let snap = live.snapshot();
+        let ids: Vec<u32> = snap.live_rules().iter().map(|r| r.id).collect();
+        assert!(!ids.contains(&1), "first delete applied");
+        assert!(ids.contains(&2), "post-failure delete dropped");
+    }
+
+    #[test]
+    fn serving_under_concurrent_churn_stays_consistent_per_generation() {
+        let (rs, trace) = workload(250, 3_000);
+        let spec = *rs.spec();
+        let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
+        let engine = LiveEngine::new(2, Arc::clone(&live)).with_batch_size(64);
+        std::thread::scope(|scope| {
+            let live_ref = &live;
+            let updater = scope.spawn(move || {
+                // Delete/insert churn racing the serving loop below.
+                for round in 0..20u32 {
+                    let id = round % (rs.len() as u32);
+                    live_ref
+                        .apply_batch(&[RuleUpdate::Delete(id)])
+                        .expect("delete");
+                    live_ref
+                        .apply_batch(&[RuleUpdate::Insert(Rule::wildcard(10_000 + round, &spec))])
+                        .expect("insert");
+                    std::thread::yield_now();
+                }
+            });
+            // Serving never blocks or panics while updates land.
+            for _ in 0..3 {
+                let run = engine.classify_trace(&trace);
+                assert_eq!(run.results.len(), trace.len());
+            }
+            updater.join().expect("updater panicked");
+        });
+        assert_eq!(live.generation(), 40);
+        // Quiescent again: the final snapshot agrees with linear search
+        // over the final live ruleset, packet for packet.
+        let snap = live.snapshot();
+        let final_live = snap.live_rules();
+        let run = engine.classify_trace(&trace);
+        for (entry, got) in trace.entries().iter().zip(&run.results) {
+            assert_eq!(*got, classify_live_linear(&final_live, &entry.header));
+        }
+    }
+}

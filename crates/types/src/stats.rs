@@ -18,6 +18,12 @@ use std::collections::HashSet;
 /// one definition.  Unlike the idealised 32-bit software memory model the
 /// pointer trees report under, these byte counts are the *actual* in-memory
 /// sizes of the arena arrays.
+///
+/// The counts cover the **serving image** — everything a lookup can touch
+/// (node records, slabs, overflow rules) — not the update bookkeeping the
+/// arena keeps on the side (the live-rule map and lazily built reference
+/// counts, roughly one extra rule image plus 4 bytes per node), which only
+/// the write path reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArenaStats {
     /// Number of node records.
@@ -34,6 +40,28 @@ pub struct ArenaStats {
     /// Structure bytes plus the packed rule-image slab — everything a
     /// lookup can touch (the arena is self-contained).
     pub total_bytes: usize,
+}
+
+/// Running counters of an updatable search structure's incremental-update
+/// activity.
+///
+/// Tracked by the rebuild-free `insert`/`delete` paths of
+/// `pclass_algos::dtree::DecisionTree` and `pclass_algos::flat::FlatTree`
+/// and recorded per churn cell in `BENCH_throughput.json`'s `churn` records
+/// (schema `pclass-throughput/v3`); it lives here, next to [`ArenaStats`],
+/// so every crate that serializes measurements shares one definition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Rules inserted since the structure was built.
+    pub inserts: u64,
+    /// Rules deleted since the structure was built.
+    pub deletes: u64,
+    /// Amortized re-flatten compactions triggered by the dirty-ratio
+    /// threshold (flat arenas only; always 0 for pointer trees).
+    pub reflattens: u64,
+    /// Rules currently parked in the overflow side-table because their
+    /// leaf's slab span had no free slot (flat arenas only).
+    pub overflow_rules: u64,
 }
 
 /// Summary statistics of a ruleset's structure.

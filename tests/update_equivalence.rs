@@ -1,0 +1,233 @@
+//! Property-based equivalence of rebuild-free incremental updates: after
+//! *any* random insert/delete sequence, an updatable classifier (HiCuts /
+//! HyperCuts pointer trees and their flat arenas) must classify every
+//! packet exactly like
+//!
+//! * linear search over the surviving rules, and
+//! * a **from-scratch rebuild** of the surviving ruleset (renumbered, with
+//!   decisions mapped back through the id map),
+//!
+//! per packet and through `classify_batch` at batch sizes 0 / 1 / odd /
+//! full — across random rulesets, builder configurations (`binth`,
+//! `spfac`, the HyperCuts heuristics) and flat-arena dirty-ratio
+//! thresholds (0.0 forces a re-flatten after every dirtying update,
+//! infinity lets overflow accumulate forever).
+
+use packet_classifier::prelude::*;
+use pclass_algos::hicuts::HiCutsConfig;
+use pclass_algos::hypercuts::HyperCutsConfig;
+use pclass_algos::update::{
+    classify_live_linear, map_result, renumbered_ruleset, UpdatableClassifier,
+};
+use proptest::prelude::*;
+
+/// A scripted update stream: `(is_insert, pick)` pairs resolved against
+/// the evolving live set, so any random script is valid by construction.
+#[derive(Debug, Clone)]
+struct Script {
+    ops: Vec<(bool, u8)>,
+}
+
+impl Script {
+    /// Expands a seed into a deterministic op script (the proptest shim
+    /// has no collection strategies, so the script is derived, not drawn).
+    fn from_seed(mut seed: u64, len: usize) -> Script {
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            // xorshift64* keeps the script spread across both op kinds.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let word = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            ops.push((word & 1 == 0, (word >> 8) as u8));
+        }
+        Script { ops }
+    }
+}
+
+/// Applies the script: deletes pick a live id, inserts pick from the pool
+/// of fresh rules and previously deleted rules.  Returns the number of
+/// operations actually applied.
+fn apply_script<C: UpdatableClassifier>(
+    classifier: &mut C,
+    script: &Script,
+    fresh_pool: &[Rule],
+) -> usize {
+    let mut available: Vec<Rule> = fresh_pool.to_vec();
+    let mut applied = 0;
+    for &(is_insert, pick) in &script.ops {
+        if is_insert {
+            if available.is_empty() {
+                continue;
+            }
+            let rule = available.remove(pick as usize % available.len());
+            classifier.insert(rule).expect("scripted insert is valid");
+        } else {
+            let live = classifier.live_rules();
+            if live.is_empty() {
+                continue;
+            }
+            let victim = live[pick as usize % live.len()];
+            classifier
+                .delete(victim.id)
+                .expect("scripted delete is valid");
+            available.push(victim); // deleted ids may be re-inserted later
+        }
+        applied += 1;
+    }
+    applied
+}
+
+/// The core property: post-script decisions equal linear search over the
+/// live set and a from-scratch rebuild of it, per packet and batched.
+fn assert_equivalent<C: UpdatableClassifier>(
+    classifier: &C,
+    rebuild: impl Fn(&RuleSet) -> C,
+    headers: &[PacketHeader],
+) {
+    let live = classifier.live_rules();
+    let expected: Vec<MatchResult> = headers
+        .iter()
+        .map(|h| classify_live_linear(&live, h))
+        .collect();
+
+    // Per-packet against linear search over the live rules.
+    for (pkt, want) in headers.iter().zip(&expected) {
+        prop_assert_eq!(
+            classifier.classify(pkt),
+            *want,
+            "{} per-packet vs live linear",
+            classifier.name()
+        );
+    }
+
+    // Batched at 0 / 1 / odd / full batch sizes.
+    for batch in [0usize, 1, 3, 7, headers.len().max(1)] {
+        let mut out = Vec::new();
+        if batch == 0 {
+            classifier.classify_batch(&[], &mut out);
+            prop_assert!(out.is_empty());
+            continue;
+        }
+        for chunk in headers.chunks(batch) {
+            classifier.classify_batch(chunk, &mut out);
+        }
+        prop_assert_eq!(&out, &expected, "{} batch {}", classifier.name(), batch);
+    }
+
+    // Against a from-scratch rebuild of the surviving ruleset.
+    let (rebuilt_set, id_map) =
+        renumbered_ruleset("rebuilt", UpdatableClassifier::spec(classifier), &live);
+    let fresh = rebuild(&rebuilt_set);
+    for (pkt, want) in headers.iter().zip(&expected) {
+        prop_assert_eq!(
+            map_result(fresh.classify(pkt), &id_map),
+            *want,
+            "{} vs from-scratch rebuild",
+            classifier.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn any_update_sequence_matches_a_from_scratch_rebuild(
+        seed in 0u64..1_000_000,
+        rules in 1usize..110,
+        packets in 1usize..200,
+        binth in 1usize..24,
+        spfac_tenths in 10u32..80,
+        compaction in proptest::arbitrary::any::<bool>(),
+        push_common in proptest::arbitrary::any::<bool>(),
+        threshold_pick in 0u8..3,
+        ops_seed in proptest::arbitrary::any::<u64>(),
+        ops_len in 0usize..28,
+    ) {
+        let rs = ClassBenchGenerator::new(SeedStyle::Acl, seed).generate(rules);
+        let trace = TraceGenerator::new(&rs, seed ^ 0xD00D).generate(packets);
+        let headers: Vec<PacketHeader> = trace.headers().copied().collect();
+        let script = Script::from_seed(ops_seed, ops_len);
+        // Fresh insert candidates at ids past the base ruleset.
+        let fresh_pool: Vec<Rule> = ClassBenchGenerator::new(SeedStyle::Acl, seed ^ 0xF00)
+            .generate(14)
+            .rules()
+            .iter()
+            .map(|r| Rule::new(rs.len() as u32 + r.id, r.ranges))
+            .collect();
+        let spfac = f64::from(spfac_tenths) / 10.0;
+        let hc_config = HiCutsConfig { binth, spfac };
+        let hyc_config = HyperCutsConfig {
+            binth,
+            spfac,
+            region_compaction: compaction,
+            push_common_rules: push_common,
+        };
+        // 0.0 re-flattens after every dirtying update; infinity never does.
+        let threshold = [0.0, 0.05, f64::INFINITY][threshold_pick as usize];
+
+        // HiCuts pointer tree.
+        let build_hc = |rs: &RuleSet| HiCutsClassifier::build(rs, &hc_config);
+        let mut c = build_hc(&rs);
+        apply_script(&mut c, &script, &fresh_pool);
+        assert_equivalent(&c, build_hc, &headers);
+
+        // HiCuts flat arena.
+        let build_hcf =
+            |rs: &RuleSet| build_hc(rs).flatten().with_dirty_threshold(threshold);
+        let mut c = build_hcf(&rs);
+        apply_script(&mut c, &script, &fresh_pool);
+        assert_equivalent(&c, build_hcf, &headers);
+
+        // HyperCuts pointer tree (region compaction + push-common vary).
+        let build_hyc = |rs: &RuleSet| HyperCutsClassifier::build(rs, &hyc_config);
+        let mut c = build_hyc(&rs);
+        apply_script(&mut c, &script, &fresh_pool);
+        assert_equivalent(&c, build_hyc, &headers);
+
+        // HyperCuts flat arena.
+        let build_hycf =
+            |rs: &RuleSet| build_hyc(rs).flatten().with_dirty_threshold(threshold);
+        let mut c = build_hycf(&rs);
+        apply_script(&mut c, &script, &fresh_pool);
+        assert_equivalent(&c, build_hycf, &headers);
+    }
+}
+
+/// The acceptance scenario pinned as a deterministic test: a 1% churn on
+/// the acl1 2 k-rule workload patches the flat arenas in place (no
+/// rebuild) and post-churn classification matches a from-scratch rebuild.
+#[test]
+fn one_percent_churn_on_acl1_2000_matches_rebuild() {
+    let rs = pclass_bench::acl_ruleset(2_000);
+    let trace = pclass_bench::trace_for(&rs, 2_000);
+    let headers: Vec<PacketHeader> = trace.headers().copied().collect();
+    let updates = pclass_bench::churn::churn_updates(&rs, 0.01);
+    assert_eq!(updates.len(), 40, "1% of 2000, delete+insert pairs");
+
+    let build =
+        |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten();
+    let mut c = build(&rs);
+    for u in &updates {
+        c.apply(u).expect("churn update applies");
+    }
+    let stats = c.update_stats();
+    assert_eq!((stats.inserts, stats.deletes), (20, 20));
+
+    let live = c.live_rules();
+    assert_eq!(live.len(), 2_000);
+    let (rebuilt_set, id_map) = renumbered_ruleset("rebuilt", UpdatableClassifier::spec(&c), &live);
+    let fresh = build(&rebuilt_set);
+    let mut updated_out = Vec::new();
+    c.classify_batch(&headers, &mut updated_out);
+    let mut fresh_out = Vec::new();
+    fresh.classify_batch(&headers, &mut fresh_out);
+    for (i, pkt) in headers.iter().enumerate() {
+        assert_eq!(
+            updated_out[i],
+            map_result(fresh_out[i], &id_map),
+            "packet {pkt:?}"
+        );
+        assert_eq!(updated_out[i], classify_live_linear(&live, pkt));
+    }
+}
