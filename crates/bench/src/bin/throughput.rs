@@ -1,61 +1,59 @@
-//! Serving-throughput harness: every classifier, batched and multi-core,
-//! with an optional regression gate against a committed baseline and an
-//! optional live-update ("churn") workload.
+//! Serving-throughput harness: the scenario matrix, batched and
+//! multi-core, with an optional regression gate against a committed
+//! baseline and an optional live-update ("churn") workload axis.
 //!
 //! ```text
 //! cargo run --release -p pclass-bench --bin throughput
 //! cargo run --release -p pclass-bench --bin throughput -- --quick
 //! cargo run --release -p pclass-bench --bin throughput -- --out perf.json
 //! cargo run --release -p pclass-bench --bin throughput -- --quick --churn \
-//!     --check BENCH_throughput_quick.json --tolerance 0.5
+//!     --check BENCH_throughput_quick.json --tolerance 0.5 \
+//!     --report-md throughput_report.md
 //! ```
 //!
-//! Runs every classifier in the workspace — linear search, original HiCuts
-//! and HyperCuts plus their flat-arena variants, RFC, the functional TCAM
-//! model and the accelerator model with both modified cut algorithms —
-//! through the `pclass-engine` serving layer over ClassBench-style
-//! generated rulesets (the acl1 size ladder plus one `fw1` and one `ipc1`
-//! row at 2 k rules, so the serving trajectory covers all three paper
-//! workload families) at several worker counts, verifies every run
-//! packet-for-packet against linear search, and writes the measurements to
-//! `BENCH_throughput.json` (schema `pclass-throughput/v3`, documented in
-//! the README's "Serving throughput" section).  The header records the
+//! The sweep is driven by `pclass_bench::scenario` — one declarative
+//! matrix of ruleset (style × size, acl up to 64 k rules, fw/ipc to 10 k)
+//! × trace profile (`uniform` / `zipf`) × churn profile (quiescent, 1 %
+//! bursts, 10 % deep churn, delete-heavy drain, sustained progress-paced
+//! stream) × worker count.  Quick mode runs exactly the `quick`-tagged
+//! subset of the same matrix, so the per-PR CI gate and the weekly full
+//! sweep can never drift apart.  Every quiescent cell serves the whole
+//! classifier roster (hardware models are excluded with explicit skip
+//! records at ≥32 k rules) and is verified packet-for-packet against
+//! linear search; every churn cell hard-fails unless the post-churn
+//! structure classifies packet-for-packet like a from-scratch rebuild of
+//! the surviving ruleset.
+//!
+//! Results land in `BENCH_throughput.json` (schema `pclass-throughput/v4`,
+//! documented in the README's "Scenario matrix" section): every run and
+//! churn record carries its `profile` tag, and the header records the
 //! measuring host (logical CPU count, rustc version) so `--check` can flag
 //! cross-host comparisons.  Each `builds` record carries the memory
 //! footprint of one classifier build; the flat-arena variants additionally
 //! record their arena layout statistics.
 //!
-//! Every cell is measured as the best of two back-to-back engine runs (the
-//! first doubling as a warmup), so a one-off scheduler burst on a shared
-//! CI runner cannot produce a spuriously slow cell.
-//!
-//! With `--churn` the harness additionally measures the updatable
-//! classifiers (HiCuts/HyperCuts pointer trees and their flat arenas)
-//! serving the 2 k-rule workloads *while* a deterministic 1% insert+delete
-//! stream lands through the epoch-swap serving cell, recording throughput
-//! under churn, per-burst update-latency percentiles and the structures'
-//! update counters into the `churn` array — and hard-fails (exit 1) unless
-//! the post-churn structure classifies packet-for-packet like a
-//! from-scratch rebuild of the surviving ruleset.  Quick mode churns only
-//! the acl1 row; the full sweep churns all three 2 k families.
+//! Every quiescent cell is measured as the best of two aggregates of
+//! back-to-back engine runs, after one warmup pass (cold arena, page
+//! faults) that also calibrates how many trace passes one aggregate needs
+//! to cover a minimum wall-clock window (~3 ms): at quick-mode packet
+//! counts a fast classifier finishes a single pass in tens of
+//! microseconds, where one scheduler burst on a shared CI runner is
+//! indistinguishable from a real regression.  Stretching the measured
+//! window (and still taking the best of two) keeps the gate stable
+//! without inflating the slow cells.
 //!
 //! With `--check <baseline.json>` the harness re-runs the sweep and then
-//! compares every `(classifier, ruleset, workers)` cell present in both the
-//! fresh run and the baseline.  Because absolute Mpps depends on the host,
-//! the comparison is *calibrated*: the median of the per-cell new/baseline
+//! compares every `(classifier, ruleset, workers, profile)` cell present
+//! in both the fresh run and the baseline — quiescent *and* churn cells,
+//! always like-for-like (a churn or Zipf cell never compares against a
+//! quiescent one).  Because absolute Mpps depends on the host, the
+//! comparison is *calibrated*: the median of the per-cell new/baseline
 //! ratios, capped at 1, is taken as the machine-speed factor, and a cell
-//! regresses when it falls more than `--tolerance` (default 0.5, i.e. 50%)
-//! below its calibrated expectation; multi-worker cells, which fold in the
-//! host's core count and scheduler placement, get a tolerance a quarter of
-//! the way to 1 (0.625 at the default — CI compares quick against the
-//! committed quick baseline, like for like, so the old halfway widening is
-//! no longer needed).  A uniform slowdown moves the calibration factor,
-//! not the verdict, while a broad genuine *speedup* never raises the bar
-//! for untouched cells (the cap) — the gate exists to catch *selective*
-//! regressions, e.g. a PR that quietly gives back the flat-tree or
-//! phase-major batching wins on one hot path while everything else keeps
-//! its speed.  CI runs `--quick --churn --check BENCH_throughput_quick.json`
-//! as the `perf-smoke` job.
+//! regresses when it falls more than `--tolerance` (default 0.5) below its
+//! calibrated expectation; multi-worker cells get a tolerance a quarter of
+//! the way to 1, churn cells half of the way (see `pclass_bench::check`).
+//! `--report-md <path>` additionally writes the per-cell verdicts as a
+//! markdown table — CI appends it to `$GITHUB_STEP_SUMMARY`.
 //!
 //! Exit status: 1 if any classifier disagrees with linear search or any
 //! churn cell fails its post-churn verification, 2 if the regression check
@@ -65,11 +63,12 @@
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 use pclass_bench::check::{self, HostInfo, RunCell};
-use pclass_bench::churn::{self, ChurnConfig};
-use pclass_bench::{acl_ruleset, serving_roster, styled_ruleset, trace_for, WORKLOAD_SEED};
+use pclass_bench::churn::{self, ChurnProfile};
+use pclass_bench::scenario::{self, Scenario};
+use pclass_bench::{serving_roster_scoped, WORKLOAD_SEED};
 use pclass_classbench::SeedStyle;
-use pclass_engine::{Engine, WorkerReport};
-use pclass_types::{ArenaStats, MatchResult, RuleSet, Trace};
+use pclass_engine::{Engine, ThroughputReport, WorkerReport};
+use pclass_types::{ArenaStats, RuleSet, Trace};
 use serde::json;
 use serde::Serialize;
 use std::sync::Arc;
@@ -83,6 +82,7 @@ struct RunRecord {
     packets: usize,
     workers: usize,
     batch: usize,
+    profile: String,
     wall_ns: u64,
     mpps: f64,
     per_worker: Vec<WorkerReport>,
@@ -108,13 +108,15 @@ struct BuildRecord {
     arena: Option<ArenaStats>,
 }
 
-/// One live-update cell: an updatable classifier serving under a 1%
-/// insert+delete stream through the epoch-swap cell.
+/// One live-update cell: an updatable classifier serving under a churn
+/// profile's update stream through the epoch-swap cell.
 #[derive(Debug, Clone, Serialize)]
 struct ChurnRecord {
     classifier: String,
     ruleset: String,
     rules: usize,
+    workers: usize,
+    profile: String,
     updates: u64,
     bursts: u64,
     packets_served: u64,
@@ -144,12 +146,6 @@ struct BenchFile {
     churn: Vec<ChurnRecord>,
 }
 
-struct Workload {
-    ruleset: RuleSet,
-    trace: Trace,
-    truth: Vec<MatchResult>,
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -170,6 +166,7 @@ fn main() {
     };
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_throughput.json".to_string());
     let check_path = flag_value("--check");
+    let report_md_path = flag_value("--report-md");
     let tolerance: f64 = flag_value("--tolerance")
         .map(|t| {
             let parsed: f64 = t.parse().unwrap_or(f64::NAN);
@@ -196,20 +193,9 @@ fn main() {
         })
     });
 
-    let acl_sizes: &[usize] = if quick {
-        &[500, 2_000]
-    } else {
-        &[500, 2_000, 10_000]
-    };
     let packets = if quick { 4_000 } else { 20_000 };
-    let worker_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
-
-    // The acl1 ladder plus one fw1 and one ipc1 row at 2 k rules, so the
-    // serving trajectory (not just `reproduce`) covers all three paper
-    // workload families.
-    let mut rulesets: Vec<RuleSet> = acl_sizes.iter().map(|&s| acl_ruleset(s)).collect();
-    rulesets.push(styled_ruleset(SeedStyle::Fw, 2_000));
-    rulesets.push(styled_ruleset(SeedStyle::Ipc, 2_000));
+    let worker_counts = scenario::worker_ladder(quick);
+    let cells = scenario::scenarios(quick);
 
     let mut runs = Vec::new();
     let mut skipped = Vec::new();
@@ -218,109 +204,131 @@ fn main() {
     let mut mismatches = 0usize;
     let mut churn_failures = 0usize;
 
-    for ruleset in rulesets {
-        let size = ruleset.len();
-        let trace = trace_for(&ruleset, packets);
-        let truth = trace.ground_truth(&ruleset);
-        let workload = Workload {
-            ruleset,
-            trace,
-            truth,
-        };
+    // Group the matrix by ruleset (first-appearance order), so each
+    // ruleset and its classifier roster are built exactly once however
+    // many trace/churn cells share them.
+    let mut groups: Vec<(SeedStyle, usize)> = Vec::new();
+    for s in &cells {
+        if !groups.contains(&(s.style, s.rules)) {
+            groups.push((s.style, s.rules));
+        }
+    }
+
+    for (style, rules) in groups {
+        let group: Vec<&Scenario> = cells
+            .iter()
+            .filter(|s| s.style == style && s.rules == rules)
+            .collect();
+        let ruleset = group[0].ruleset();
         println!(
             "== {} ({} rules, {} packets) ==",
-            workload.ruleset.name(),
-            size,
+            ruleset.name(),
+            ruleset.len(),
             packets
         );
-        println!(
-            "{:<14} {:>7} | {:>10} {:>10}",
-            "classifier", "workers", "wall [ms]", "Mpps"
-        );
 
-        let roster = serving_roster(&workload.ruleset);
+        let roster = serving_roster_scoped(&ruleset, group[0].scope());
         for skip in roster.skipped {
             eprintln!(
                 "skip {} on {}: {}",
                 skip.classifier,
-                workload.ruleset.name(),
+                ruleset.name(),
                 skip.reason
             );
             skipped.push(SkipRecord {
                 classifier: skip.classifier.to_string(),
-                ruleset: workload.ruleset.name().to_string(),
+                ruleset: ruleset.name().to_string(),
                 reason: skip.reason,
             });
         }
         for build in roster.builds {
             builds.push(BuildRecord {
                 classifier: build.classifier.to_string(),
-                ruleset: workload.ruleset.name().to_string(),
-                rules: size,
+                ruleset: ruleset.name().to_string(),
+                rules: ruleset.len(),
                 memory_bytes: build.memory_bytes,
                 arena: build.arena,
             });
         }
-        for (name, classifier) in roster.classifiers {
-            for &workers in worker_counts {
-                let engine = Engine::from_shared(workers, Arc::clone(&classifier));
-                // Best of two back-to-back runs: the first doubles as a
-                // warmup (cold arena, page faults), and a one-off scheduler
-                // burst in either window cannot produce a spuriously slow
-                // cell — important because the --check gate compares single
-                // cells against the committed baseline.
-                let first = engine.classify_trace(&workload.trace);
-                let second = engine.classify_trace(&workload.trace);
-                let run = if second.report.mpps >= first.report.mpps {
-                    second
-                } else {
-                    first
-                };
-                if run.results != workload.truth {
-                    mismatches += 1;
-                    eprintln!(
-                        "MISMATCH: {} with {} workers disagrees with linear search on {}",
-                        name,
-                        workers,
-                        workload.ruleset.name()
-                    );
-                    continue;
-                }
-                println!(
-                    "{:<14} {:>7} | {:>10.2} {:>10.3}",
-                    name,
-                    workers,
-                    run.report.wall_ns as f64 / 1e6,
-                    run.report.mpps
-                );
-                runs.push(RunRecord {
-                    classifier: name.to_string(),
-                    ruleset: workload.ruleset.name().to_string(),
-                    rules: size,
-                    packets,
-                    workers,
-                    batch: engine.batch_size(),
-                    wall_ns: run.report.wall_ns,
-                    mpps: run.report.mpps,
-                    per_worker: run.report.per_worker,
-                });
-            }
-        }
 
-        // Live-update cells: the 2 k-rule rulesets carry the churn
-        // trajectory (quick mode churns only the acl1 row to keep the CI
-        // smoke fast).
-        let churn_this =
-            churn_mode && size == 2_000 && (!quick || workload.ruleset.name().starts_with("acl1"));
-        if churn_this {
-            let (records, failures) = churn_sweep(&workload.ruleset, &workload.trace);
-            churn_records.extend(records);
-            churn_failures += failures;
+        // Trace generation is deterministic, so cells sharing a trace
+        // profile share one generated trace; cells that will not run
+        // (churn cells without --churn) generate nothing.
+        let mut traces: Vec<(scenario::TraceProfile, Trace)> = Vec::new();
+        for cell in group {
+            let profile = cell.profile_tag();
+            if cell.churn.is_some() && !churn_mode {
+                continue; // churn cells only run under --churn
+            }
+            let trace = match traces.iter().position(|(p, _)| *p == cell.trace) {
+                Some(i) => &traces[i].1,
+                None => {
+                    traces.push((cell.trace, cell.trace.trace(&ruleset, packets)));
+                    &traces.last().expect("just pushed").1
+                }
+            };
+            match cell.churn {
+                None => {
+                    println!("-- trace profile: {} --", profile);
+                    println!(
+                        "{:<14} {:>7} | {:>10} {:>10}",
+                        "classifier", "workers", "wall [ms]", "Mpps"
+                    );
+                    let truth = trace.ground_truth(&ruleset);
+                    for (name, classifier) in &roster.classifiers {
+                        for &workers in worker_counts {
+                            let engine = Engine::from_shared(workers, Arc::clone(classifier));
+                            // The warmup pass (cold arena, page faults)
+                            // also carries the packet-for-packet gate —
+                            // the engine is deterministic, so one check
+                            // covers every subsequent pass of this cell.
+                            let warmup = engine.classify_trace(trace);
+                            if warmup.results != truth {
+                                mismatches += 1;
+                                eprintln!(
+                                    "MISMATCH: {} with {} workers disagrees with linear \
+                                     search on {} ({})",
+                                    name,
+                                    workers,
+                                    ruleset.name(),
+                                    profile
+                                );
+                                continue;
+                            }
+                            let measured = measure_cell(&engine, trace, &warmup.report);
+                            println!(
+                                "{:<14} {:>7} | {:>10.2} {:>10.3}",
+                                name,
+                                workers,
+                                measured.wall_ns as f64 / 1e6,
+                                measured.mpps
+                            );
+                            runs.push(RunRecord {
+                                classifier: name.to_string(),
+                                ruleset: ruleset.name().to_string(),
+                                rules: ruleset.len(),
+                                packets: measured.pkts as usize,
+                                workers,
+                                batch: engine.batch_size(),
+                                profile: profile.clone(),
+                                wall_ns: measured.wall_ns,
+                                mpps: measured.mpps,
+                                per_worker: measured.per_worker,
+                            });
+                        }
+                    }
+                }
+                Some(churn_profile) => {
+                    let (records, failures) = churn_sweep(&ruleset, trace, churn_profile, &profile);
+                    churn_records.extend(records);
+                    churn_failures += failures;
+                }
+            }
         }
     }
 
     let file = BenchFile {
-        schema: "pclass-throughput/v3".to_string(),
+        schema: "pclass-throughput/v4".to_string(),
         seed: WORKLOAD_SEED,
         quick,
         host: HostInfo::current(),
@@ -348,23 +356,111 @@ fn main() {
         std::process::exit(1);
     }
 
-    if let (Some(baseline), Some(path)) = (baseline, check_path) {
-        if !check_against_baseline(&baseline, &path, &file.runs, &file.host, tolerance) {
-            std::process::exit(2);
+    match (baseline, check_path) {
+        (Some(baseline), Some(path)) => {
+            if !check_against_baseline(
+                &baseline,
+                &path,
+                &file,
+                tolerance,
+                report_md_path.as_deref(),
+            ) {
+                std::process::exit(2);
+            }
+        }
+        _ => {
+            if let Some(md_path) = report_md_path {
+                let md = "### Throughput sweep\n\nNo regression check was run \
+                          (no `--check <baseline>` given); the sweep completed \
+                          and verified packet-for-packet.\n";
+                std::fs::write(&md_path, md)
+                    .unwrap_or_else(|e| panic!("cannot write {md_path}: {e}"));
+            }
         }
     }
 }
 
-/// Runs the churn workload over every updatable classifier for one
-/// ruleset; returns the records and the number of verification failures.
-fn churn_sweep(ruleset: &RuleSet, trace: &Trace) -> (Vec<ChurnRecord>, usize) {
-    let updates = churn::churn_updates(ruleset, 0.01);
-    let config = ChurnConfig::default();
+/// One quiescent cell's throughput measurement (a best-of-two aggregate).
+struct CellMeasurement {
+    pkts: u64,
+    wall_ns: u64,
+    mpps: f64,
+    per_worker: Vec<WorkerReport>,
+}
+
+/// Minimum wall-clock window one measured aggregate should cover.  Below
+/// this, a single scheduler burst on a shared CI runner dominates the
+/// measurement and the regression gate turns flaky (a 50+ Mpps classifier
+/// finishes a 4,000-packet quick trace in ~70 µs).
+const TARGET_CELL_WALL_NS: u64 = 3_000_000;
+
+/// Upper bound on trace passes per aggregate, so a mis-calibrated warmup
+/// cannot make one cell arbitrarily slow to measure.  It only binds when
+/// a pass is under ~47 µs (the fastest quick-mode cells, ~60+ Mpps);
+/// everything else reaches [`TARGET_CELL_WALL_NS`] with fewer passes.
+const MAX_CELL_PASSES: u64 = 64;
+
+/// Measures one (classifier, workers) cell: the warmup run calibrates how
+/// many back-to-back trace passes one aggregate needs to cover
+/// [`TARGET_CELL_WALL_NS`], then the best (highest-Mpps) of two such
+/// aggregates is returned — throughput over the summed window, with the
+/// per-worker breakdown of the aggregate's fastest pass.
+fn measure_cell(
+    engine: &Engine,
+    trace: &pclass_types::Trace,
+    warmup: &ThroughputReport,
+) -> CellMeasurement {
+    let passes = (TARGET_CELL_WALL_NS / warmup.wall_ns.max(1)).clamp(1, MAX_CELL_PASSES);
+    let mut best: Option<CellMeasurement> = None;
+    for _ in 0..2 {
+        let mut pkts = 0u64;
+        let mut wall_ns = 0u64;
+        let mut fastest_pass: Option<ThroughputReport> = None;
+        for _ in 0..passes {
+            let run = engine.classify_trace(trace);
+            pkts += run.report.pkts;
+            wall_ns += run.report.wall_ns;
+            if fastest_pass
+                .as_ref()
+                .is_none_or(|f| run.report.mpps > f.mpps)
+            {
+                fastest_pass = Some(run.report);
+            }
+        }
+        let mpps = if wall_ns == 0 {
+            0.0
+        } else {
+            pkts as f64 * 1e3 / wall_ns as f64
+        };
+        if best.as_ref().is_none_or(|b| mpps > b.mpps) {
+            best = Some(CellMeasurement {
+                pkts,
+                wall_ns,
+                mpps,
+                per_worker: fastest_pass.map(|f| f.per_worker).unwrap_or_default(),
+            });
+        }
+    }
+    best.expect("at least one aggregate measured")
+}
+
+/// Runs one churn profile over every updatable classifier for one ruleset;
+/// returns the records and the number of verification failures.
+fn churn_sweep(
+    ruleset: &RuleSet,
+    trace: &Trace,
+    profile: ChurnProfile,
+    profile_tag: &str,
+) -> (Vec<ChurnRecord>, usize) {
+    let updates = profile.stream(ruleset);
+    let config = profile.config();
     println!(
-        "-- churn: {} updates in bursts of {}, {} serving workers --",
+        "-- churn profile: {} ({} updates in bursts of {}, {} serving workers, {:?}) --",
+        profile_tag,
         updates.len(),
         config.burst_ops,
-        config.workers
+        config.workers,
+        config.pacing
     );
     println!(
         "{:<14} | {:>10} {:>12} {:>12} {:>12}  verified",
@@ -378,9 +474,10 @@ fn churn_sweep(ruleset: &RuleSet, trace: &Trace) -> (Vec<ChurnRecord>, usize) {
             if !m.verified {
                 failures += 1;
                 eprintln!(
-                    "CHURN MISMATCH: {} on {} disagrees with a fresh rebuild after churn",
+                    "CHURN MISMATCH: {} on {} ({}) disagrees with a fresh rebuild after churn",
                     name,
-                    ruleset.name()
+                    ruleset.name(),
+                    profile_tag
                 );
             }
             println!(
@@ -396,6 +493,8 @@ fn churn_sweep(ruleset: &RuleSet, trace: &Trace) -> (Vec<ChurnRecord>, usize) {
                 classifier: name.to_string(),
                 ruleset: ruleset.name().to_string(),
                 rules: ruleset.len(),
+                workers: config.workers,
+                profile: profile_tag.to_string(),
                 updates: m.updates,
                 bursts: m.bursts,
                 packets_served: m.packets_served,
@@ -413,7 +512,13 @@ fn churn_sweep(ruleset: &RuleSet, trace: &Trace) -> (Vec<ChurnRecord>, usize) {
         }
         Err(e) => {
             failures += 1;
-            eprintln!("CHURN ERROR: {} on {}: {}", name, ruleset.name(), e);
+            eprintln!(
+                "CHURN ERROR: {} on {} ({}): {}",
+                name,
+                ruleset.name(),
+                profile_tag,
+                e
+            );
         }
     };
 
@@ -451,37 +556,55 @@ fn churn_sweep(ruleset: &RuleSet, trace: &Trace) -> (Vec<ChurnRecord>, usize) {
     (records, failures)
 }
 
-/// Runs the [`check`] comparison and prints the per-cell report; returns
-/// `false` when the gate fails (see `pclass_bench::check` for the model —
-/// the decision logic is unit-tested there).
+/// Runs the [`check`] comparison over every quiescent *and* churn cell,
+/// prints the per-cell report and (optionally) writes it as markdown;
+/// returns `false` when the gate fails (see `pclass_bench::check` for the
+/// model — the decision logic is unit-tested there).
 fn check_against_baseline(
     baseline: &json::Value,
     path: &str,
-    runs: &[RunRecord],
-    current_host: &HostInfo,
+    file: &BenchFile,
     tolerance: f64,
+    report_md_path: Option<&str>,
 ) -> bool {
     let base = check::baseline_cells(baseline);
     let base_host = check::baseline_host(baseline);
-    let fresh: Vec<RunCell> = runs
+    let mut fresh: Vec<RunCell> = file
+        .runs
         .iter()
         .map(|run| RunCell {
             classifier: run.classifier.clone(),
             ruleset: run.ruleset.clone(),
             workers: run.workers as u64,
+            profile: run.profile.clone(),
             mpps: run.mpps,
         })
         .collect();
+    fresh.extend(file.churn.iter().map(|cell| RunCell {
+        classifier: cell.classifier.clone(),
+        ruleset: cell.ruleset.clone(),
+        workers: cell.workers as u64,
+        profile: cell.profile.clone(),
+        mpps: cell.mpps_under_churn,
+    }));
     let report = match check::compare(&base, &fresh, tolerance) {
         Ok(report) => report,
         Err(check::CheckError::NoComparableCells) => {
-            eprintln!("--check: no comparable (classifier, ruleset, workers) cells in {path}");
+            eprintln!(
+                "--check: no comparable (classifier, ruleset, workers, profile) cells in {path}"
+            );
             std::process::exit(3);
         }
     };
 
-    if let Some(note) = check::host_mismatch(base_host.as_ref(), current_host) {
+    let host_note = check::host_mismatch(base_host.as_ref(), &file.host);
+    if let Some(note) = &host_note {
         eprintln!("--check: {note}");
+    }
+    if let Some(md_path) = report_md_path {
+        let md = check::markdown_report(&report, path, tolerance, host_note.as_deref());
+        std::fs::write(md_path, md).unwrap_or_else(|e| panic!("cannot write {md_path}: {e}"));
+        println!("wrote {md_path}");
     }
     println!(
         "\ncheck vs {path}: {} cells, median ratio x{:.3}, calibration x{:.3}, tolerance {:.0}%",
@@ -491,14 +614,15 @@ fn check_against_baseline(
         tolerance * 100.0
     );
     println!(
-        "{:<16} {:<10} {:>7} | {:>9} {:>9} {:>7}  status",
-        "classifier", "ruleset", "workers", "base", "new", "rel"
+        "{:<16} {:<10} {:<22} {:>7} | {:>9} {:>9} {:>7}  status",
+        "classifier", "ruleset", "profile", "workers", "base", "new", "rel"
     );
     for verdict in &report.cells {
         println!(
-            "{:<16} {:<10} {:>7} | {:>9.3} {:>9.3} {:>7.2}  {}",
+            "{:<16} {:<10} {:<22} {:>7} | {:>9.3} {:>9.3} {:>7.2}  {}",
             verdict.cell.classifier,
             verdict.cell.ruleset,
+            verdict.cell.profile,
             verdict.cell.workers,
             verdict.base_mpps,
             verdict.cell.mpps,
@@ -515,6 +639,19 @@ fn check_against_baseline(
             "--check: baseline classifier(s) missing from the fresh sweep: {}",
             report.missing_classifiers.join(", ")
         );
+    }
+    if !report.missing_cells.is_empty() {
+        eprintln!(
+            "--check: {} baseline cell(s) have no partner in the fresh sweep — \
+             the measured envelope shrank:",
+            report.missing_cells.len()
+        );
+        for cell in &report.missing_cells {
+            eprintln!(
+                "  {} {} {} x{}",
+                cell.classifier, cell.ruleset, cell.profile, cell.workers
+            );
+        }
     }
     if report.passed() {
         println!("regression check passed");

@@ -5,14 +5,23 @@
 //! *pass or fail* lives here.
 //!
 //! Comparison model (see the README's "Regression gate" section): cells are
-//! matched by `(classifier, ruleset, workers)`; the median new/baseline
-//! ratio, capped at 1, calibrates for host speed; a cell regresses when it
-//! falls more than the tolerance below its calibrated expectation, with
+//! matched by `(classifier, ruleset, workers, profile)` — the profile tag
+//! carries the trace profile (`uniform` / `zipf`) and, for live-update
+//! cells, the churn profile (`uniform+churn-deep10`, ...), so churn and
+//! skew cells are only ever compared like-for-like, never against a
+//! quiescent cell.  The median new/baseline ratio, capped at 1, calibrates
+//! for host speed; a cell regresses when it falls more than the tolerance
+//! below its calibrated expectation.  Tolerances are profile-aware:
 //! multi-worker cells — which fold in core count and scheduler placement —
-//! getting a tolerance a quarter of the way to 1 (now that CI compares the
+//! get a tolerance a quarter of the way to 1 (now that CI compares the
 //! quick sweep against a committed quick-mode baseline, like for like, the
-//! old halfway widening is unnecessarily loose).  A classifier present in
-//! the baseline but absent from the fresh sweep fails the check outright.
+//! old halfway widening is unnecessarily loose), and churn cells — whose
+//! throughput additionally folds in update pacing and writer contention —
+//! get one half of the way to 1.  A classifier present in the baseline but
+//! absent from the fresh sweep fails the check outright, and so does any
+//! *individual* baseline cell with no fresh partner — the measured
+//! envelope (scenarios, churn profiles, worker ladder) must never shrink
+//! silently.
 //!
 //! Baselines additionally carry the recording host's metadata (logical CPU
 //! count, rustc version).  A mismatch against the comparing host does not
@@ -23,7 +32,11 @@
 use serde::json::Value;
 use serde::Serialize;
 
-/// One comparable `(classifier, ruleset, workers)` measurement.
+/// The profile tag of cells recorded before schema v4 (quiescent cells on
+/// the default trace).
+pub const DEFAULT_PROFILE: &str = "uniform";
+
+/// One comparable `(classifier, ruleset, workers, profile)` measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunCell {
     /// Classifier roster name.
@@ -32,8 +45,21 @@ pub struct RunCell {
     pub ruleset: String,
     /// Engine worker count.
     pub workers: u64,
+    /// Scenario profile tag: the trace profile for quiescent cells
+    /// (`uniform` / `zipf`), `<trace>+churn-<profile>` for live-update
+    /// cells.  Cells only compare against cells with the same tag.
+    pub profile: String,
     /// Measured throughput.
     pub mpps: f64,
+}
+
+impl RunCell {
+    /// `true` for live-update cells (wider tolerance: their throughput
+    /// folds in update pacing and writer contention on top of scheduler
+    /// placement).
+    pub fn is_churn(&self) -> bool {
+        self.profile.contains("churn")
+    }
 }
 
 /// Why a check could not produce a verdict (distinct from a regression).
@@ -69,6 +95,12 @@ pub struct CheckReport {
     /// non-empty list fails the check (a vanished build must not pass
     /// silently).
     pub missing_classifiers: Vec<String>,
+    /// Baseline cells with no `(classifier, ruleset, workers, profile)`
+    /// partner in the fresh run; a non-empty list fails the check — the
+    /// measured envelope must not shrink silently (e.g. CI dropping
+    /// `--churn` would orphan every committed churn cell, or removing a
+    /// scenario from the matrix would orphan its cells).
+    pub missing_cells: Vec<RunCell>,
     /// Per-cell verdicts, in fresh-run order.
     pub cells: Vec<CellVerdict>,
 }
@@ -81,7 +113,9 @@ impl CheckReport {
 
     /// `true` when the gate passes.
     pub fn passed(&self) -> bool {
-        self.regressions() == 0 && self.missing_classifiers.is_empty()
+        self.regressions() == 0
+            && self.missing_classifiers.is_empty()
+            && self.missing_cells.is_empty()
     }
 }
 
@@ -152,23 +186,48 @@ pub fn host_mismatch(baseline: Option<&HostInfo>, current: &HostInfo) -> Option<
     }
 }
 
-/// Extracts the comparable cells of a parsed throughput file (either
-/// schema version; records missing any field are skipped).
+/// Extracts the comparable cells of a parsed throughput file (any schema
+/// version; records missing a required field are skipped).  Quiescent
+/// `runs` records yield their `profile` tag (pre-v4 files default to
+/// [`DEFAULT_PROFILE`]); v4 `churn` records yield cells tagged with their
+/// own profile and measured as `mpps_under_churn`, so the live-update
+/// envelope is regression-gated like-for-like too (pre-v4 churn records
+/// lack a worker count and are skipped).
 pub fn baseline_cells(baseline: &Value) -> Vec<RunCell> {
     let runs = baseline
         .get("runs")
         .and_then(|r| r.as_array())
         .unwrap_or(&[]);
-    runs.iter()
+    let mut cells: Vec<RunCell> = runs
+        .iter()
         .filter_map(|run| {
             Some(RunCell {
                 classifier: run.get("classifier")?.as_str()?.to_string(),
                 ruleset: run.get("ruleset")?.as_str()?.to_string(),
                 workers: run.get("workers")?.as_u64()?,
+                profile: run
+                    .get("profile")
+                    .and_then(|p| p.as_str())
+                    .unwrap_or(DEFAULT_PROFILE)
+                    .to_string(),
                 mpps: run.get("mpps")?.as_f64()?,
             })
         })
-        .collect()
+        .collect();
+    let churn = baseline
+        .get("churn")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&[]);
+    cells.extend(churn.iter().filter_map(|cell| {
+        Some(RunCell {
+            classifier: cell.get("classifier")?.as_str()?.to_string(),
+            ruleset: cell.get("ruleset")?.as_str()?.to_string(),
+            workers: cell.get("workers")?.as_u64()?,
+            profile: cell.get("profile")?.as_str()?.to_string(),
+            mpps: cell.get("mpps_under_churn")?.as_f64()?,
+        })
+    }));
+    cells
 }
 
 /// Compares fresh cells against a baseline under `tolerance`
@@ -187,6 +246,7 @@ pub fn compare(
                     b.classifier == cell.classifier
                         && b.ruleset == cell.ruleset
                         && b.workers == cell.workers
+                        && b.profile == cell.profile
                 })
                 .map(|b| (cell, b.mpps))
         })
@@ -202,6 +262,22 @@ pub fn compare(
         .collect();
     missing_classifiers.sort_unstable();
     missing_classifiers.dedup();
+
+    // Every baseline cell must find a fresh partner: orphaned cells mean
+    // the measured envelope shrank (a dropped scenario, a dropped --churn,
+    // a narrowed worker ladder) — exactly what the gate exists to catch.
+    let missing_cells: Vec<RunCell> = baseline
+        .iter()
+        .filter(|b| {
+            !fresh.iter().any(|f| {
+                f.classifier == b.classifier
+                    && f.ruleset == b.ruleset
+                    && f.workers == b.workers
+                    && f.profile == b.profile
+            })
+        })
+        .cloned()
+        .collect();
 
     let mut ratios: Vec<f64> = matched
         .iter()
@@ -220,7 +296,14 @@ pub fn compare(
         .into_iter()
         .map(|(cell, base_mpps)| {
             let rel = cell.mpps / (base_mpps * calibration);
-            let cell_tolerance = if cell.workers > 1 {
+            // Profile-aware tolerance: churn cells fold in update pacing
+            // and writer contention (halfway to 1); multi-worker quiescent
+            // cells fold in core count and scheduler placement (a quarter
+            // of the way).  The wider churn bound subsumes the multi-worker
+            // widening — churn cells always serve on 2 workers.
+            let cell_tolerance = if cell.is_churn() {
+                tolerance + (1.0 - tolerance) / 2.0
+            } else if cell.workers > 1 {
                 tolerance + (1.0 - tolerance) / 4.0
             } else {
                 tolerance
@@ -238,8 +321,84 @@ pub fn compare(
         median_ratio,
         calibration,
         missing_classifiers,
+        missing_cells,
         cells,
     })
+}
+
+/// Renders a [`CheckReport`] as a GitHub-flavoured markdown document — the
+/// per-cell regression table CI appends to `$GITHUB_STEP_SUMMARY` (written
+/// by `throughput --check ... --report-md <path>`).
+pub fn markdown_report(
+    report: &CheckReport,
+    baseline_path: &str,
+    tolerance: f64,
+    host_note: Option<&str>,
+) -> String {
+    use std::fmt::Write;
+    let mut md = String::new();
+    let verdict = if report.passed() {
+        "✅ passed"
+    } else {
+        "❌ FAILED"
+    };
+    let _ = writeln!(md, "### Throughput regression check — {verdict}\n");
+    let _ = writeln!(
+        md,
+        "Compared against `{}`: **{} cells**, median new/baseline ratio \
+         ×{:.3}, calibration ×{:.3}, base tolerance {:.0}% \
+         (multi-worker and churn cells widened; see README \"Regression gate\").\n",
+        baseline_path,
+        report.cells.len(),
+        report.median_ratio,
+        report.calibration,
+        tolerance * 100.0
+    );
+    if let Some(note) = host_note {
+        let _ = writeln!(md, "> ⚠️ {note}\n");
+    }
+    if !report.missing_classifiers.is_empty() {
+        let _ = writeln!(
+            md,
+            "> ❌ baseline classifier(s) missing from the fresh sweep: {}\n",
+            report.missing_classifiers.join(", ")
+        );
+    }
+    if !report.missing_cells.is_empty() {
+        let _ = writeln!(
+            md,
+            "> ❌ {} baseline cell(s) have no partner in the fresh sweep \
+             (the measured envelope shrank): {}\n",
+            report.missing_cells.len(),
+            report
+                .missing_cells
+                .iter()
+                .take(8)
+                .map(|c| format!("{}/{}/{}x{}", c.classifier, c.ruleset, c.profile, c.workers))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    let _ = writeln!(
+        md,
+        "| classifier | ruleset | profile | workers | base Mpps | new Mpps | rel | status |"
+    );
+    let _ = writeln!(md, "|---|---|---|--:|--:|--:|--:|---|");
+    for v in &report.cells {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {:.3} | {:.3} | {:.2} | {} |",
+            v.cell.classifier,
+            v.cell.ruleset,
+            v.cell.profile,
+            v.cell.workers,
+            v.base_mpps,
+            v.cell.mpps,
+            v.rel,
+            if v.regressed { "❌ REGRESSION" } else { "ok" }
+        );
+    }
+    md
 }
 
 #[cfg(test)]
@@ -248,10 +407,21 @@ mod tests {
     use serde::json;
 
     fn cell(classifier: &str, ruleset: &str, workers: u64, mpps: f64) -> RunCell {
+        profiled(classifier, ruleset, workers, DEFAULT_PROFILE, mpps)
+    }
+
+    fn profiled(
+        classifier: &str,
+        ruleset: &str,
+        workers: u64,
+        profile: &str,
+        mpps: f64,
+    ) -> RunCell {
         RunCell {
             classifier: classifier.to_string(),
             ruleset: ruleset.to_string(),
             workers,
+            profile: profile.to_string(),
             mpps,
         }
     }
@@ -434,18 +604,30 @@ mod tests {
     }
 
     #[test]
-    fn quick_subset_of_full_baseline_is_comparable() {
-        // Fresh quick run lacks the baseline's 2-worker and 10k cells but
-        // covers every classifier: only the intersection is compared.
+    fn orphaned_baseline_cells_fail_the_check() {
+        // A fresh run that covers every classifier but loses cells of the
+        // baseline's envelope (a dropped worker rung, a dropped scenario,
+        // a dropped --churn) must fail even though nothing regressed:
+        // the measured envelope shrank.
         let base = vec![
             cell("a", "acl1_500", 1, 10.0),
             cell("a", "acl1_500", 2, 15.0),
-            cell("a", "acl1_10000", 1, 2.0),
+            profiled("a", "acl1_500", 2, "uniform+churn-deep10", 8.0),
         ];
         let fresh = vec![cell("a", "acl1_500", 1, 9.5)];
         let report = compare(&base, &fresh, 0.5).unwrap();
-        assert_eq!(report.cells.len(), 1);
-        assert!(report.passed());
+        assert_eq!(report.cells.len(), 1, "intersection still compared");
+        assert_eq!(report.regressions(), 0);
+        assert!(report.missing_classifiers.is_empty());
+        assert_eq!(report.missing_cells.len(), 2);
+        assert!(!report.passed(), "a shrunken envelope must not pass");
+        let md = markdown_report(&report, "b.json", 0.5, None);
+        assert!(md.contains("2 baseline cell(s) have no partner"), "{md}");
+        assert!(md.contains("a/acl1_500/uniform+churn-deep10x2"), "{md}");
+        // The exact envelope compared against itself passes.
+        let full = compare(&base, &base.clone(), 0.5).unwrap();
+        assert!(full.missing_cells.is_empty());
+        assert!(full.passed());
     }
 
     #[test]
@@ -456,5 +638,109 @@ mod tests {
             compare(&base, &fresh, 0.5),
             Err(CheckError::NoComparableCells)
         );
+    }
+
+    #[test]
+    fn churn_cells_parse_from_v4_baselines_and_v3_churn_is_skipped() {
+        let doc = json::parse(
+            r#"{"runs":[
+                {"classifier":"hicuts","ruleset":"acl1_2000","workers":1,"profile":"zipf","mpps":12.0}
+            ],"churn":[
+                {"classifier":"hicuts-flat","ruleset":"acl1_2000","workers":2,
+                 "profile":"uniform+churn-deep10","mpps_under_churn":9.5},
+                {"classifier":"hicuts","ruleset":"acl1_2000","mpps_under_churn":7.0}
+            ]}"#,
+        )
+        .unwrap();
+        let cells = baseline_cells(&doc);
+        assert_eq!(
+            cells,
+            vec![
+                profiled("hicuts", "acl1_2000", 1, "zipf", 12.0),
+                profiled("hicuts-flat", "acl1_2000", 2, "uniform+churn-deep10", 9.5),
+            ],
+            "v3-style churn record without workers/profile must be skipped"
+        );
+    }
+
+    #[test]
+    fn profiles_never_compare_against_each_other() {
+        // A zipf cell must not be judged against the uniform baseline of
+        // the same (classifier, ruleset, workers), nor churn vs quiescent.
+        let base = vec![
+            cell("a", "r", 1, 30.0),
+            profiled("a", "r", 1, "zipf", 10.0),
+            profiled("a", "r", 2, "uniform+churn-sustained", 5.0),
+        ];
+        let fresh = vec![
+            cell("a", "r", 1, 30.0),
+            profiled("a", "r", 1, "zipf", 10.0), // 3x below uniform, but like-for-like ok
+            profiled("a", "r", 2, "uniform+churn-sustained", 5.0),
+        ];
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert_eq!(report.cells.len(), 3);
+        assert!(report.passed());
+        // A fresh zipf cell with no zipf baseline simply has no partner.
+        let fresh_extra = vec![cell("a", "r", 1, 30.0), profiled("a", "r", 4, "zipf", 1.0)];
+        let report = compare(&base, &fresh_extra, 0.5).unwrap();
+        assert_eq!(report.cells.len(), 1, "unpartnered profile cell skipped");
+    }
+
+    #[test]
+    fn churn_cells_get_halfway_tolerance() {
+        // Pin calibration at 1 with unchanged single-worker cells.
+        let pad = vec![
+            cell("b", "r", 1, 10.0),
+            cell("c", "r", 1, 10.0),
+            cell("d", "r", 1, 10.0),
+        ];
+        let churn = "uniform+churn-deep10";
+        let base = [vec![profiled("a", "r", 2, churn, 10.0)], pad.clone()].concat();
+        // 0.30 of baseline: a plain 2-worker cell would fail its 0.625
+        // widened bar, but a churn cell passes the halfway bar (0.75).
+        let fresh = [vec![profiled("a", "r", 2, churn, 3.0)], pad.clone()].concat();
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert_eq!(report.calibration, 1.0);
+        assert!(!report.cells[0].regressed, "churn 0.30 passes at 0.75");
+        // 0.20 fails even the churn bar.
+        let fresh_bad = [vec![profiled("a", "r", 2, churn, 2.0)], pad].concat();
+        let report = compare(&base, &fresh_bad, 0.5).unwrap();
+        assert!(report.cells[0].regressed, "churn 0.20 fails at 0.75");
+    }
+
+    #[test]
+    fn markdown_report_renders_the_per_cell_table() {
+        let base = vec![cell("a", "r", 1, 10.0), cell("b", "r", 1, 10.0)];
+        let fresh = vec![cell("a", "r", 1, 10.0), cell("b", "r", 1, 1.0)];
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        let md = markdown_report(
+            &report,
+            "BENCH_throughput_quick.json",
+            0.5,
+            Some("cross-host"),
+        );
+        assert!(
+            md.contains("### Throughput regression check — ❌ FAILED"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| classifier | ruleset | profile | workers |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| a | r | uniform | 1 | 10.000 | 10.000 | 1.00 | ok |"),
+            "{md}"
+        );
+        assert!(md.contains("❌ REGRESSION"), "{md}");
+        assert!(md.contains("cross-host"), "{md}");
+        assert!(md.contains("2 cells"), "{md}");
+        let ok = markdown_report(
+            &compare(&base, &base.clone(), 0.5).unwrap(),
+            "x.json",
+            0.5,
+            None,
+        );
+        assert!(ok.contains("✅ passed"), "{ok}");
+        assert!(!ok.contains("⚠️"), "{ok}");
     }
 }

@@ -16,6 +16,23 @@
 //!   from-scratch rebuild of the surviving ruleset (and like linear search
 //!   over it) — this is the hard floor CI gates on.
 //!
+//! What lands and how is described by a [`ChurnProfile`] — the churn axis
+//! of the scenario matrix (see `crate::scenario`):
+//!
+//! * **burst1** — the original 1 % delete+insert stream in bursts of 4,
+//!   spread over ~2 trace passes;
+//! * **deep10** — the same shape at 10 % of the ruleset, so slack
+//!   exhaustion, overflow side-tables and amortized re-flattens are
+//!   actually exercised;
+//! * **delete-heavy** — a net *drain*: 10 % of the rules deleted with only
+//!   one fresh insert per five deletes, the decommissioning pattern that
+//!   leaves reusable slack behind;
+//! * **sustained** — a stream paced against *served packets* through
+//!   [`LiveEngine::with_progress`], one update at a time stretched
+//!   continuously across the whole serving window (machine-speed
+//!   independent), modelling the steady low-rate update feed of a
+//!   long-lived deployment rather than a one-off burst.
+//!
 //! Everything is derived from [`crate::WORKLOAD_SEED`], so the stream is
 //! identical run to run and host to host.
 
@@ -25,14 +42,38 @@ use pclass_algos::update::{
 use pclass_classbench::ClassBenchGenerator;
 use pclass_engine::{LiveClassifier, LiveEngine};
 use pclass_types::{Rule, RuleId, RuleSet, Trace, UpdateStats};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// How the update stream is paced over the serving window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Bursts sleep wall-clock time between publishes: the whole stream is
+    /// spread over roughly `passes` warmup-calibrated trace passes, each
+    /// gap capped at `cap_ns` so a slow host cannot stall the cell.
+    Bursty {
+        /// Trace passes the stream is spread over.
+        passes: f64,
+        /// Upper bound on one inter-burst sleep, in nanoseconds.
+        cap_ns: u64,
+    },
+    /// Bursts are paced against *served packets* through the
+    /// [`LiveEngine::with_progress`] hook: burst `k` of `n` lands once
+    /// `k/n` of `passes` trace passes' worth of packets has been served,
+    /// so the stream stretches continuously across the whole serving
+    /// window regardless of machine speed.
+    Sustained {
+        /// Trace passes the stream is stretched across.
+        passes: f64,
+    },
+}
+
 /// How a churn cell is driven.  The update stream itself is built
-/// separately by [`churn_updates`] and passed to [`run_churn`], so the
-/// config only shapes *how* the stream lands, not what is in it.
-#[derive(Debug, Clone, Copy)]
+/// separately (see [`ChurnProfile::stream`] / [`churn_updates`]) and passed
+/// to [`run_churn`], so the config only shapes *how* the stream lands, not
+/// what is in it.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnConfig {
     /// Serving worker shards while the stream lands.
     pub workers: usize,
@@ -40,6 +81,8 @@ pub struct ChurnConfig {
     pub burst_ops: usize,
     /// Engine sub-batch size (smaller batches pick up generations sooner).
     pub batch: usize,
+    /// How bursts are spaced over the serving window.
+    pub pacing: Pacing,
 }
 
 impl Default for ChurnConfig {
@@ -48,6 +91,76 @@ impl Default for ChurnConfig {
             workers: 2,
             burst_ops: 4,
             batch: 256,
+            pacing: Pacing::Bursty {
+                passes: 2.0,
+                cap_ns: 5_000_000,
+            },
+        }
+    }
+}
+
+/// The churn axis of the scenario matrix: a named, fully deterministic
+/// update workload (stream shape + pacing).  See the module docs for what
+/// each profile models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChurnProfile {
+    /// 1 % delete+insert pairs in bursts of 4 (the original PR-4 workload).
+    Burst1,
+    /// 10 % delete+insert pairs — deep churn that forces slack exhaustion
+    /// and amortized re-flattens on the arenas.
+    Deep10,
+    /// A net drain: 10 % deletes with one fresh insert per five deletes.
+    DeleteHeavy,
+    /// 2 % of the ruleset landing one update at a time, paced continuously
+    /// across the whole serving window against served packets.
+    Sustained,
+}
+
+impl ChurnProfile {
+    /// Every churn profile, in matrix order.
+    pub const ALL: [ChurnProfile; 4] = [
+        ChurnProfile::Burst1,
+        ChurnProfile::Deep10,
+        ChurnProfile::DeleteHeavy,
+        ChurnProfile::Sustained,
+    ];
+
+    /// The tag recorded in `BENCH_throughput.json` cells (schema v4).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ChurnProfile::Burst1 => "burst1",
+            ChurnProfile::Deep10 => "deep10",
+            ChurnProfile::DeleteHeavy => "delete-heavy",
+            ChurnProfile::Sustained => "sustained",
+        }
+    }
+
+    /// Builds the profile's deterministic update stream for a ruleset.
+    pub fn stream(self, ruleset: &RuleSet) -> Vec<RuleUpdate> {
+        match self {
+            ChurnProfile::Burst1 => churn_updates(ruleset, 0.01),
+            ChurnProfile::Deep10 => churn_updates(ruleset, 0.10),
+            ChurnProfile::DeleteHeavy => delete_heavy_updates(ruleset, 0.10, 5),
+            ChurnProfile::Sustained => churn_updates(ruleset, 0.02),
+        }
+    }
+
+    /// The cell configuration the profile is measured under.
+    pub fn config(self) -> ChurnConfig {
+        match self {
+            ChurnProfile::Burst1 | ChurnProfile::Deep10 => ChurnConfig::default(),
+            // Decommissioning lands in larger administrative sweeps.
+            ChurnProfile::DeleteHeavy => ChurnConfig {
+                burst_ops: 8,
+                ..ChurnConfig::default()
+            },
+            // One update at a time, stretched across four trace passes of
+            // actual serving progress.
+            ChurnProfile::Sustained => ChurnConfig {
+                burst_ops: 1,
+                pacing: Pacing::Sustained { passes: 4.0 },
+                ..ChurnConfig::default()
+            },
         }
     }
 }
@@ -109,6 +222,41 @@ pub fn churn_updates(ruleset: &RuleSet, fraction: f64) -> Vec<RuleUpdate> {
     updates
 }
 
+/// Builds the deterministic *delete-heavy* stream: `fraction` of the rules
+/// is deleted (ids spread evenly across the priority range) but only one
+/// fresh rule is inserted per `reinsert_every` deletes, so the live set
+/// drains — the decommissioning pattern that leaves reusable slack in the
+/// flat arenas instead of claiming it back.
+pub fn delete_heavy_updates(
+    ruleset: &RuleSet,
+    fraction: f64,
+    reinsert_every: usize,
+) -> Vec<RuleUpdate> {
+    let len = ruleset.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let deletes = ((len as f64 * fraction).round() as usize).clamp(1, len);
+    let reinsert_every = reinsert_every.max(1);
+    let reinserts = deletes / reinsert_every;
+    let style = pclass_classbench::SeedStyle::Acl;
+    let fresh =
+        ClassBenchGenerator::new(style, crate::WORKLOAD_SEED ^ 0xD7A1).generate(reinserts.max(1));
+    let mut updates = Vec::with_capacity(deletes + reinserts);
+    let mut inserted = 0usize;
+    for k in 0..deletes {
+        updates.push(RuleUpdate::Delete((k * len / deletes) as RuleId));
+        if (k + 1) % reinsert_every == 0 && inserted < reinserts {
+            updates.push(RuleUpdate::Insert(Rule::new(
+                (len + inserted) as RuleId,
+                fresh.rules()[inserted].ranges,
+            )));
+            inserted += 1;
+        }
+    }
+    updates
+}
+
 /// Runs one churn cell: serve `trace` continuously on `config.workers`
 /// shards while `updates` land in bursts, then verify the final snapshot
 /// against `rebuild` applied to the surviving ruleset.
@@ -126,14 +274,38 @@ where
     C: UpdatableClassifier + Clone + Send + Sync,
 {
     let live = Arc::new(LiveClassifier::new(classifier));
-    let engine = LiveEngine::new(config.workers, Arc::clone(&live)).with_batch_size(config.batch);
+    // The progress counter is the sustained-pacing hook: workers bump it
+    // per sub-batch, and a `Pacing::Sustained` updater waits on it instead
+    // of sleeping wall-clock time.  Attaching it is harmless under
+    // wall-clock pacing (one relaxed fetch_add per sub-batch).
+    let progress = Arc::new(AtomicU64::new(0));
+    let engine = LiveEngine::new(config.workers, Arc::clone(&live))
+        .with_batch_size(config.batch)
+        .with_progress(Arc::clone(&progress));
 
-    // One quiescent pass calibrates the burst pacing: the stream is spread
-    // over roughly two trace passes so "throughput under churn" actually
-    // overlaps serving with updates instead of front-loading the stream.
+    // One quiescent pass warms the structure and calibrates wall-clock
+    // pacing, so "throughput under churn" actually overlaps serving with
+    // updates instead of front-loading the stream.
     let warmup = engine.classify_trace(trace);
     let bursts: Vec<&[RuleUpdate]> = updates.chunks(config.burst_ops.max(1)).collect();
-    let pace_ns = (2 * warmup.report.wall_ns / bursts.len().max(1) as u64).min(5_000_000);
+    let pace_ns = match config.pacing {
+        Pacing::Bursty { passes, cap_ns } => ((passes * warmup.report.wall_ns as f64) as u64
+            / bursts.len().max(1) as u64)
+            .min(cap_ns),
+        Pacing::Sustained { .. } => 0,
+    };
+    // Sustained pacing: burst k of n lands once k/n of `passes` trace
+    // passes' worth of packets has been served *after* the warmup.
+    let progress_base = progress.load(Ordering::Relaxed);
+    let burst_threshold = |k: usize| -> u64 {
+        match config.pacing {
+            Pacing::Bursty { .. } => 0,
+            Pacing::Sustained { passes } => {
+                let window = passes * trace.len() as f64;
+                progress_base + (window * k as f64 / bursts.len().max(1) as f64) as u64
+            }
+        }
+    };
 
     let stop = AtomicBool::new(false);
     let mut latencies: Vec<u64> = Vec::with_capacity(bursts.len());
@@ -159,7 +331,23 @@ where
             }
             checkpoints
         });
-        for burst in &bursts {
+        let mut server_died = false;
+        'stream: for (k, burst) in bursts.iter().enumerate() {
+            // Sustained: wait for the serving side to reach this burst's
+            // progress threshold.  The serving loop keeps passing over the
+            // trace until the stream ends, so progress always advances and
+            // the wait terminates — unless the serving thread *dies* (a
+            // panic inside classify_trace), which must abort the stream so
+            // the join below surfaces the panic instead of this loop
+            // spinning until the CI job timeout.
+            let threshold = burst_threshold(k);
+            while progress.load(Ordering::Relaxed) < threshold {
+                if server.is_finished() {
+                    server_died = true;
+                    break 'stream;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            }
             let t = Instant::now();
             if let Err(e) = live.apply_batch(burst) {
                 apply_error = Some(e.to_string());
@@ -172,10 +360,11 @@ where
         }
         let churn_end_ns = started.elapsed().as_nanos() as u64;
         stop.store(true, Ordering::Release);
-        (
-            server.join().expect("churn serving worker panicked"),
-            churn_end_ns,
-        )
+        // A server that finished before `stop` was set can only have
+        // panicked; join propagates that panic as the cell's diagnostic.
+        let checkpoints = server.join().expect("churn serving worker panicked");
+        debug_assert!(!server_died, "join must have panicked first");
+        (checkpoints, churn_end_ns)
     });
     if let Some(e) = apply_error {
         return Err(format!("update rejected mid-stream: {e}"));
@@ -273,6 +462,96 @@ mod tests {
     }
 
     #[test]
+    fn delete_heavy_stream_drains_the_live_set() {
+        let rs = acl_ruleset(200);
+        let a = delete_heavy_updates(&rs, 0.10, 5);
+        assert_eq!(a, delete_heavy_updates(&rs, 0.10, 5), "deterministic");
+        let deletes = a
+            .iter()
+            .filter(|u| matches!(u, RuleUpdate::Delete(_)))
+            .count();
+        let inserts = a.len() - deletes;
+        assert_eq!(deletes, 20, "10% of 200");
+        assert_eq!(inserts, 4, "one reinsert per five deletes");
+        // Delete ids are distinct and inside the base id range; insert ids
+        // are fresh.
+        let mut seen = std::collections::HashSet::new();
+        for u in &a {
+            match u {
+                RuleUpdate::Delete(id) => {
+                    assert!(seen.insert(*id), "duplicate delete {id}");
+                    assert!(*id < rs.len() as u32);
+                }
+                RuleUpdate::Insert(rule) => assert!(rule.id >= rs.len() as u32),
+            }
+        }
+        // Tiny and empty rulesets stay valid.
+        let one = acl_ruleset(2_191).truncated(1, "one");
+        let tiny = delete_heavy_updates(&one, 0.10, 5);
+        assert_eq!(tiny.len(), 1, "a single delete, no reinsert");
+        let empty = RuleSet::new("empty", *one.spec(), vec![]).expect("empty ruleset");
+        assert!(delete_heavy_updates(&empty, 0.5, 5).is_empty());
+    }
+
+    #[test]
+    fn profiles_build_distinct_streams_and_configs() {
+        let rs = acl_ruleset(500);
+        for profile in ChurnProfile::ALL {
+            let stream = profile.stream(&rs);
+            assert!(!stream.is_empty(), "{}", profile.tag());
+            assert_eq!(
+                stream,
+                profile.stream(&rs),
+                "{} deterministic",
+                profile.tag()
+            );
+        }
+        assert!(
+            ChurnProfile::Deep10.stream(&rs).len() > 5 * ChurnProfile::Burst1.stream(&rs).len(),
+            "deep churn must be an order of magnitude more updates"
+        );
+        let drain = ChurnProfile::DeleteHeavy.stream(&rs);
+        let deletes = drain
+            .iter()
+            .filter(|u| matches!(u, RuleUpdate::Delete(_)))
+            .count();
+        assert!(deletes > (drain.len() - deletes) * 2, "net drain");
+        assert_eq!(
+            ChurnProfile::Sustained.config().pacing,
+            Pacing::Sustained { passes: 4.0 }
+        );
+        assert_eq!(ChurnProfile::Sustained.config().burst_ops, 1);
+        // Tags are distinct (they key regression-gate cells).
+        let tags: std::collections::HashSet<_> =
+            ChurnProfile::ALL.iter().map(|p| p.tag()).collect();
+        assert_eq!(tags.len(), ChurnProfile::ALL.len());
+    }
+
+    #[test]
+    fn sustained_churn_cell_paces_against_progress_and_verifies() {
+        let rs = acl_ruleset(150);
+        let trace = crate::trace_for(&rs, 500);
+        let updates = ChurnProfile::Sustained.stream(&rs);
+        let config = ChurnConfig {
+            workers: 2,
+            batch: 32,
+            ..ChurnProfile::Sustained.config()
+        };
+        let build =
+            |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten();
+        let m = run_churn(build(&rs), build, &trace, &updates, &config).unwrap();
+        assert!(m.verified, "post-sustained-churn mismatch");
+        assert_eq!(m.bursts, updates.len() as u64, "one update per burst");
+        // The stream is stretched across the window: serving must have
+        // covered several passes' worth of packets while it landed.
+        assert!(
+            m.packets_served >= 2 * trace.len() as u64,
+            "served only {} packets over a 4-pass sustained window",
+            m.packets_served
+        );
+    }
+
+    #[test]
     fn churn_cell_runs_and_verifies_on_a_small_workload() {
         let rs = acl_ruleset(150);
         let trace = crate::trace_for(&rs, 600);
@@ -281,6 +560,7 @@ mod tests {
             workers: 2,
             burst_ops: 3,
             batch: 64,
+            ..ChurnConfig::default()
         };
         let build =
             |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten();

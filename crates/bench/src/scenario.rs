@@ -1,0 +1,342 @@
+//! The scenario matrix behind `throughput`: one declarative description of
+//! every workload cell the serving harness measures.
+//!
+//! A scenario is a point in the four-axis workload space
+//!
+//! * **ruleset** — ClassBench seed style × size, along the extended
+//!   [`pclass_classbench::sweep_sizes`] ladder (acl to 64 k rules, fw/ipc
+//!   to 10 k);
+//! * **trace profile** — [`TraceProfile::Uniform`] (the ClassBench default
+//!   mix) or [`TraceProfile::Zipf`] (seeded Zipf-skewed popularity that
+//!   repeatedly hits a small set of hot rules);
+//! * **churn profile** — quiescent (`churn: None`) or one of the
+//!   [`ChurnProfile`] live-update workloads (1 % bursts, 10 % deep churn,
+//!   a delete-heavy drain, a sustained progress-paced stream);
+//! * **worker count** — the [`worker_ladder`] the quiescent cells sweep.
+//!
+//! [`matrix`] is the **single source of truth** for both sweep modes: the
+//! quick matrix (CI's per-PR `perf-smoke` gate) is exactly the
+//! `quick`-tagged subset of the full matrix (the weekly `perf-full`
+//! sweep), so a cell can never exist in one mode's list but not the
+//! other's — the unit tests pin that invariant, plus the presence of the
+//! cells the CI gate promises (a 64 k-rule cell, deep-churn, delete-heavy,
+//! sustained and Zipf-skew cells, all in quick).
+//!
+//! Cells that cannot run are *explicit*: RFC past its phase-table budget
+//! and the hardware models past their address space stay visible as skip
+//! records (see [`crate::RosterScope`]), never silent gaps.
+
+use crate::churn::ChurnProfile;
+use crate::RosterScope;
+use pclass_classbench::{sweep_sizes, SeedStyle, TraceGenerator};
+use pclass_types::{RuleSet, Trace};
+
+/// Exponent of the [`TraceProfile::Zipf`] popularity law (rank `k` drawn
+/// with probability ∝ `1/k`): on a 2 000-rule set the hottest 1 % of the
+/// rules draws roughly 40 % of the directed packets.
+pub const ZIPF_EXPONENT: f64 = 1.0;
+
+/// Worker counts the full sweep measures each quiescent cell at.
+pub const FULL_WORKER_LADDER: &[usize] = &[1, 2, 4];
+
+/// Worker counts quick mode measures — a subset of the full ladder, so
+/// every quick cell has a full-matrix partner.
+pub const QUICK_WORKER_LADDER: &[usize] = &[1, 4];
+
+/// The trace-profile axis of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceProfile {
+    /// The ClassBench default mix: mild Pareto-style popularity skew, 10 %
+    /// background packets, short bursts.
+    Uniform,
+    /// Seeded Zipf popularity ([`ZIPF_EXPONENT`]) over rule ranks — the
+    /// heavily skewed traffic a production classifier sees, repeatedly
+    /// hitting the same hot rules (and therefore the same tree paths).
+    Zipf,
+}
+
+impl TraceProfile {
+    /// Every trace profile, in matrix order.
+    pub const ALL: [TraceProfile; 2] = [TraceProfile::Uniform, TraceProfile::Zipf];
+
+    /// The tag recorded in `BENCH_throughput.json` cells (schema v4).
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceProfile::Uniform => "uniform",
+            TraceProfile::Zipf => "zipf",
+        }
+    }
+
+    /// Builds this profile's deterministic trace for a ruleset.
+    pub fn trace(self, ruleset: &RuleSet, packets: usize) -> Trace {
+        match self {
+            TraceProfile::Uniform => crate::trace_for(ruleset, packets),
+            TraceProfile::Zipf => TraceGenerator::new(ruleset, crate::WORKLOAD_SEED ^ 0x51FF)
+                .zipf(ZIPF_EXPONENT)
+                .generate_named(packets, format!("{}_zipf_trace", ruleset.name())),
+        }
+    }
+}
+
+/// One cell family of the scenario matrix: a ruleset × trace profile ×
+/// churn profile.  Quiescent cells additionally sweep the worker ladder
+/// and the whole classifier roster; churn cells serve the updatable
+/// classifiers under their profile's [`ChurnProfile::config`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// ClassBench seed style of the ruleset.
+    pub style: SeedStyle,
+    /// Ruleset size (a rung of [`sweep_sizes`]).
+    pub rules: usize,
+    /// Trace profile the cell is served with.
+    pub trace: TraceProfile,
+    /// Live-update profile; `None` is a quiescent cell.
+    pub churn: Option<ChurnProfile>,
+    /// Whether the cell is part of the quick (per-PR CI) subset.
+    pub quick: bool,
+}
+
+impl Scenario {
+    /// Builds the scenario's ruleset (acl cells nest via
+    /// [`crate::acl_ruleset`]'s shared-prefix truncation).
+    pub fn ruleset(&self) -> RuleSet {
+        match self.style {
+            SeedStyle::Acl => crate::acl_ruleset(self.rules),
+            style => crate::styled_ruleset(style, self.rules),
+        }
+    }
+
+    /// The classifier scope of this cell: hardware models are excluded a
+    /// priori at ≥32 k rules (explicit skips).
+    pub fn scope(&self) -> RosterScope {
+        if self.rules >= 32_000 {
+            RosterScope::Software
+        } else {
+            RosterScope::Full
+        }
+    }
+
+    /// The profile tag recorded in schema-v4 cells and used by the
+    /// regression gate to match cells like-for-like: the trace tag for
+    /// quiescent cells, `<trace>+churn-<profile>` for churn cells.
+    pub fn profile_tag(&self) -> String {
+        match self.churn {
+            None => self.trace.tag().to_string(),
+            Some(churn) => format!("{}+churn-{}", self.trace.tag(), churn.tag()),
+        }
+    }
+}
+
+/// The worker ladder of a sweep mode.
+pub fn worker_ladder(quick: bool) -> &'static [usize] {
+    if quick {
+        QUICK_WORKER_LADDER
+    } else {
+        FULL_WORKER_LADDER
+    }
+}
+
+/// **The** scenario matrix — the single declarative list both sweep modes
+/// are derived from.  The harness groups cells by ruleset (in first
+/// appearance order), so each ruleset and its classifier roster are built
+/// once however many trace/churn cells share them.
+pub fn matrix() -> Vec<Scenario> {
+    let quiescent = |style, rules, trace, quick| Scenario {
+        style,
+        rules,
+        trace,
+        churn: None,
+        quick,
+    };
+    let churn = |style, rules, trace, profile, quick| Scenario {
+        style,
+        rules,
+        trace,
+        churn: Some(profile),
+        quick,
+    };
+
+    let mut cells = Vec::new();
+    // Ruleset axis: every rung of the extended generation ladder serves
+    // the uniform trace; quick keeps the small acl/fw/ipc rows it always
+    // gated plus the new 64 k ceiling so the top of the envelope is
+    // regression-gated on every PR.
+    for style in [SeedStyle::Acl, SeedStyle::Fw, SeedStyle::Ipc] {
+        for &rules in sweep_sizes(style) {
+            let quick = match style {
+                SeedStyle::Acl => matches!(rules, 500 | 2_000 | 64_000),
+                _ => rules == 2_000,
+            };
+            cells.push(quiescent(style, rules, TraceProfile::Uniform, quick));
+        }
+    }
+    // Skew axis: Zipf-hot traffic on the acl row at 2 k (quick, CI-gated)
+    // and 10 k (weekly).
+    cells.push(quiescent(SeedStyle::Acl, 2_000, TraceProfile::Zipf, true));
+    cells.push(quiescent(SeedStyle::Acl, 10_000, TraceProfile::Zipf, false));
+    // Churn axis (runs under --churn): the original 1 % burst on all three
+    // 2 k families, plus the deep, drain and sustained profiles — one of
+    // each in quick on the acl row, the cross-family and larger variants
+    // weekly.  One combined skew × sustained cell probes the interaction.
+    let acl = SeedStyle::Acl;
+    let uni = TraceProfile::Uniform;
+    cells.push(churn(acl, 2_000, uni, ChurnProfile::Burst1, true));
+    cells.push(churn(
+        SeedStyle::Fw,
+        2_000,
+        uni,
+        ChurnProfile::Burst1,
+        false,
+    ));
+    cells.push(churn(
+        SeedStyle::Ipc,
+        2_000,
+        uni,
+        ChurnProfile::Burst1,
+        false,
+    ));
+    cells.push(churn(acl, 2_000, uni, ChurnProfile::Deep10, true));
+    cells.push(churn(
+        SeedStyle::Fw,
+        2_000,
+        uni,
+        ChurnProfile::Deep10,
+        false,
+    ));
+    cells.push(churn(acl, 2_000, uni, ChurnProfile::DeleteHeavy, true));
+    cells.push(churn(
+        SeedStyle::Ipc,
+        2_000,
+        uni,
+        ChurnProfile::DeleteHeavy,
+        false,
+    ));
+    cells.push(churn(acl, 2_000, uni, ChurnProfile::Sustained, true));
+    cells.push(churn(acl, 10_000, uni, ChurnProfile::Sustained, false));
+    cells.push(churn(
+        acl,
+        2_000,
+        TraceProfile::Zipf,
+        ChurnProfile::Sustained,
+        false,
+    ));
+    cells
+}
+
+/// The scenarios of one sweep mode: the full matrix, or its quick-tagged
+/// subset.  Because both modes filter the *same* list, quick ⊆ full by
+/// construction.
+pub fn scenarios(quick: bool) -> Vec<Scenario> {
+    matrix().into_iter().filter(|s| !quick || s.quick).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &Scenario) -> (String, usize, &'static str, Option<&'static str>) {
+        (
+            s.style.name().to_string(),
+            s.rules,
+            s.trace.tag(),
+            s.churn.map(|c| c.tag()),
+        )
+    }
+
+    #[test]
+    fn quick_is_a_subset_of_full_and_ladders_nest() {
+        let full = scenarios(false);
+        for s in scenarios(true) {
+            assert!(
+                full.contains(&s),
+                "quick cell {s:?} missing from the full matrix"
+            );
+        }
+        for w in QUICK_WORKER_LADDER {
+            assert!(
+                FULL_WORKER_LADDER.contains(w),
+                "quick worker count {w} missing from the full ladder"
+            );
+        }
+        assert!(scenarios(true).len() < full.len());
+    }
+
+    #[test]
+    fn matrix_has_no_duplicate_cells() {
+        let cells = matrix();
+        for (i, a) in cells.iter().enumerate() {
+            for b in &cells[i + 1..] {
+                assert_ne!(key(a), key(b), "duplicate scenario {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_gates_every_promised_envelope_cell() {
+        let quick = scenarios(true);
+        let has = |f: &dyn Fn(&Scenario) -> bool| quick.iter().any(f);
+        assert!(
+            has(&|s| s.rules == 64_000 && s.churn.is_none()),
+            "quick must include a 64k-rule cell"
+        );
+        assert!(
+            has(&|s| s.trace == TraceProfile::Zipf),
+            "quick must include a Zipf-skew cell"
+        );
+        assert!(has(&|s| s.churn == Some(ChurnProfile::Deep10)));
+        assert!(has(&|s| s.churn == Some(ChurnProfile::DeleteHeavy)));
+        assert!(has(&|s| s.churn == Some(ChurnProfile::Sustained)));
+        assert!(has(&|s| s.churn == Some(ChurnProfile::Burst1)));
+    }
+
+    #[test]
+    fn every_quiescent_rung_of_the_generation_ladder_is_covered() {
+        let full = scenarios(false);
+        for style in [SeedStyle::Acl, SeedStyle::Fw, SeedStyle::Ipc] {
+            for &rules in sweep_sizes(style) {
+                assert!(
+                    full.iter().any(|s| s.style == style
+                        && s.rules == rules
+                        && s.churn.is_none()
+                        && s.trace == TraceProfile::Uniform),
+                    "{style:?} {rules} missing from the full matrix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_tags_and_scopes_are_consistent() {
+        let s = Scenario {
+            style: SeedStyle::Acl,
+            rules: 2_000,
+            trace: TraceProfile::Zipf,
+            churn: Some(ChurnProfile::Sustained),
+            quick: false,
+        };
+        assert_eq!(s.profile_tag(), "zipf+churn-sustained");
+        assert_eq!(s.scope(), RosterScope::Full);
+        let big = Scenario {
+            rules: 64_000,
+            trace: TraceProfile::Uniform,
+            churn: None,
+            ..s
+        };
+        assert_eq!(big.profile_tag(), "uniform");
+        assert_eq!(big.scope(), RosterScope::Software);
+        // Tags are what the regression gate keys on: every distinct
+        // (trace, churn) combination in the matrix has a distinct tag.
+        let tags: std::collections::HashSet<String> =
+            matrix().iter().map(|s| s.profile_tag()).collect();
+        assert!(tags.len() >= 6, "expected a rich tag space, got {tags:?}");
+    }
+
+    #[test]
+    fn zipf_trace_profile_is_deterministic_and_distinct_from_uniform() {
+        let rs = crate::acl_ruleset(300);
+        let a = TraceProfile::Zipf.trace(&rs, 800);
+        assert_eq!(a, TraceProfile::Zipf.trace(&rs, 800));
+        assert_eq!(a.name(), "acl1_300_zipf_trace");
+        assert_ne!(a, TraceProfile::Uniform.trace(&rs, 800));
+    }
+}

@@ -95,6 +95,7 @@ pub struct LiveEngine<C> {
     live: Arc<LiveClassifier<C>>,
     workers: usize,
     batch: usize,
+    progress: Option<Arc<AtomicU64>>,
 }
 
 impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
@@ -105,6 +106,7 @@ impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
             live,
             workers: workers.max(1),
             batch: DEFAULT_BATCH_SIZE,
+            progress: None,
         }
     }
 
@@ -112,6 +114,18 @@ impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
     /// batches pick up published generations sooner.
     pub fn with_batch_size(mut self, batch: usize) -> LiveEngine<C> {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Attaches a shared serving-progress counter: every worker adds the
+    /// size of each sub-batch it finishes, across every
+    /// [`LiveEngine::classify_trace`] call.  This is the pacing hook for
+    /// *sustained* update streams — an updater thread can spread its
+    /// stream evenly over the packets actually served (machine-speed
+    /// independent) instead of sleeping wall-clock time, by waiting for
+    /// the counter to cross per-update thresholds.
+    pub fn with_progress(mut self, counter: Arc<AtomicU64>) -> LiveEngine<C> {
+        self.progress = Some(counter);
         self
     }
 
@@ -132,7 +146,10 @@ impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
             // Re-snapshot per sub-batch: a generation published mid-shard
             // serves the remaining batches, while this batch drains on the
             // snapshot it started with.
-            self.live.snapshot().classify_batch(headers, results)
+            self.live.snapshot().classify_batch(headers, results);
+            if let Some(counter) = &self.progress {
+                counter.fetch_add(headers.len() as u64, Ordering::Relaxed);
+            }
         })
     }
 }
@@ -211,6 +228,25 @@ mod tests {
         let ids: Vec<u32> = snap.live_rules().iter().map(|r| r.id).collect();
         assert!(!ids.contains(&1), "first delete applied");
         assert!(ids.contains(&2), "post-failure delete dropped");
+    }
+
+    #[test]
+    fn progress_counter_tracks_served_packets_across_runs() {
+        let (rs, trace) = workload(80, 700);
+        let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
+        let counter = Arc::new(AtomicU64::new(0));
+        let engine = LiveEngine::new(3, Arc::clone(&live))
+            .with_batch_size(64)
+            .with_progress(Arc::clone(&counter));
+        engine.classify_trace(&trace);
+        assert_eq!(counter.load(Ordering::Relaxed), trace.len() as u64);
+        // The counter is cumulative across calls — that is what lets a
+        // sustained updater pace itself over a multi-pass serving window.
+        engine.classify_trace(&trace);
+        assert_eq!(counter.load(Ordering::Relaxed), 2 * trace.len() as u64);
+        // An engine without the hook leaves the counter alone.
+        LiveEngine::new(2, Arc::clone(&live)).classify_trace(&trace);
+        assert_eq!(counter.load(Ordering::Relaxed), 2 * trace.len() as u64);
     }
 
     #[test]

@@ -48,8 +48,11 @@ pub struct ArenaStats {
 /// Tracked by the rebuild-free `insert`/`delete` paths of
 /// `pclass_algos::dtree::DecisionTree` and `pclass_algos::flat::FlatTree`
 /// and recorded per churn cell in `BENCH_throughput.json`'s `churn` records
-/// (schema `pclass-throughput/v3`); it lives here, next to [`ArenaStats`],
-/// so every crate that serializes measurements shares one definition.
+/// (schema `pclass-throughput/v4`, where each cell also carries the
+/// scenario-matrix churn-profile tag it was measured under — 1 % burst,
+/// 10 % deep churn, delete-heavy drain, or a sustained paced stream); it
+/// lives here, next to [`ArenaStats`], so every crate that serializes
+/// measurements shares one definition.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UpdateStats {
     /// Rules inserted since the structure was built.
