@@ -11,11 +11,15 @@
 //!
 //! [`FlatTree`] re-packs a built tree into a handful of dense arrays:
 //!
-//! * per-node *records* in struct-of-arrays form — a cut-slab span, a
-//!   child-base index and a rule-slab span per node (the span length doubles
-//!   as the leaf flag: a node with no cut records is a leaf);
-//! * one shared **cut slab** of `(dimension, parts, lo, hi)` records, in
-//!   dimension order so the mixed-radix child index of
+//! * one **64-byte, cache-line-aligned record per node** (`NodeRec`):
+//!   the rule-slab span, the child-base index, the cut count (0 marks a
+//!   leaf), the overflow mark *and the node's first cut record inline* —
+//!   everything one walk step needs before branching, in exactly one
+//!   potential cache miss;
+//! * one shared **cut slab** of `(dimension, parts, lo, hi, magics)`
+//!   records for cuts past each node's first (HyperCuts' extra
+//!   dimensions; empty for HiCuts trees), in dimension order so the
+//!   mixed-radix child index of
 //!   [`CutSpec::child_index`](crate::dtree::CutSpec::child_index) is reproduced exactly;
 //! * one shared **child slab** holding every child pointer array
 //!   back-to-back, addressed by `(child_base + index)`;
@@ -35,6 +39,52 @@
 //! [`DecisionTree::classify`]; the property tests in
 //! `tests/flat_equivalence.rs` enforce this packet-for-packet across random
 //! rulesets, builder configurations and batch sizes.
+//!
+//! # Vectorised lane walk
+//!
+//! [`FlatTree::classify_batch`] does not merely iterate the worklist packet
+//! by packet: it advances the level-synchronous worklist in **lanes** of
+//! [`LaneWidth`] packets (hand-unrolled fixed-size arrays — no nightly
+//! `std::simd`).  Each lane step first gathers one word from all `N` node
+//! records with no branches in between, so the `N` one-line records are
+//! fetched as overlapped, independent cache misses — memory-level
+//! parallelism where the packet-at-a-time walk would serialise behind one
+//! miss at a time — and then finishes each lane over the now-hot lines:
+//!
+//! * the per-cut `index_of` partition arithmetic runs over parameters
+//!   precomputed at flatten time; the one division the lookup formula
+//!   needs is replaced by a Granlund–Montgomery/Lemire multiply-shift
+//!   *magic* (`FlatCut::new` stores `ceil(2^64 / divisor)`; a 64-bit
+//!   high-multiply then divides exactly for every 32-bit offset), so the
+//!   hot loop contains no division at all — and the first cut record is
+//!   read straight off the node's record line, never from the cut slab;
+//! * leaf and stored-rule scans compare the packed rule images **branch
+//!   free** in blocks of `SCAN_BLOCK`: all five range pairs of a block
+//!   are tested with non-short-circuiting compares into a bitmask and the
+//!   first match is taken from the mask, preserving the scalar early-exit
+//!   semantics (ids are ascending, so the first match is the best one);
+//! * on advancing a packet, the walk issues a **portable read-ahead
+//!   touch** (the crate forbids `unsafe`, so a `std::hint::black_box`
+//!   read stands in for `_mm_prefetch`) of one word of the child's record
+//!   line — a full level of work ahead of its use, so the next level's
+//!   gather finds the line in cache.  Touches are only issued for arenas
+//!   larger than `PREFETCH_MIN_BYTES`; a cache-resident arena gains
+//!   nothing from them.
+//!
+//! The scalar walk remains as [`FlatTree::classify`] (the per-packet path
+//! and the differential-test oracle) and serves worklist tails shorter
+//! than a lane; `tests/vector_walk.rs` property-tests the lane walk
+//! against it packet-for-packet across rulesets, lane widths, odd tail
+//! sizes and post-churn arenas with live overflow entries.
+//!
+//! A second measured negative result, for the record: building with
+//! `-C target-cpu=native` (AVX2/AVX-512 codegen on the reference host)
+//! benchmarks *slower* than the portable x86-64 baseline on every arena
+//! size — the walk's throughput is bounded by cache misses and branch
+//! resolution, not by the width of its compare instructions, and the
+//! wider vectors cost frequency.  The workspace therefore ships no
+//! target-feature configuration; the vectorisation that pays here is the
+//! memory-level kind, not the ALU kind.
 //!
 //! # Incremental updates
 //!
@@ -71,6 +121,69 @@ use std::collections::{BTreeMap, HashMap};
 /// is always below this sentinel).
 const NO_MATCH: u32 = u32::MAX;
 
+/// Number of packets one vectorised worklist lane advances together (the
+/// `N` of the hand-unrolled `u32xN` arrays in the lane walk).
+///
+/// [`LaneWidth::Scalar`] is the per-packet fallback — the oracle the
+/// property tests compare the vector widths against, and the tail path for
+/// worklist levels shorter than a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneWidth {
+    /// Per-packet worklist walk (lane width 1).
+    Scalar,
+    /// Lanes of 4 packets.
+    X4,
+    /// Lanes of 8 packets — the default: wide enough to overlap the
+    /// dependent-load chains, narrow enough that a level's sub-lane tail
+    /// stays cheap.
+    #[default]
+    X8,
+    /// Lanes of 16 packets.
+    X16,
+}
+
+impl LaneWidth {
+    /// Every lane width, scalar first (test sweeps iterate this).
+    pub const ALL: [LaneWidth; 4] = [
+        LaneWidth::Scalar,
+        LaneWidth::X4,
+        LaneWidth::X8,
+        LaneWidth::X16,
+    ];
+
+    /// The lane width as a packet count.
+    pub fn width(self) -> usize {
+        match self {
+            LaneWidth::Scalar => 1,
+            LaneWidth::X4 => 4,
+            LaneWidth::X8 => 8,
+            LaneWidth::X16 => 16,
+        }
+    }
+
+    /// The widest supported lane width not exceeding `w` packets
+    /// (`0` and `1` select the scalar walk).
+    pub fn from_width(w: usize) -> LaneWidth {
+        match w {
+            0..=3 => LaneWidth::Scalar,
+            4..=7 => LaneWidth::X4,
+            8..=15 => LaneWidth::X8,
+            _ => LaneWidth::X16,
+        }
+    }
+}
+
+/// Rules per branch-free scan block: the five range pairs of a whole block
+/// are compared without short-circuiting into one bitmask, and only then
+/// is the first match selected — data-dependent branches happen once per
+/// block instead of once per rule.
+const SCAN_BLOCK: usize = 4;
+
+/// Serving-image size below which read-ahead touches are skipped: a
+/// cache-resident arena cannot miss, so the touches would be pure
+/// instruction overhead.  Set to a typical per-core L2 size.
+const PREFETCH_MIN_BYTES: usize = 1 << 20;
+
 /// A `(offset, len)` span into one of the shared slabs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Span {
@@ -95,23 +208,44 @@ impl Span {
 /// The partition parameters of [`FieldRange::index_of`] (`base` child
 /// width, `rem` leading children one wider, `wide_span = rem * (base+1)`)
 /// depend only on the region and `parts`, so they are precomputed at
-/// flatten time — the per-packet child selection then needs at most one
-/// division instead of three (the same division-removal idea the paper
-/// applies in its hardware-oriented cut algorithms).
+/// flatten time.  The one division the lookup formula still needs is
+/// replaced by a multiply-shift *magic*: for a 32-bit divisor `d`,
+/// `m = ceil(2^64 / d)` makes `(offset * m) >> 64` an **exact** quotient
+/// for every 32-bit `offset` (Granlund–Montgomery; the 32/64-bit bound is
+/// Lemire & Kaser's), so the per-packet child selection is two multiplies
+/// — no division at all, the same division-removal idea the paper applies
+/// in its hardware-oriented cut algorithms, taken one step further.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FlatCut {
     dim: u32,
     parts: u32,
     lo: u32,
     hi: u32,
-    /// Child width (`region_len / parts`); meaningless when `direct`.
-    base: u32,
     /// Number of leading children of width `base + 1`.
     rem: u32,
     /// `rem * (base + 1)`: offsets below this fall in a wide child.
     wide_span: u32,
-    /// 1 when `parts >= region_len`: the child index is just the offset.
-    direct: u32,
+    /// `ceil(2^64 / (base + 1))`: magic divisor for the wide children —
+    /// or 0 when `parts >= region_len`, where the child index is just the
+    /// offset (no divisor exists; doubles as the *direct* flag).
+    m_wide: u64,
+    /// `ceil(2^64 / base)`, or 0 when `base == 1` (divide-by-one needs no
+    /// multiply; `ceil(2^64/1)` would not fit in 64 bits).
+    m_base: u64,
+}
+
+/// `ceil(2^64 / d)` for `2 <= d < 2^32`: the multiply-shift magic making
+/// `mul_hi64(n, magic(d)) == n / d` exact for every `n < 2^32`.
+fn division_magic(d: u64) -> u64 {
+    debug_assert!(d >= 2);
+    (u64::MAX / d) + 1
+}
+
+/// High 64 bits of the 128-bit product — one `mul` instruction on 64-bit
+/// targets.
+#[inline]
+fn mul_hi64(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) >> 64) as u64
 }
 
 impl FlatCut {
@@ -132,26 +266,113 @@ impl FlatCut {
             parts,
             lo: region.lo,
             hi: region.hi,
-            base: base as u32,
             rem: rem as u32,
             wide_span: (rem * (base + 1)) as u32,
-            direct: u32::from(direct),
+            // base == 0 only when direct; m_wide == 0 encodes direct.
+            m_wide: if direct { 0 } else { division_magic(base + 1) },
+            m_base: if direct || base == 1 {
+                0
+            } else {
+                division_magic(base)
+            },
         }
     }
 
+    /// Filler for the inline cut slot of leaf records; never read because
+    /// the cut count in [`NodeRec::meta`] guards every access.
+    const DEAD: FlatCut = FlatCut {
+        dim: 0,
+        parts: 0,
+        lo: 0,
+        hi: 0,
+        rem: 0,
+        wide_span: 0,
+        m_wide: 0,
+        m_base: 0,
+    };
+
     /// Index of the child containing `v`, mirroring
-    /// [`FieldRange::index_of`] over the precomputed parameters.  The
-    /// caller has already checked `lo <= v <= hi`.
+    /// [`FieldRange::index_of`] over the precomputed parameters — division
+    /// free (see the struct docs).  The caller has already checked
+    /// `lo <= v <= hi`.
     #[inline]
     fn sub_index(&self, v: u32) -> u32 {
-        let offset = v - self.lo;
-        if self.direct != 0 {
-            offset
-        } else if offset < self.wide_span {
-            offset / (self.base + 1)
+        let offset = u64::from(v - self.lo);
+        if self.m_wide == 0 {
+            offset as u32
+        } else if offset < u64::from(self.wide_span) {
+            mul_hi64(offset, self.m_wide) as u32
         } else {
-            self.rem + (offset - self.wide_span) / self.base
+            let narrow = offset - u64::from(self.wide_span);
+            // m_base == 0 encodes base == 1: dividing by one is identity.
+            let q = if self.m_base == 0 {
+                narrow
+            } else {
+                mul_hi64(narrow, self.m_base)
+            };
+            self.rem + q as u32
         }
+    }
+}
+
+/// Bit of [`NodeRec::meta`] marking a node with overflow rules; the low
+/// bits hold the cut count.
+const META_OVERFLOW: u32 = 1 << 31;
+
+/// The hot per-node record: **exactly one cache line**, 64-byte aligned,
+/// holding everything a walk step needs before it knows which way to go —
+/// the stored-rule span, the child base, the cut count, the overflow mark
+/// *and the first cut record inline*.
+///
+/// The PR 3 arena kept these as parallel struct-of-arrays vectors (cut
+/// span, child base, rule span, overflow mark) plus the shared cut slab;
+/// on arenas past cache size that made one internal-node visit four to
+/// five potential cache misses.  Folding them into a single aligned line
+/// makes a visit cost one miss for the record (first cut included — every
+/// HiCuts node and the first dimension of every HyperCuts node pay no
+/// cut-slab access at all) plus one for the child pointer.  Only cut
+/// records past the first (HyperCuts' extra dimensions) live in the
+/// shared `cuts` slab, at `rest_off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+struct NodeRec {
+    /// Span into `rule_slab`: the leaf rules of a leaf, the pushed-up
+    /// stored rules of an internal node.
+    rules: Span,
+    /// Base index into `children` (unused for leaves).
+    child_base: u32,
+    /// Cut count in the low bits (0 marks a leaf), [`META_OVERFLOW`] when
+    /// the node has overflow rules.
+    meta: u32,
+    /// Offset into `cuts` of cut records `1..cut_count` (the first is
+    /// inline in `cut0`).
+    rest_off: u32,
+    /// The node's first cut record, inline (valid when `cut_count > 0`).
+    cut0: FlatCut,
+}
+
+impl NodeRec {
+    /// A leaf record over a rule span.
+    fn leaf(rules: Span) -> NodeRec {
+        NodeRec {
+            rules,
+            child_base: 0,
+            meta: 0,
+            rest_off: 0,
+            cut0: FlatCut::DEAD,
+        }
+    }
+
+    /// Number of cut records (0 for leaves).
+    #[inline]
+    fn cut_count(&self) -> u32 {
+        self.meta & !META_OVERFLOW
+    }
+
+    /// Whether the node has rules in the overflow side-table.
+    #[inline]
+    fn has_overflow(&self) -> bool {
+        self.meta & META_OVERFLOW != 0
     }
 }
 
@@ -214,20 +435,14 @@ pub struct FlatTree {
     /// The geometry the tree classifies over (needed to validate inserted
     /// rules and to rebuild a ruleset from the live set).
     spec: DimensionSpec,
-    /// Per-node span into `cuts`; `len == 0` marks a leaf.
-    node_cuts: Vec<Span>,
-    /// Per-node base index into `children` (unused for leaves).
-    node_child_base: Vec<u32>,
-    /// Per-node span into `rule_slab`: the leaf rules of a leaf, the
-    /// pushed-up stored rules of an internal node.
-    node_rules: Vec<Span>,
+    /// One cache-line record per node (see [`NodeRec`]).
+    nodes: Vec<NodeRec>,
     /// Per-node capacity of the rule span: slots `len..cap` are free slack
-    /// an insert may claim in place.  Always `cap >= len`.
+    /// an insert may claim in place.  Always `cap >= len`.  Kept out of
+    /// [`NodeRec`]: only the write path reads it.
     node_rule_cap: Vec<u32>,
-    /// Per-node flag: this node has overflow rules (one-byte check on the
-    /// hot path; the side-table is only consulted when set).
-    overflow_mark: Vec<bool>,
-    /// Shared cut-record slab.
+    /// Shared slab of cut records past each node's first (HyperCuts'
+    /// extra dimensions; empty for pure HiCuts trees).
     cuts: Vec<FlatCut>,
     /// Shared child-pointer slab (flat node ids).
     children: Vec<u32>,
@@ -268,11 +483,8 @@ impl FlatTree {
         let rules = tree.rules();
         let mut flat = FlatTree {
             spec: *tree.spec(),
-            node_cuts: Vec::with_capacity(nodes.len()),
-            node_child_base: Vec::with_capacity(nodes.len()),
-            node_rules: Vec::with_capacity(nodes.len()),
+            nodes: Vec::with_capacity(nodes.len()),
             node_rule_cap: Vec::with_capacity(nodes.len()),
-            overflow_mark: Vec::with_capacity(nodes.len()),
             cuts: Vec::new(),
             children: Vec::new(),
             rule_slab: Vec::new(),
@@ -290,16 +502,10 @@ impl FlatTree {
         while head < order.len() {
             let node = &nodes[order[head] as usize];
             head += 1;
-            flat.overflow_mark.push(false);
             match &node.kind {
                 NodeKind::Leaf { rules: ids } => {
-                    flat.node_cuts.push(Span {
-                        off: flat.cuts.len() as u32,
-                        len: 0,
-                    });
-                    flat.node_child_base.push(0);
                     let span = push_slab(&mut flat.rule_slab, rules, ids);
-                    flat.node_rules.push(span);
+                    flat.nodes.push(NodeRec::leaf(span));
                     flat.node_rule_cap.push(span.len);
                 }
                 NodeKind::Internal {
@@ -308,17 +514,20 @@ impl FlatTree {
                     stored_rules,
                     cut_region,
                 } => {
-                    let off = flat.cuts.len() as u32;
+                    let mut cut0 = FlatCut::DEAD;
+                    let rest_off = flat.cuts.len() as u32;
+                    let mut count = 0u32;
                     for d in cuts.cut_dimensions() {
                         let i = d.index();
-                        flat.cuts
-                            .push(FlatCut::new(i, cuts.parts[i], cut_region[i]));
+                        let rec = FlatCut::new(i, cuts.parts[i], cut_region[i]);
+                        if count == 0 {
+                            cut0 = rec;
+                        } else {
+                            flat.cuts.push(rec);
+                        }
+                        count += 1;
                     }
-                    flat.node_cuts.push(Span {
-                        off,
-                        len: flat.cuts.len() as u32 - off,
-                    });
-                    flat.node_child_base.push(flat.children.len() as u32);
+                    let child_base = flat.children.len() as u32;
                     for &child in children {
                         let slot = &mut map[child as usize];
                         if *slot == u32::MAX {
@@ -328,7 +537,13 @@ impl FlatTree {
                         flat.children.push(*slot);
                     }
                     let span = push_slab(&mut flat.rule_slab, rules, stored_rules);
-                    flat.node_rules.push(span);
+                    flat.nodes.push(NodeRec {
+                        rules: span,
+                        child_base,
+                        meta: count,
+                        rest_off,
+                        cut0,
+                    });
                     flat.node_rule_cap.push(span.len);
                 }
             }
@@ -341,11 +556,8 @@ impl FlatTree {
         );
         // Drop the growth slack so arena_stats' "actual in-memory bytes"
         // claim is true of the allocations, not just the lengths.
-        flat.node_cuts.shrink_to_fit();
-        flat.node_child_base.shrink_to_fit();
-        flat.node_rules.shrink_to_fit();
+        flat.nodes.shrink_to_fit();
         flat.node_rule_cap.shrink_to_fit();
-        flat.overflow_mark.shrink_to_fit();
         flat.cuts.shrink_to_fit();
         flat.children.shrink_to_fit();
         flat.rule_slab.shrink_to_fit();
@@ -354,7 +566,18 @@ impl FlatTree {
 
     /// Number of node records in the arena.
     pub fn node_count(&self) -> usize {
-        self.node_cuts.len()
+        self.nodes.len()
+    }
+
+    /// The `k`-th cut record of a node record: the first is inline, the
+    /// rest come from the shared slab.
+    #[inline]
+    fn cut_at<'a>(&'a self, rec: &'a NodeRec, k: u32) -> &'a FlatCut {
+        if k == 0 {
+            &rec.cut0
+        } else {
+            &self.cuts[(rec.rest_off + k - 1) as usize]
+        }
     }
 
     /// Sizes and actual in-memory footprint of the arena arrays (the
@@ -367,16 +590,16 @@ impl FlatTree {
     /// [`ArenaStats`]'s docs).
     pub fn arena_stats(&self) -> ArenaStats {
         use std::mem::size_of;
-        // Per node: two spans, the child base, the rule-span capacity and
-        // the overflow mark.
-        let structure_bytes = self.node_cuts.len()
-            * (size_of::<Span>() * 2 + size_of::<u32>() * 2 + size_of::<bool>())
+        // Per node: the one-line record (first cut inline) plus the
+        // write-path rule-span capacity.
+        let structure_bytes = self.nodes.len() * (size_of::<NodeRec>() + size_of::<u32>())
             + self.cuts.len() * size_of::<FlatCut>()
             + self.children.len() * size_of::<u32>();
         let overflow_rules: usize = self.overflow.values().map(Vec::len).sum();
         ArenaStats {
-            nodes: self.node_cuts.len(),
-            cut_records: self.cuts.len(),
+            nodes: self.nodes.len(),
+            // Slab records plus the inline first cut of every internal node.
+            cut_records: self.cuts.len() + self.nodes.iter().filter(|r| r.cut_count() > 0).count(),
             child_slots: self.children.len(),
             rule_refs: self.rule_slab.len() + overflow_rules,
             arena_bytes: structure_bytes,
@@ -385,13 +608,15 @@ impl FlatTree {
         }
     }
 
-    /// Mixed-radix child index of `pkt` under the cut records `span`, or
-    /// `None` when the packet lies outside the (compacted) cut region —
-    /// the flat mirror of [`CutSpec::child_index`](crate::dtree::CutSpec::child_index).
+    /// Mixed-radix child index of `pkt` under an internal node's cut
+    /// records (first inline, rest from the slab), or `None` when the
+    /// packet lies outside the (compacted) cut region — the flat mirror of
+    /// [`CutSpec::child_index`](crate::dtree::CutSpec::child_index).
     #[inline]
-    fn child_index(&self, span: Span, pkt: &PacketHeader) -> Option<u64> {
+    fn child_index(&self, rec: &NodeRec, pkt: &PacketHeader) -> Option<u64> {
         let mut idx: u64 = 0;
-        for cut in &self.cuts[span.range()] {
+        for k in 0..rec.cut_count() {
+            let cut = self.cut_at(rec, k);
             let v = pkt.fields[cut.dim as usize];
             if v < cut.lo || v > cut.hi {
                 return None;
@@ -423,6 +648,21 @@ impl FlatTree {
         compared
     }
 
+    /// Whether the lane walk should issue read-ahead touches: only when
+    /// the serving image outgrows [`PREFETCH_MIN_BYTES`] (a cache-resident
+    /// arena cannot miss).  Deliberately cheaper than
+    /// [`FlatTree::arena_stats`] — no overflow-table walk — because it
+    /// runs once per served batch.
+    #[inline]
+    fn prefetch_hint(&self) -> bool {
+        use std::mem::size_of;
+        let bytes = self.rule_slab.len() * size_of::<PackedRule>()
+            + self.nodes.len() * size_of::<NodeRec>()
+            + self.children.len() * size_of::<u32>()
+            + self.cuts.len() * size_of::<FlatCut>();
+        bytes > PREFETCH_MIN_BYTES
+    }
+
     /// Scans a node's overflow list with the same early-exit semantics as
     /// [`FlatTree::scan_slab`].  Called only when the node's overflow mark
     /// is set, so the untouched (no-churn) hot path never hashes.
@@ -452,17 +692,17 @@ impl FlatTree {
         let mut best = NO_MATCH;
         let mut node = 0usize;
         loop {
-            let cuts = self.node_cuts[node];
-            let rules = self.node_rules[node];
+            let rec = self.nodes[node];
+            let rules = rec.rules;
             if let Some(s) = stats.as_deref_mut() {
                 s.memory_accesses += 1;
                 s.ops.loads += 2; // node record + cut span
                 s.ops.alu += 4;
                 s.ops.branches += 1;
             }
-            if cuts.len == 0 {
+            if rec.cut_count() == 0 {
                 let mut compared = self.scan_slab(rules, pkt, &mut best);
-                if self.overflow_mark[node] {
+                if rec.has_overflow() {
                     compared += self.scan_overflow(node as u32, pkt, &mut best);
                 }
                 if let Some(s) = stats.as_deref_mut() {
@@ -473,25 +713,24 @@ impl FlatTree {
             if let Some(s) = stats.as_deref_mut() {
                 s.nodes_visited += 1;
             }
-            if rules.len > 0 || self.overflow_mark[node] {
+            if rules.len > 0 || rec.has_overflow() {
                 let mut compared = self.scan_slab(rules, pkt, &mut best);
-                if self.overflow_mark[node] {
+                if rec.has_overflow() {
                     compared += self.scan_overflow(node as u32, pkt, &mut best);
                 }
                 if let Some(s) = stats.as_deref_mut() {
                     count_scan(s, compared);
                 }
             }
-            match self.child_index(cuts, pkt) {
+            match self.child_index(&rec, pkt) {
                 Some(idx) => {
                     if let Some(s) = stats.as_deref_mut() {
-                        let dims = u64::from(cuts.len);
+                        let dims = u64::from(rec.cut_count());
                         s.ops.alu += 3 * dims;
                         s.ops.muls += dims;
                         s.ops.loads += 1;
                     }
-                    node =
-                        self.children[self.node_child_base[node] as usize + idx as usize] as usize;
+                    node = self.children[rec.child_base as usize + idx as usize] as usize;
                 }
                 None => break,
             }
@@ -499,56 +738,217 @@ impl FlatTree {
         decode(best)
     }
 
-    /// Classifies a batch of packets level-synchronously, appending one
-    /// result per packet to `out` in input order.
+    /// Classifies a batch of packets level-synchronously with the default
+    /// [`LaneWidth`], appending one result per packet to `out` in input
+    /// order.
     ///
     /// All packets advance through tree level *k* before any packet touches
     /// level *k + 1*; combined with the breadth-first record order this
     /// keeps the hot node records of the shallow levels in cache across the
     /// whole batch.  Results are exactly what per-packet
-    /// [`FlatTree::classify`] calls would produce.
+    /// [`FlatTree::classify`] calls would produce; see the module docs for
+    /// the vectorised lane walk this dispatches to.
     pub fn classify_batch(&self, pkts: &[PacketHeader], out: &mut Vec<MatchResult>) {
+        self.classify_batch_lanes(pkts, out, LaneWidth::default());
+    }
+
+    /// [`FlatTree::classify_batch`] with an explicit lane width —
+    /// [`LaneWidth::Scalar`] serves the batch through the per-packet
+    /// worklist step (the differential-test oracle), the vector widths
+    /// through the hand-unrolled lane walk.  Results are identical for
+    /// every width.
+    pub fn classify_batch_lanes(
+        &self,
+        pkts: &[PacketHeader],
+        out: &mut Vec<MatchResult>,
+        lanes: LaneWidth,
+    ) {
         let n = pkts.len();
         let base = out.len();
         out.resize(base + n, MatchResult::NoMatch);
         if n == 0 {
             return;
         }
+        let out = &mut out[base..];
+        match lanes {
+            LaneWidth::Scalar => self.walk_scalar(pkts, out),
+            LaneWidth::X4 => self.walk_lanes::<4>(pkts, out),
+            LaneWidth::X8 => self.walk_lanes::<8>(pkts, out),
+            LaneWidth::X16 => self.walk_lanes::<16>(pkts, out),
+        }
+    }
+
+    /// One worklist step of one packet: scan what the node stores, then
+    /// either finish the packet (leaf, or outside the cut region) or
+    /// advance it to its child and keep it on the worklist.  Shared by the
+    /// scalar batch walk and the lane walk's tail.
+    #[inline]
+    fn step_packet(
+        &self,
+        pkts: &[PacketHeader],
+        p: u32,
+        node: &mut [u32],
+        best: &mut [u32],
+        out: &mut [MatchResult],
+        next: &mut Vec<u32>,
+    ) {
+        let pi = p as usize;
+        let nid = node[pi] as usize;
+        let rec = self.nodes[nid];
+        let pkt = &pkts[pi];
+        if rec.cut_count() == 0 {
+            self.scan_slab(rec.rules, pkt, &mut best[pi]);
+            if rec.has_overflow() {
+                self.scan_overflow(nid as u32, pkt, &mut best[pi]);
+            }
+            out[pi] = decode(best[pi]);
+            return;
+        }
+        if rec.rules.len > 0 {
+            self.scan_slab(rec.rules, pkt, &mut best[pi]);
+        }
+        if rec.has_overflow() {
+            self.scan_overflow(nid as u32, pkt, &mut best[pi]);
+        }
+        match self.child_index(&rec, pkt) {
+            Some(idx) => {
+                node[pi] = self.children[rec.child_base as usize + idx as usize];
+                next.push(p);
+            }
+            None => out[pi] = decode(best[pi]),
+        }
+    }
+
+    /// The scalar level-synchronous walk (lane width 1): one packet at a
+    /// time through [`FlatTree::step_packet`].
+    fn walk_scalar(&self, pkts: &[PacketHeader], out: &mut [MatchResult]) {
+        let n = pkts.len();
         let mut node = vec![0u32; n];
         let mut best = vec![NO_MATCH; n];
         let mut cur: Vec<u32> = (0..n as u32).collect();
         let mut next: Vec<u32> = Vec::with_capacity(n);
         while !cur.is_empty() {
             for &p in &cur {
-                let pi = p as usize;
-                let nid = node[pi] as usize;
-                let cuts = self.node_cuts[nid];
-                let rules = self.node_rules[nid];
-                let pkt = &pkts[pi];
-                if cuts.len == 0 {
-                    self.scan_slab(rules, pkt, &mut best[pi]);
-                    if self.overflow_mark[nid] {
-                        self.scan_overflow(nid as u32, pkt, &mut best[pi]);
-                    }
-                    out[base + pi] = decode(best[pi]);
-                    continue;
-                }
-                if rules.len > 0 {
-                    self.scan_slab(rules, pkt, &mut best[pi]);
-                }
-                if self.overflow_mark[nid] {
-                    self.scan_overflow(nid as u32, pkt, &mut best[pi]);
-                }
-                match self.child_index(cuts, pkt) {
-                    Some(idx) => {
-                        node[pi] = self.children[self.node_child_base[nid] as usize + idx as usize];
-                        next.push(p);
-                    }
-                    None => out[base + pi] = decode(best[pi]),
-                }
+                self.step_packet(pkts, p, &mut node, &mut best, out, &mut next);
             }
             std::mem::swap(&mut cur, &mut next);
             next.clear();
+        }
+    }
+
+    /// The vectorised walk: the worklist of every level is served in lanes
+    /// of `L` packets (see the module docs).  Full lanes go through
+    /// [`FlatTree::step_lane`]; the sub-lane tail of each level falls back
+    /// to the scalar step.
+    ///
+    /// The worklist is served in trace order.  (Re-sorting each level by
+    /// node id was tried for locality and measured *slower* on the large
+    /// DRAM-bound arenas: the sort's own passes over the worklist cost
+    /// more than the extra row-buffer hits saved.)
+    fn walk_lanes<const L: usize>(&self, pkts: &[PacketHeader], out: &mut [MatchResult]) {
+        let n = pkts.len();
+        let mut node = vec![0u32; n];
+        let mut best = vec![NO_MATCH; n];
+        let mut cur: Vec<u32> = (0..n as u32).collect();
+        let mut next: Vec<u32> = Vec::with_capacity(n);
+        let prefetch = self.prefetch_hint();
+        while !cur.is_empty() {
+            let m = cur.len();
+            let mut start = 0usize;
+            while start + L <= m {
+                self.step_lane::<L>(
+                    pkts,
+                    &cur[start..start + L],
+                    &mut node,
+                    &mut best,
+                    out,
+                    &mut next,
+                    prefetch,
+                );
+                start += L;
+            }
+            for &p in &cur[start..m] {
+                self.step_packet(pkts, p, &mut node, &mut best, out, &mut next);
+            }
+            std::mem::swap(&mut cur, &mut next);
+            next.clear();
+        }
+    }
+
+    /// One level step of a full lane of `L` packets, in three
+    /// lane-parallel stages: gather the `L` one-line node records (`L`
+    /// independent loads with no branches between them, so their cache
+    /// misses overlap — the lane walk's memory-level parallelism), run the
+    /// per-cut partition arithmetic across lanes (fixed-size arrays, the
+    /// division-free magics of [`FlatCut`]), then scan/advance each lane —
+    /// touching the next level's record as soon as the child is known, a
+    /// full level of work ahead of its use.
+    #[allow(clippy::too_many_arguments)] // hot-path state is deliberately SoA
+    #[inline]
+    fn step_lane<const L: usize>(
+        &self,
+        pkts: &[PacketHeader],
+        lane: &[u32],
+        node: &mut [u32],
+        best: &mut [u32],
+        out: &mut [MatchResult],
+        next: &mut Vec<u32>,
+        prefetch: bool,
+    ) {
+        // Stage 1: gather one word of each lane's node record (the record
+        // is one aligned line, so this issues exactly one potential miss
+        // per lane with no branches in between — the misses overlap, and
+        // the full line is hot for the later stages).
+        let mut nid = [0usize; L];
+        for i in 0..L {
+            nid[i] = node[lane[i] as usize] as usize;
+        }
+        let mut meta = [0u32; L];
+        for i in 0..L {
+            meta[i] = self.nodes[nid[i]].meta;
+        }
+        let meta = std::hint::black_box(meta);
+
+        // Stage 2: cut arithmetic, block scans and advancement per lane,
+        // reading the now-hot record lines.  The first cut comes straight
+        // off the record line, so HiCuts nodes (and the first HyperCuts
+        // dimension) never touch the cut slab.
+        for i in 0..L {
+            let rec = self.nodes[nid[i]];
+            let pi = lane[i] as usize;
+            let fields = &pkts[pi].fields;
+            if meta[i] & !META_OVERFLOW == 0 {
+                scan_rules_blocks(&self.rule_slab[rec.rules.range()], fields, &mut best[pi]);
+                if rec.has_overflow() {
+                    if let Some(list) = self.overflow.get(&(nid[i] as u32)) {
+                        scan_rules_blocks(list, fields, &mut best[pi]);
+                    }
+                }
+                out[pi] = decode(best[pi]);
+                continue;
+            }
+            if rec.rules.len > 0 {
+                scan_rules_blocks(&self.rule_slab[rec.rules.range()], fields, &mut best[pi]);
+            }
+            if rec.has_overflow() {
+                if let Some(list) = self.overflow.get(&(nid[i] as u32)) {
+                    scan_rules_blocks(list, fields, &mut best[pi]);
+                }
+            }
+            match self.child_index(&rec, &pkts[pi]) {
+                Some(idx) => {
+                    let child = self.children[rec.child_base as usize + idx as usize] as usize;
+                    node[pi] = child as u32;
+                    if prefetch {
+                        // Read-ahead: one word of the child's record line,
+                        // pulled a full level of work ahead of its use so
+                        // the next gather finds it in cache.
+                        std::hint::black_box(self.nodes[child].meta);
+                    }
+                    next.push(lane[i]);
+                }
+                None => out[pi] = decode(best[pi]),
+            }
         }
     }
 
@@ -650,7 +1050,7 @@ impl FlatTree {
         if self.refs.is_some() {
             return;
         }
-        let mut refs = vec![0u32; self.node_cuts.len()];
+        let mut refs = vec![0u32; self.nodes.len()];
         refs[0] += 1; // the root
         for &c in &self.children {
             refs[c as usize] += 1;
@@ -662,9 +1062,9 @@ impl FlatTree {
     /// record partition counts; not stored, the child slab span is
     /// implicit).
     fn child_count(&self, node: usize) -> usize {
-        self.cuts[self.node_cuts[node].range()]
-            .iter()
-            .map(|c| c.parts as usize)
+        let rec = self.nodes[node];
+        (0..rec.cut_count())
+            .map(|k| self.cut_at(&rec, k).parts as usize)
             .product()
     }
 
@@ -674,25 +1074,26 @@ impl FlatTree {
     /// overflow list (if any) is duplicated.
     fn clone_node(&mut self, n: u32) -> u32 {
         let nu = n as usize;
-        let clone = self.node_cuts.len() as u32;
+        let clone = self.nodes.len() as u32;
         let refs = self.refs.as_mut().expect("refs built before cloning");
         refs[nu] -= 1;
         refs.push(1);
-        self.node_cuts.push(self.node_cuts[nu]);
-        if self.node_cuts[nu].len > 0 {
-            let base = self.node_child_base[nu] as usize;
+        // The cut records (inline first cut, shared slab rest) are
+        // immutable and carried over verbatim by the record copy.
+        let mut rec = self.nodes[nu];
+        if rec.cut_count() > 0 {
+            let base = rec.child_base as usize;
             let count = self.child_count(nu);
-            let new_base = self.children.len() as u32;
+            rec.child_base = self.children.len() as u32;
             for j in 0..count {
                 let g = self.children[base + j];
                 self.children.push(g);
                 self.refs.as_mut().expect("refs built")[g as usize] += 1;
             }
-            self.node_child_base.push(new_base);
         } else {
-            self.node_child_base.push(0);
+            rec.child_base = 0;
         }
-        let span = self.node_rules[nu];
+        let span = rec.rules;
         let len = span.len;
         let cap = len + span_slack(len);
         let new_off = self.rule_slab.len() as u32;
@@ -702,10 +1103,15 @@ impl FlatTree {
         }
         self.rule_slab
             .extend(std::iter::repeat_n(PackedRule::DEAD, (cap - len) as usize));
-        self.node_rules.push(Span { off: new_off, len });
+        rec.rules = Span { off: new_off, len };
         self.node_rule_cap.push(cap);
         let cloned_overflow = self.overflow.get(&n).cloned();
-        self.overflow_mark.push(cloned_overflow.is_some());
+        if cloned_overflow.is_some() {
+            rec.meta |= META_OVERFLOW;
+        } else {
+            rec.meta &= !META_OVERFLOW;
+        }
+        self.nodes.push(rec);
         if let Some(list) = cloned_overflow {
             self.update_stats.overflow_rules += list.len() as u64;
             self.overflow.insert(clone, list);
@@ -716,7 +1122,7 @@ impl FlatTree {
     /// Adds a rule image to a node's rule list: into span slack when a
     /// free slot exists, into the overflow side-table otherwise.
     fn add_rule(&mut self, node: usize, img: PackedRule) {
-        let span = self.node_rules[node];
+        let span = self.nodes[node].rules;
         let (start, len) = (span.off as usize, span.len as usize);
         if span.len < self.node_rule_cap[node] {
             let pos =
@@ -728,12 +1134,12 @@ impl FlatTree {
                 self.rule_slab[j + 1] = self.rule_slab[j];
             }
             self.rule_slab[start + pos] = img;
-            self.node_rules[node].len += 1;
+            self.nodes[node].rules.len += 1;
         } else {
             let list = self.overflow.entry(node as u32).or_default();
             if let Err(pos) = list.binary_search_by_key(&img.id, |r| r.id) {
                 list.insert(pos, img);
-                self.overflow_mark[node] = true;
+                self.nodes[node].meta |= META_OVERFLOW;
                 self.update_stats.overflow_rules += 1;
             }
         }
@@ -742,24 +1148,24 @@ impl FlatTree {
     /// Removes a rule id from a node's span or overflow list; returns
     /// whether it was present.  A vacated span slot becomes slack.
     fn remove_rule(&mut self, node: usize, id: RuleId) -> bool {
-        let span = self.node_rules[node];
+        let span = self.nodes[node].rules;
         let (start, len) = (span.off as usize, span.len as usize);
         if let Ok(pos) = self.rule_slab[start..start + len].binary_search_by_key(&id, |r| r.id) {
             for j in start + pos..start + len - 1 {
                 self.rule_slab[j] = self.rule_slab[j + 1];
             }
             self.rule_slab[start + len - 1] = PackedRule::DEAD;
-            self.node_rules[node].len -= 1;
+            self.nodes[node].rules.len -= 1;
             return true;
         }
-        if self.overflow_mark[node] {
+        if self.nodes[node].has_overflow() {
             if let Some(list) = self.overflow.get_mut(&(node as u32)) {
                 if let Ok(pos) = list.binary_search_by_key(&id, |r| r.id) {
                     list.remove(pos);
                     self.update_stats.overflow_rules -= 1;
                     if list.is_empty() {
                         self.overflow.remove(&(node as u32));
-                        self.overflow_mark[node] = false;
+                        self.nodes[node].meta &= !META_OVERFLOW;
                     }
                     return true;
                 }
@@ -772,7 +1178,9 @@ impl FlatTree {
     /// in any cut dimension — if so, packets outside the region stop at
     /// this node and the rule must be searched here.
     fn escapes_cut_region(&self, node: usize, clip: &[FieldRange; FIELD_COUNT]) -> bool {
-        self.cuts[self.node_cuts[node].range()].iter().any(|cut| {
+        let rec = self.nodes[node];
+        (0..rec.cut_count()).any(|k| {
+            let cut = self.cut_at(&rec, k);
             let r = clip[cut.dim as usize];
             r.lo < cut.lo || r.hi > cut.hi
         })
@@ -780,7 +1188,7 @@ impl FlatTree {
 
     /// Recursive insert descent (see [`FlatTree::insert`]).
     fn insert_at(&mut self, node: usize, clip: [FieldRange; FIELD_COUNT], img: PackedRule) {
-        if self.node_cuts[node].len == 0 || self.escapes_cut_region(node, &clip) {
+        if self.nodes[node].cut_count() == 0 || self.escapes_cut_region(node, &clip) {
             self.add_rule(node, img);
             return;
         }
@@ -798,7 +1206,7 @@ impl FlatTree {
     /// Recursive delete descent: a hit in an internal node's stored span
     /// (or overflow) prunes the subtree below it.
     fn delete_at(&mut self, node: usize, ranges: &[FieldRange; FIELD_COUNT], id: RuleId) {
-        if self.node_cuts[node].len == 0 || self.escapes_cut_region(node, ranges) {
+        if self.nodes[node].cut_count() == 0 || self.escapes_cut_region(node, ranges) {
             self.remove_rule(node, id);
             return;
         }
@@ -820,25 +1228,24 @@ impl FlatTree {
         clip: [FieldRange; FIELD_COUNT],
         visit: &mut impl FnMut(&mut FlatTree, usize, [FieldRange; FIELD_COUNT]),
     ) {
-        let cut_span = self.node_cuts[node];
-        self.enumerate_children(node, cut_span, 0, 0, clip, visit);
+        let rec = self.nodes[node];
+        self.enumerate_children(&rec, 0, 0, clip, visit);
     }
 
     fn enumerate_children(
         &mut self,
-        node: usize,
-        cut_span: Span,
+        rec: &NodeRec,
         k: u32,
         idx: u64,
         clip: [FieldRange; FIELD_COUNT],
         visit: &mut impl FnMut(&mut FlatTree, usize, [FieldRange; FIELD_COUNT]),
     ) {
-        if k == cut_span.len {
-            let slot = self.node_child_base[node] as usize + idx as usize;
+        if k == rec.cut_count() {
+            let slot = rec.child_base as usize + idx as usize;
             visit(self, slot, clip);
             return;
         }
-        let cut = self.cuts[(cut_span.off + k) as usize];
+        let cut = *self.cut_at(rec, k);
         let region = FieldRange::new(cut.lo, cut.hi);
         let r = clip[cut.dim as usize];
         let (a, b) = (cut.sub_index(r.lo), cut.sub_index(r.hi));
@@ -850,8 +1257,7 @@ impl FlatTree {
             let mut child_clip = clip;
             child_clip[cut.dim as usize] = clipped;
             self.enumerate_children(
-                node,
-                cut_span,
+                rec,
                 k + 1,
                 idx * u64::from(cut.parts) + u64::from(i),
                 child_clip,
@@ -867,18 +1273,15 @@ impl FlatTree {
     /// un-sharing clones are dropped.  Classification results are
     /// unchanged.
     pub fn reflatten(&mut self) {
-        let old_nodes = self.node_cuts.len();
+        let old_nodes = self.nodes.len();
         let mut map = vec![u32::MAX; old_nodes];
         let mut order: Vec<u32> = vec![0];
         map[0] = 0;
 
         let mut new = FlatTree {
             spec: self.spec,
-            node_cuts: Vec::with_capacity(old_nodes),
-            node_child_base: Vec::with_capacity(old_nodes),
-            node_rules: Vec::with_capacity(old_nodes),
+            nodes: Vec::with_capacity(old_nodes),
             node_rule_cap: Vec::with_capacity(old_nodes),
-            overflow_mark: Vec::with_capacity(old_nodes),
             cuts: Vec::new(),
             children: Vec::new(),
             rule_slab: Vec::new(),
@@ -896,20 +1299,22 @@ impl FlatTree {
         while head < order.len() {
             let old = order[head] as usize;
             head += 1;
-            new.overflow_mark.push(false);
+            let old_rec = self.nodes[old];
+            let mut rec = old_rec;
+            rec.meta &= !META_OVERFLOW;
 
-            let cut_span = self.node_cuts[old];
-            let new_cut_off = new.cuts.len() as u32;
-            new.cuts.extend_from_slice(&self.cuts[cut_span.range()]);
-            new.node_cuts.push(Span {
-                off: new_cut_off,
-                len: cut_span.len,
-            });
+            // Carry the slab cut records over compactly (the inline first
+            // cut travels in the record copy).
+            let extra = old_rec.cut_count().saturating_sub(1);
+            rec.rest_off = new.cuts.len() as u32;
+            for k in 0..extra {
+                new.cuts.push(self.cuts[(old_rec.rest_off + k) as usize]);
+            }
 
-            if cut_span.len > 0 {
-                let base = self.node_child_base[old] as usize;
+            if old_rec.cut_count() > 0 {
+                let base = old_rec.child_base as usize;
                 let count = self.child_count(old);
-                new.node_child_base.push(new.children.len() as u32);
+                rec.child_base = new.children.len() as u32;
                 for j in 0..count {
                     let child = self.children[base + j] as usize;
                     if map[child] == u32::MAX {
@@ -919,10 +1324,10 @@ impl FlatTree {
                     new.children.push(map[child]);
                 }
             } else {
-                new.node_child_base.push(0);
+                rec.child_base = 0;
             }
 
-            let span = self.node_rules[old];
+            let span = old_rec.rules;
             let new_off = new.rule_slab.len() as u32;
             new.rule_slab
                 .extend_from_slice(&self.rule_slab[span.range()]);
@@ -934,7 +1339,8 @@ impl FlatTree {
             let cap = len + span_slack(len);
             new.rule_slab
                 .extend(std::iter::repeat_n(PackedRule::DEAD, (cap - len) as usize));
-            new.node_rules.push(Span { off: new_off, len });
+            rec.rules = Span { off: new_off, len };
+            new.nodes.push(rec);
             new.node_rule_cap.push(cap);
         }
         *self = new;
@@ -945,6 +1351,33 @@ impl FlatTree {
 /// inserts into the node patch in place instead of overflowing.
 fn span_slack(len: u32) -> u32 {
     (len / 4).max(2)
+}
+
+/// Branch-free block scan of an ascending-id rule list, updating `best`
+/// (`NO_MATCH` = none yet) exactly like the scalar early-exit scan: within
+/// each [`SCAN_BLOCK`]-rule block every packed image is compared without
+/// short-circuiting (a bitmask of matches), then the first set bit — the
+/// lowest matching id, because lists are id-sorted — resolves the block.
+/// Blocks whose first id cannot improve `best` end the scan, preserving
+/// the scalar semantics rule for rule.
+#[inline]
+fn scan_rules_blocks(rules: &[PackedRule], fields: &[u32; FIELD_COUNT], best: &mut u32) {
+    for block in rules.chunks(SCAN_BLOCK) {
+        if block[0].id >= *best {
+            return;
+        }
+        let mut mask = 0u32;
+        for (j, rule) in block.iter().enumerate() {
+            mask |= u32::from(rule.matches(fields)) << j;
+        }
+        if mask != 0 {
+            let id = block[mask.trailing_zeros() as usize].id;
+            if id < *best {
+                *best = id;
+            }
+            return;
+        }
+    }
 }
 
 #[inline]
@@ -989,6 +1422,7 @@ pub struct FlatTreeClassifier {
     flat: FlatTree,
     worst_case_accesses: u64,
     dirty_threshold: f64,
+    lanes: LaneWidth,
 }
 
 /// Default [`FlatTree::dirty_ratio`] past which [`FlatTreeClassifier`]
@@ -996,13 +1430,14 @@ pub struct FlatTreeClassifier {
 pub const DEFAULT_DIRTY_THRESHOLD: f64 = 0.05;
 
 impl FlatTreeClassifier {
-    /// Wraps a flattened tree under a roster name.
+    /// Wraps a flattened tree under a roster name (default [`LaneWidth`]).
     pub fn new(name: &'static str, flat: FlatTree, worst_case_accesses: u64) -> FlatTreeClassifier {
         FlatTreeClassifier {
             name,
             flat,
             worst_case_accesses,
             dirty_threshold: DEFAULT_DIRTY_THRESHOLD,
+            lanes: LaneWidth::default(),
         }
     }
 
@@ -1012,6 +1447,20 @@ impl FlatTreeClassifier {
     pub fn with_dirty_threshold(mut self, threshold: f64) -> FlatTreeClassifier {
         self.dirty_threshold = threshold;
         self
+    }
+
+    /// Overrides the lane width the batched walk serves with —
+    /// [`LaneWidth::Scalar`] selects the per-packet fallback, so the
+    /// serving layers can exercise both paths (the `throughput` harness
+    /// exposes this as `--lane-width`).
+    pub fn with_lanes(mut self, lanes: LaneWidth) -> FlatTreeClassifier {
+        self.lanes = lanes;
+        self
+    }
+
+    /// The lane width the batched walk serves with.
+    pub fn lanes(&self) -> LaneWidth {
+        self.lanes
     }
 
     /// The underlying arena.
@@ -1068,7 +1517,7 @@ impl Classifier for FlatTreeClassifier {
     }
 
     fn classify_batch(&self, pkts: &[PacketHeader], out: &mut Vec<MatchResult>) {
-        self.flat.classify_batch(pkts, out);
+        self.flat.classify_batch_lanes(pkts, out, self.lanes);
     }
 
     fn classify_with_stats(&self, pkt: &PacketHeader, stats: &mut LookupStats) -> MatchResult {
@@ -1123,6 +1572,79 @@ mod tests {
         let hc = HiCutsClassifier::build(&rs, &HiCutsConfig::figure1());
         let flat = hc.flatten();
         (hc, flat)
+    }
+
+    #[test]
+    fn division_magic_sub_index_matches_index_of_exactly() {
+        // The magic multiply must reproduce FieldRange::index_of for every
+        // (region, parts) shape the builders produce, including the d == 1
+        // narrow-child case (m_base == 0), power-of-two divisors, and the
+        // full 32-bit region.
+        let regions = [
+            FieldRange::new(0, u32::MAX),
+            FieldRange::new(0, 255),
+            FieldRange::new(3, 7),
+            FieldRange::new(10, 14), // total 5, parts 4 -> base 1
+            FieldRange::new(1_000, 1_000_000),
+            FieldRange::new(u32::MAX - 65_536, u32::MAX),
+        ];
+        let mut checked = 0u64;
+        for region in regions {
+            for parts in [2u32, 3, 4, 7, 8, 16, 64, 256, 65_536] {
+                let cut = FlatCut::new(0, parts, region);
+                let total = region.len();
+                let step = (total / 257).max(1);
+                let mut v = u64::from(region.lo);
+                while v <= u64::from(region.hi) {
+                    let vv = v as u32;
+                    assert_eq!(
+                        cut.sub_index(vv),
+                        region.index_of(parts, vv),
+                        "region {region:?} parts {parts} v {vv}"
+                    );
+                    checked += 1;
+                    v += step;
+                }
+                // The region ends are where off-by-ones would live.
+                for vv in [region.lo, region.hi] {
+                    assert_eq!(cut.sub_index(vv), region.index_of(parts, vv));
+                }
+            }
+        }
+        assert!(checked > 1_000);
+    }
+
+    #[test]
+    fn lane_widths_agree_with_scalar_walk() {
+        let (_, flat) = toy_flat();
+        let pkts: Vec<PacketHeader> = (0..131u32)
+            .map(|i| {
+                PacketHeader::from_fields([(i * 37) % 256, 80, 40, (i * 11) % 256, (i * 53) % 256])
+            })
+            .collect();
+        let mut scalar = Vec::new();
+        flat.flat_tree()
+            .classify_batch_lanes(&pkts, &mut scalar, LaneWidth::Scalar);
+        for lanes in LaneWidth::ALL {
+            let mut out = Vec::new();
+            flat.flat_tree()
+                .classify_batch_lanes(&pkts, &mut out, lanes);
+            assert_eq!(out, scalar, "{lanes:?}");
+        }
+        // And the width round-down mapping is total.
+        for (w, expect) in [
+            (0usize, LaneWidth::Scalar),
+            (1, LaneWidth::Scalar),
+            (4, LaneWidth::X4),
+            (6, LaneWidth::X4),
+            (8, LaneWidth::X8),
+            (15, LaneWidth::X8),
+            (16, LaneWidth::X16),
+            (64, LaneWidth::X16),
+        ] {
+            assert_eq!(LaneWidth::from_width(w), expect, "width {w}");
+            assert_eq!(LaneWidth::from_width(expect.width()), expect);
+        }
     }
 
     #[test]

@@ -27,6 +27,30 @@
 //! `pclass-core`; they share the [`counters`] instrumentation defined here so
 //! that build-energy comparisons (Table 3) use identical accounting.
 
+//!
+//! # Example
+//!
+//! Build a HiCuts tree, flatten it into the arena, and check both
+//! (including the vectorised lane walk) against linear search:
+//!
+//! ```
+//! use pclass_algos::{Classifier, LaneWidth};
+//! use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
+//! use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+//!
+//! let rs = ClassBenchGenerator::new(SeedStyle::Acl, 42).generate(120);
+//! let trace = TraceGenerator::new(&rs, 7).generate(256);
+//!
+//! let tree = HiCutsClassifier::build(&rs, &HiCutsConfig::paper_defaults());
+//! let flat = tree.flatten().with_lanes(LaneWidth::X8);
+//!
+//! let headers: Vec<_> = trace.headers().copied().collect();
+//! let mut out = Vec::new();
+//! flat.classify_batch(&headers, &mut out);
+//! for (header, got) in headers.iter().zip(&out) {
+//!     assert_eq!(*got, rs.classify_linear(header));
+//! }
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -40,7 +64,7 @@ pub mod rfc;
 pub mod update;
 
 pub use counters::{BuildStats, LookupStats, OpCounters};
-pub use flat::{FlatTree, FlatTreeClassifier};
+pub use flat::{FlatTree, FlatTreeClassifier, LaneWidth};
 pub use hicuts::{HiCutsClassifier, HiCutsConfig};
 pub use hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 pub use linear::LinearClassifier;

@@ -1,10 +1,46 @@
 //! Shared workload construction and measurement helpers for the benchmark
-//! harness (`reproduce` binary and the criterion benches).
+//! harness (`reproduce` and `throughput` binaries and the criterion
+//! benches).
 //!
 //! Every table and figure of the paper's evaluation section is regenerated
 //! from these building blocks; see `EXPERIMENTS.md` at the workspace root
-//! for the experiment-by-experiment mapping and the recorded outputs.
+//! for the experiment-by-experiment mapping and the recorded outputs.  On
+//! top of the paper reproduction the crate carries the serving-throughput
+//! measurement stack:
+//!
+//! * [`serving_roster`] / [`serving_roster_lanes`] — the single source of
+//!   truth for which classifiers serve a ruleset (and at which flat-arena
+//!   [`LaneWidth`]), with explicit skip records for builds that cannot.
+//! * [`scenario`] — the declarative scenario matrix: ruleset style × size
+//!   × trace profile × churn profile × worker count, with `quick` tags so
+//!   CI and the weekly full sweep can never drift apart.
+//! * [`churn`] — deterministic live-update streams (burst, deep,
+//!   delete-heavy, sustained) and the serve-under-churn measurement loop.
+//! * [`check`] — the calibrated throughput-regression gate behind
+//!   `throughput --check` (see `docs/SCHEMA.md` for the file format and
+//!   the exact pass/fail rules).
 
+//!
+//! # Example
+//!
+//! Build the software serving roster for a small ACL set — the same
+//! roster the `throughput` binary, the engine equivalence tests and the
+//! examples all share:
+//!
+//! ```
+//! use pclass_algos::LaneWidth;
+//! use pclass_bench::{acl_ruleset, serving_roster_lanes, RosterScope};
+//!
+//! let rs = acl_ruleset(150);
+//! let roster = serving_roster_lanes(&rs, RosterScope::Software, LaneWidth::X8);
+//! let names: Vec<&str> = roster.classifiers.iter().map(|(n, _)| *n).collect();
+//! assert_eq!(
+//!     names,
+//!     ["linear", "hicuts", "hicuts-flat", "hypercuts", "hypercuts-flat"]
+//! );
+//! // Out-of-scope classifiers are explicit skips, never silent gaps.
+//! assert!(roster.skipped.iter().any(|s| s.classifier == "rfc"));
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -14,7 +50,9 @@ pub mod scenario;
 
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
-use pclass_algos::{Classifier, LinearClassifier, LookupStats, OpCounters, RfcClassifier};
+use pclass_algos::{
+    Classifier, LaneWidth, LinearClassifier, LookupStats, OpCounters, RfcClassifier,
+};
 use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
 use pclass_core::builder::HwTree;
 use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
@@ -211,13 +249,26 @@ pub fn serving_roster(ruleset: &RuleSet) -> ClassifierRoster {
 /// [`serving_roster`] restricted to a [`RosterScope`] — the scenario matrix
 /// uses [`RosterScope::Software`] for its ≥32 k-rule cells.
 pub fn serving_roster_scoped(ruleset: &RuleSet, scope: RosterScope) -> ClassifierRoster {
+    serving_roster_lanes(ruleset, scope, LaneWidth::default())
+}
+
+/// [`serving_roster_scoped`] with an explicit [`LaneWidth`] for the flat
+/// arena walk.  The `throughput` binary's `--lane-width` flag routes here,
+/// so the batched vector walk and the scalar fallback
+/// ([`LaneWidth::Scalar`]) can be A/B-measured through the same engine
+/// path; every other classifier in the roster ignores the setting.
+pub fn serving_roster_lanes(
+    ruleset: &RuleSet,
+    scope: RosterScope,
+    lanes: LaneWidth,
+) -> ClassifierRoster {
     let hicuts = HiCutsClassifier::build(ruleset, &HiCutsConfig::paper_defaults());
     let hypercuts = HyperCutsClassifier::build(ruleset, &HyperCutsConfig::paper_defaults());
     // The flat variants share nothing with their pointer trees at serve
     // time: the arena is a deep re-packing, so both layouts can be measured
     // side by side.
-    let hicuts_flat = hicuts.flatten();
-    let hypercuts_flat = hypercuts.flatten();
+    let hicuts_flat = hicuts.flatten().with_lanes(lanes);
+    let hypercuts_flat = hypercuts.flatten().with_lanes(lanes);
     let arenas = [
         ("hicuts-flat", hicuts_flat.arena_stats()),
         ("hypercuts-flat", hypercuts_flat.arena_stats()),

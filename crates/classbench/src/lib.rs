@@ -26,6 +26,22 @@
 //! Everything is seeded explicitly and fully deterministic, so every table in
 //! `EXPERIMENTS.md` can be regenerated bit-for-bit.
 
+//!
+//! # Example
+//!
+//! Generate an ACL-style ruleset and a matching trace; generation is
+//! seeded, so the same calls always produce the same workload:
+//!
+//! ```
+//! use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+//!
+//! let rs = ClassBenchGenerator::new(SeedStyle::Acl, 42).generate(100);
+//! let trace = TraceGenerator::new(&rs, 7).generate(256);
+//! assert_eq!((rs.len(), trace.len()), (100, 256));
+//!
+//! // Headers are sampled from the rules, so most packets hit.
+//! assert!(trace.hit_rate(&rs) > 0.5);
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

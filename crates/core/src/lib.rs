@@ -32,6 +32,28 @@
 //! checked against linear search in the test suite; cycle counts follow the
 //! formulas of Eqs. 5 and 7 of the paper.
 
+//!
+//! # Example
+//!
+//! Compile a ruleset into the accelerator's memory image and replay a
+//! trace through the cycle-accurate model:
+//!
+//! ```
+//! use pclass_core::builder::{BuildConfig, CutAlgorithm};
+//! use pclass_core::hw::Accelerator;
+//! use pclass_core::program::HardwareProgram;
+//! use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+//!
+//! let rs = ClassBenchGenerator::new(SeedStyle::Acl, 42).generate(120);
+//! let trace = TraceGenerator::new(&rs, 7).generate(200);
+//!
+//! let config = BuildConfig::paper_defaults(CutAlgorithm::HyperCuts);
+//! let program = HardwareProgram::build(&rs, &config).unwrap();
+//! let report = Accelerator::new(&program).classify_trace(&trace);
+//!
+//! assert_eq!(report.results, trace.ground_truth(&rs));
+//! assert!(report.cycles >= trace.len() as u64);
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

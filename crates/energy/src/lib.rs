@@ -25,6 +25,27 @@
 //! authors' exact Sim-Panalyzer setup, so EXPERIMENTS.md compares *shapes and
 //! ratios* (who wins, by roughly what factor) rather than absolute joules.
 
+//!
+//! # Example
+//!
+//! Convert an operation count into SA-1100 joules and compare device
+//! power at the paper's common 65 nm / 1 V normalisation point:
+//!
+//! ```
+//! use pclass_algos::OpCounters;
+//! use pclass_energy::device::DeviceModel;
+//! use pclass_energy::sa1100::Sa1100Model;
+//!
+//! let sa1100 = Sa1100Model::new();
+//! let ops = OpCounters { loads: 1_000, alu: 500, branches: 200, ..Default::default() };
+//! assert!(sa1100.normalized_energy_j(&ops) > 0.0);
+//!
+//! // Normalisation (Eq. 8) makes the 65 nm ASIC directly comparable to
+//! // the 180 nm StrongARM.
+//! let asic = DeviceModel::asic_65nm();
+//! let arm = DeviceModel::strongarm_sa1100();
+//! assert!(asic.normalized_power_w() < arm.normalized_power_w());
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

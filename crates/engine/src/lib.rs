@@ -26,7 +26,28 @@
 //! sequential per-packet run of the same classifier — sharding only changes
 //! wall-clock time, never decisions.  The integration tests enforce this
 //! for every classifier in the workspace.
-
+//!
+//! # Example
+//!
+//! Serve a trace over two workers and check the merged results are
+//! packet-for-packet what a sequential linear search produces:
+//!
+//! ```
+//! use pclass_engine::{Engine, SharedClassifier};
+//! use pclass_algos::LinearClassifier;
+//! use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+//! use std::sync::Arc;
+//!
+//! let rs = ClassBenchGenerator::new(SeedStyle::Acl, 42).generate(100);
+//! let trace = TraceGenerator::new(&rs, 7).generate(512);
+//!
+//! let shared: SharedClassifier = Arc::new(LinearClassifier::new(rs.clone()));
+//! let engine = Engine::new(2, |_| shared.clone()).with_batch_size(128);
+//! let run = engine.classify_trace(&trace);
+//!
+//! assert_eq!(run.results, trace.ground_truth(&rs));
+//! assert_eq!(run.report.per_worker.len(), 2);
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

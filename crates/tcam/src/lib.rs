@@ -21,6 +21,36 @@
 //! Datasheet power/throughput figures of the Cypress parts the paper quotes
 //! live in `pclass-energy::tcam_datasheet`.
 
+//!
+//! # Example
+//!
+//! Program the toy ruleset into the TCAM model and validate a lookup
+//! against linear search:
+//!
+//! ```
+//! use pclass_tcam::TcamClassifier;
+//! use pclass_types::{DimensionSpec, PacketHeader, RuleBuilder, RuleSet};
+//!
+//! // "Allow TCP 10.0.0.0/8 to any web port, then drop that subnet."
+//! let rules = vec![
+//!     RuleBuilder::new(0)
+//!         .src_prefix(0x0A00_0000, 8)
+//!         .dst_port_range(80, 88)
+//!         .protocol(6)
+//!         .build(),
+//!     RuleBuilder::new(1).src_prefix(0x0A00_0000, 8).build(),
+//! ];
+//! let rs = RuleSet::new("web", DimensionSpec::FIVE_TUPLE, rules).unwrap();
+//! let tcam = TcamClassifier::program(&rs).unwrap();
+//!
+//! let pkt = PacketHeader::five_tuple(0x0A01_0203, 0, 4000, 84, 6);
+//! assert_eq!(tcam.classify(&pkt), rs.classify_linear(&pkt));
+//!
+//! // The 80–88 port range is not prefix-aligned, so it expands into
+//! // several ternary entries — the storage-efficiency cost the paper
+//! // holds against TCAMs.
+//! assert!(tcam.stats().entries > rs.len());
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

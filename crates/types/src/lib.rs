@@ -26,6 +26,23 @@
 //! carried by [`DimensionSpec`] so that both the toy geometry and the real
 //! 104-bit 5-tuple geometry are handled by the same code.
 
+//!
+//! # Example
+//!
+//! Build the paper's Table 1 toy ruleset and classify a packet with the
+//! first-match linear reference:
+//!
+//! ```
+//! use pclass_types::{toy, MatchResult, PacketHeader};
+//!
+//! let rs = toy::table1_ruleset();
+//! assert_eq!(rs.len(), 10);
+//!
+//! // A point inside rule R7's hyper-rectangle (and no higher-priority
+//! // rule's): src 49, fields in dimension order.
+//! let pkt = PacketHeader::from_fields([49, 40, 40, 100, 5]);
+//! assert_eq!(rs.classify_linear(&pkt), MatchResult::Matched(7));
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,0 +1,76 @@
+//! Lane-width sweep over the vectorised flat-arena walk.
+//!
+//! Builds the flat decision-tree arenas at two ruleset sizes — one
+//! cache-resident, one memory-bound — and times the batched walk at every
+//! [`LaneWidth`], scalar included, over the same uniform trace.  This is the
+//! tuning harness behind the lane-width default and the README's
+//! before/after table: the scalar column is the PR 3 walk, the lane columns
+//! show what the explicit-lane rewrite adds at each width.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example lane_sweep
+//! ```
+
+use packet_classifier::prelude::*;
+use std::time::Instant;
+
+/// Engine sub-batch size; the sweep mirrors it so numbers line up with
+/// serving throughput.
+const BATCH: usize = 512;
+
+/// Wall time per measurement window; the best of [`WINDOWS`] windows is
+/// reported, which filters host-level contention on shared machines.
+const WINDOW_NS: u128 = 150_000_000;
+const WINDOWS: usize = 5;
+
+fn time_walk(flat: &FlatTree, pkts: &[PacketHeader], lanes: LaneWidth) -> f64 {
+    let mut out = Vec::with_capacity(BATCH);
+    let mut bestrate = 0.0f64;
+    for _ in 0..WINDOWS {
+        let mut packets = 0u64;
+        let start = Instant::now();
+        loop {
+            for chunk in pkts.chunks(BATCH) {
+                flat.classify_batch_lanes(chunk, &mut out, lanes);
+                packets += chunk.len() as u64;
+            }
+            if start.elapsed().as_nanos() >= WINDOW_NS {
+                break;
+            }
+        }
+        let rate = packets as f64 / start.elapsed().as_nanos() as f64 * 1e3;
+        bestrate = bestrate.max(rate);
+    }
+    bestrate
+}
+
+fn main() {
+    let widths = [
+        LaneWidth::Scalar,
+        LaneWidth::X4,
+        LaneWidth::X8,
+        LaneWidth::X16,
+    ];
+    println!(
+        "{:<10} {:<16} | {:>8} {:>8} {:>8} {:>8}  (Mpps, one worker)",
+        "rules", "classifier", "scalar", "x4", "x8", "x16"
+    );
+    for rules in [500usize, 2_000, 64_000] {
+        let ruleset = ClassBenchGenerator::new(SeedStyle::Acl, 42).generate(rules);
+        let trace = TraceGenerator::new(&ruleset, 7).generate(20_000);
+        let pkts: Vec<PacketHeader> = trace.headers().copied().collect();
+        let hicuts = HiCutsClassifier::build(&ruleset, &Default::default()).flatten();
+        let hypercuts = HyperCutsClassifier::build(&ruleset, &Default::default()).flatten();
+        for (name, flat) in [("hicuts-flat", &hicuts), ("hypercuts-flat", &hypercuts)] {
+            let mpps: Vec<f64> = widths
+                .iter()
+                .map(|&w| time_walk(flat.flat_tree(), &pkts, w))
+                .collect();
+            println!(
+                "{:<10} {:<16} | {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                rules, name, mpps[0], mpps[1], mpps[2], mpps[3]
+            );
+        }
+    }
+}
