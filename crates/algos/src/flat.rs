@@ -1429,6 +1429,34 @@ pub struct FlatTreeClassifier {
 /// triggers an amortized re-flatten after an update.
 pub const DEFAULT_DIRTY_THRESHOLD: f64 = 0.05;
 
+/// The serving/update tuning of a [`FlatTreeClassifier`], applied in one
+/// shot through [`FlatTreeClassifier::with_settings`].
+///
+/// This replaces the scattered `with_lanes`/`with_dirty_threshold` chain:
+/// construction sites name the fields they override and inherit the rest
+/// from [`FlatSettings::default`], so adding a tuning axis no longer
+/// multiplies `with_*` methods (`pclass_engine::EngineConfig` plays the
+/// same role one layer up, and its lane width is plumbed down into this
+/// struct by the bench roster).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatSettings {
+    /// Lane width of the batched vectorised walk ([`LaneWidth::Scalar`]
+    /// selects the per-packet fallback).
+    pub lanes: LaneWidth,
+    /// Dirty-ratio threshold past which an update triggers an amortized
+    /// re-flatten (`f64::INFINITY` disables compaction).
+    pub dirty_threshold: f64,
+}
+
+impl Default for FlatSettings {
+    fn default() -> FlatSettings {
+        FlatSettings {
+            lanes: LaneWidth::default(),
+            dirty_threshold: DEFAULT_DIRTY_THRESHOLD,
+        }
+    }
+}
+
 impl FlatTreeClassifier {
     /// Wraps a flattened tree under a roster name (default [`LaneWidth`]).
     pub fn new(name: &'static str, flat: FlatTree, worst_case_accesses: u64) -> FlatTreeClassifier {
@@ -1441,9 +1469,27 @@ impl FlatTreeClassifier {
         }
     }
 
+    /// Applies a [`FlatSettings`] bundle — the one construction path for
+    /// every tuning axis (tests use tiny dirty thresholds to force the
+    /// compaction path; the serving layers route
+    /// `pclass_engine::EngineConfig`'s lane width here).
+    pub fn with_settings(mut self, settings: FlatSettings) -> FlatTreeClassifier {
+        self.lanes = settings.lanes;
+        self.dirty_threshold = settings.dirty_threshold;
+        self
+    }
+
+    /// The current settings bundle.
+    pub fn settings(&self) -> FlatSettings {
+        FlatSettings {
+            lanes: self.lanes,
+            dirty_threshold: self.dirty_threshold,
+        }
+    }
+
     /// Overrides the dirty-ratio threshold that triggers an amortized
-    /// re-flatten after an update (tests use tiny values to force the
-    /// compaction path; `f64::INFINITY` disables it).
+    /// re-flatten after an update (`f64::INFINITY` disables it).
+    #[deprecated(note = "use `with_settings(FlatSettings { dirty_threshold, .. })`")]
     pub fn with_dirty_threshold(mut self, threshold: f64) -> FlatTreeClassifier {
         self.dirty_threshold = threshold;
         self
@@ -1453,6 +1499,7 @@ impl FlatTreeClassifier {
     /// [`LaneWidth::Scalar`] selects the per-packet fallback, so the
     /// serving layers can exercise both paths (the `throughput` harness
     /// exposes this as `--lane-width`).
+    #[deprecated(note = "use `with_settings(FlatSettings { lanes, .. })`")]
     pub fn with_lanes(mut self, lanes: LaneWidth) -> FlatTreeClassifier {
         self.lanes = lanes;
         self
@@ -1809,7 +1856,10 @@ mod tests {
     fn classifier_triggers_amortized_reflatten_past_threshold() {
         use crate::update::UpdatableClassifier;
         let (_, flatc) = toy_flat();
-        let mut c = flatc.with_dirty_threshold(0.01);
+        let mut c = flatc.with_settings(FlatSettings {
+            dirty_threshold: 0.01,
+            ..FlatSettings::default()
+        });
         let spec = UpdatableClassifier::spec(&c);
         for id in [30u32, 31] {
             c.insert(Rule::wildcard(id, &spec)).unwrap();
@@ -1820,7 +1870,10 @@ mod tests {
         assert_eq!(c.live_rules().len(), 12);
         // And with the threshold effectively off, overflow accumulates.
         let (_, flatc) = toy_flat();
-        let mut c = flatc.with_dirty_threshold(f64::INFINITY);
+        let mut c = flatc.with_settings(FlatSettings {
+            dirty_threshold: f64::INFINITY,
+            ..FlatSettings::default()
+        });
         c.insert(Rule::wildcard(30, &spec)).unwrap();
         assert_eq!(c.update_stats().reflattens, 0);
         assert!(c.update_stats().overflow_rules > 0);

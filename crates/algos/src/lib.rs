@@ -34,6 +34,7 @@
 //! (including the vectorised lane walk) against linear search:
 //!
 //! ```
+//! use pclass_algos::flat::FlatSettings;
 //! use pclass_algos::{Classifier, LaneWidth};
 //! use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 //! use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
@@ -42,7 +43,10 @@
 //! let trace = TraceGenerator::new(&rs, 7).generate(256);
 //!
 //! let tree = HiCutsClassifier::build(&rs, &HiCutsConfig::paper_defaults());
-//! let flat = tree.flatten().with_lanes(LaneWidth::X8);
+//! let flat = tree.flatten().with_settings(FlatSettings {
+//!     lanes: LaneWidth::X8,
+//!     ..FlatSettings::default()
+//! });
 //!
 //! let headers: Vec<_> = trace.headers().copied().collect();
 //! let mut out = Vec::new();
@@ -64,7 +68,7 @@ pub mod rfc;
 pub mod update;
 
 pub use counters::{BuildStats, LookupStats, OpCounters};
-pub use flat::{FlatTree, FlatTreeClassifier, LaneWidth};
+pub use flat::{FlatSettings, FlatTree, FlatTreeClassifier, LaneWidth};
 pub use hicuts::{HiCutsClassifier, HiCutsConfig};
 pub use hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 pub use linear::LinearClassifier;

@@ -1,12 +1,13 @@
 //! Serving-throughput harness: the scenario matrix, batched and
 //! multi-core, with an optional regression gate against a committed
-//! baseline and an optional live-update ("churn") workload axis.
+//! baseline and optional live-update ("churn") and multi-tenant
+//! ("tenants") workload axes.
 //!
 //! ```text
 //! cargo run --release -p pclass-bench --bin throughput
 //! cargo run --release -p pclass-bench --bin throughput -- --quick
 //! cargo run --release -p pclass-bench --bin throughput -- --out perf.json
-//! cargo run --release -p pclass-bench --bin throughput -- --quick --churn \
+//! cargo run --release -p pclass-bench --bin throughput -- --quick --churn --tenants \
 //!     --check BENCH_throughput_quick.json --tolerance 0.5 \
 //!     --report-md throughput_report.md
 //! cargo run --release -p pclass-bench --bin throughput -- --quick --lane-width 1
@@ -29,13 +30,26 @@
 //! structure classifies packet-for-packet like a from-scratch rebuild of
 //! the surviving ruleset.
 //!
-//! Results land in `BENCH_throughput.json` (schema `pclass-throughput/v4`,
-//! documented in the README's "Scenario matrix" section): every run and
-//! churn record carries its `profile` tag, and the header records the
-//! measuring host (logical CPU count, rustc version) so `--check` can flag
-//! cross-host comparisons.  Each `builds` record carries the memory
-//! footprint of one classifier build; the flat-arena variants additionally
-//! record their arena layout statistics.
+//! `--tenants` additionally runs the multi-tenant axis
+//! (`pclass_bench::scenario::tenant_scenarios`): 1/4/16 tenants with
+//! uniform or skewed ruleset sizes, each tenant a `LiveClassifier` behind
+//! one `TenantRouter`, served as one proportional-fair interleaved tagged
+//! trace on the scenario's worker count.  Every tenant cell is verified
+//! packet-for-packet *per tenant* against linear-search ground truth and
+//! records, next to the router's aggregate Mpps, the throughput of serving
+//! the same rulesets solo-sequentially (one tenant at a time, same
+//! workers) — the `router_vs_solo` ratio is the cost of sharing the
+//! worker pool — plus per-tenant batch-latency percentiles and a Jain
+//! fairness index.
+//!
+//! Results land in `BENCH_throughput.json` (schema `pclass-throughput/v5`,
+//! documented in `docs/SCHEMA.md` and the README's "Scenario matrix"
+//! section): every run, churn, and tenant record carries its `profile`
+//! tag, and the header records the measuring host (logical CPU count,
+//! rustc version) so `--check` can flag cross-host comparisons.  Each
+//! `builds` record carries the memory footprint of one classifier build;
+//! the flat-arena variants additionally record their arena layout
+//! statistics.
 //!
 //! Every quiescent cell is measured as the best of seven aggregates of
 //! back-to-back engine runs, after one warmup pass (cold arena, page
@@ -49,33 +63,36 @@
 //! measurement, dominates its wall clock.
 //!
 //! With `--check <baseline.json>` the harness re-runs the sweep and then
-//! compares every `(classifier, ruleset, workers, profile)` cell present
-//! in both the fresh run and the baseline — quiescent *and* churn cells,
-//! always like-for-like (a churn or Zipf cell never compares against a
-//! quiescent one).  Because absolute Mpps depends on the host, the
-//! comparison is *calibrated*: the median of the per-cell new/baseline
-//! ratios, capped at 1, is taken as the machine-speed factor, and a cell
-//! regresses when it falls more than `--tolerance` (default 0.5) below its
-//! calibrated expectation; multi-worker cells get a tolerance a quarter of
-//! the way to 1, churn cells half of the way (see `pclass_bench::check`).
+//! compares every `(classifier, ruleset, tenants, workers, profile)` cell
+//! present in both the fresh run and the baseline — quiescent, churn,
+//! *and* tenant cells, always like-for-like (a churn, Zipf, or tenant
+//! cell never compares against a quiescent single-tenant one).  Because
+//! absolute Mpps depends on the host, the comparison is *calibrated*: the
+//! median of the per-cell new/baseline ratios, capped at 1, is taken as
+//! the machine-speed factor, and a cell regresses when it falls more than
+//! `--tolerance` (default 0.5) below its calibrated expectation;
+//! multi-worker cells get a tolerance a quarter of the way to 1, churn
+//! and tenant cells half of the way (see `pclass_bench::check`).
 //! `--report-md <path>` additionally writes the per-cell verdicts as a
 //! markdown table — CI appends it to `$GITHUB_STEP_SUMMARY`.
 //!
-//! Exit status: 1 if any classifier disagrees with linear search or any
-//! churn cell fails its post-churn verification, 2 if the regression check
-//! fails, 3 if the baseline cannot be read or shares no cells with the
-//! fresh run.
+//! Exit status: 1 if any classifier disagrees with linear search, any
+//! churn cell fails its post-churn verification, or any tenant cell fails
+//! its per-tenant verification; 2 if the regression check fails; 3 if the
+//! baseline cannot be read or shares no cells with the fresh run.
 
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
-use pclass_algos::LaneWidth;
+use pclass_algos::{FlatSettings, FlatTreeClassifier, LaneWidth};
 use pclass_bench::check::{self, HostInfo, RunCell};
 use pclass_bench::churn::{self, ChurnProfile};
 use pclass_bench::scenario::{self, Scenario};
 use pclass_bench::{serving_roster_lanes, WORKLOAD_SEED};
 use pclass_classbench::SeedStyle;
-use pclass_engine::{Engine, ThroughputReport, WorkerReport};
-use pclass_types::{ArenaStats, RuleSet, Trace};
+use pclass_engine::{
+    Engine, EngineConfig, TaggedTrace, TenantId, TenantRun, ThroughputReport, WorkerReport,
+};
+use pclass_types::{ArenaStats, FairnessSummary, RuleSet, Trace};
 use serde::json;
 use serde::Serialize;
 use std::sync::Arc;
@@ -139,6 +156,44 @@ struct ChurnRecord {
     verified: bool,
 }
 
+/// One tenant's slice of a multi-tenant cell: its ruleset, traffic share,
+/// busy-time throughput, and batch-latency percentiles.
+#[derive(Debug, Clone, Serialize)]
+struct TenantSliceRecord {
+    tenant: TenantId,
+    ruleset: String,
+    rules: usize,
+    pkts: u64,
+    mpps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+}
+
+/// One multi-tenant cell: N per-tenant classifiers behind one
+/// `TenantRouter` serving an interleaved tagged trace.  `ruleset` is the
+/// mix name (e.g. `acl1_10000+15x500`), `solo_mpps` the throughput of
+/// serving the same rulesets one tenant at a time on the same worker
+/// count, and `router_vs_solo` their ratio.
+#[derive(Debug, Clone, Serialize)]
+struct TenantCellRecord {
+    classifier: String,
+    ruleset: String,
+    rules: usize,
+    tenants: usize,
+    workers: usize,
+    batch: usize,
+    profile: String,
+    packets: u64,
+    wall_ns: u64,
+    mpps: f64,
+    solo_mpps: f64,
+    router_vs_solo: f64,
+    fairness: FairnessSummary,
+    per_tenant: Vec<TenantSliceRecord>,
+    verified: bool,
+}
+
 /// Top-level schema of `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize)]
 struct BenchFile {
@@ -151,12 +206,14 @@ struct BenchFile {
     skipped: Vec<SkipRecord>,
     builds: Vec<BuildRecord>,
     churn: Vec<ChurnRecord>,
+    tenants: Vec<TenantCellRecord>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let churn_mode = args.iter().any(|a| a == "--churn");
+    let tenant_mode = args.iter().any(|a| a == "--tenants");
     // A value-taking flag with its value missing must be a hard error: a
     // silently ignored `--check` would leave the regression gate off while
     // CI stays green.
@@ -227,6 +284,7 @@ fn main() {
     let mut churn_records = Vec::new();
     let mut mismatches = 0usize;
     let mut churn_failures = 0usize;
+    let mut tenant_failures = 0usize;
 
     // Group the matrix by ruleset (first-appearance order), so each
     // ruleset and its classifier roster are built exactly once however
@@ -301,7 +359,9 @@ fn main() {
                     let truth = trace.ground_truth(&ruleset);
                     for (name, classifier) in &roster.classifiers {
                         for &workers in worker_counts {
-                            let engine = Engine::from_shared(workers, Arc::clone(classifier));
+                            let engine = EngineConfig::new()
+                                .workers(workers)
+                                .engine(Arc::clone(classifier));
                             // The warmup pass (cold arena, page faults)
                             // also carries the packet-for-packet gate —
                             // the engine is deterministic, so one check
@@ -352,8 +412,16 @@ fn main() {
         }
     }
 
+    let tenant_records = if tenant_mode {
+        let (records, failures) = tenant_sweep(quick, packets, lane_width);
+        tenant_failures += failures;
+        records
+    } else {
+        Vec::new()
+    };
+
     let file = BenchFile {
-        schema: "pclass-throughput/v4".to_string(),
+        schema: "pclass-throughput/v5".to_string(),
         seed: WORKLOAD_SEED,
         quick,
         host: HostInfo::current(),
@@ -362,14 +430,16 @@ fn main() {
         skipped,
         builds,
         churn: churn_records,
+        tenants: tenant_records,
     };
     std::fs::write(&out_path, json::to_file_string(&file))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(
-        "\nwrote {} ({} runs, {} churn cells)",
+        "\nwrote {} ({} runs, {} churn cells, {} tenant cells)",
         out_path,
         file.runs.len(),
-        file.churn.len()
+        file.churn.len(),
+        file.tenants.len()
     );
 
     if mismatches > 0 {
@@ -378,6 +448,10 @@ fn main() {
     }
     if churn_failures > 0 {
         eprintln!("{churn_failures} churn cell(s) failed post-churn verification");
+        std::process::exit(1);
+    }
+    if tenant_failures > 0 {
+        eprintln!("{tenant_failures} tenant cell(s) failed per-tenant verification");
         std::process::exit(1);
     }
 
@@ -556,6 +630,10 @@ fn churn_sweep(
         }
     };
 
+    let settings = FlatSettings {
+        lanes: lane_width,
+        ..FlatSettings::default()
+    };
     let hicuts = |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults());
     let hypercuts =
         |rs: &RuleSet| HyperCutsClassifier::build(rs, &HyperCutsConfig::paper_defaults());
@@ -566,8 +644,8 @@ fn churn_sweep(
     cell(
         "hicuts-flat",
         churn::run_churn(
-            hicuts(ruleset).flatten().with_lanes(lane_width),
-            |rs| hicuts(rs).flatten().with_lanes(lane_width),
+            hicuts(ruleset).flatten().with_settings(settings),
+            |rs| hicuts(rs).flatten().with_settings(settings),
             trace,
             &updates,
             &config,
@@ -580,8 +658,8 @@ fn churn_sweep(
     cell(
         "hypercuts-flat",
         churn::run_churn(
-            hypercuts(ruleset).flatten().with_lanes(lane_width),
-            |rs| hypercuts(rs).flatten().with_lanes(lane_width),
+            hypercuts(ruleset).flatten().with_settings(settings),
+            |rs| hypercuts(rs).flatten().with_settings(settings),
             trace,
             &updates,
             &config,
@@ -590,8 +668,186 @@ fn churn_sweep(
     (records, failures)
 }
 
-/// Runs the [`check`] comparison over every quiescent *and* churn cell,
-/// prints the per-cell report and (optionally) writes it as markdown;
+/// Measured aggregates per tenant cell; fewer than the quiescent
+/// [`AGGREGATES`] because every aggregate measures the router *and* the
+/// solo-sequential baseline over the same number of trace passes.
+const TENANT_AGGREGATES: usize = 3;
+
+/// Runs every tenant scenario over the flat-arena serving roster: one
+/// `FlatTreeClassifier` per tenant behind a shared [`pclass_engine::TenantRouter`],
+/// verified packet-for-packet *per tenant* against linear-search ground
+/// truth on the warmup pass, then measured as the best of
+/// [`TENANT_AGGREGATES`] calibrated wall-clock windows.  Each aggregate
+/// also serves the same rulesets solo-sequentially (one tenant at a time,
+/// same worker count) so the record carries the `router_vs_solo` ratio —
+/// how much aggregate throughput the shared worker pool costs relative to
+/// giving every tenant the machine to itself.
+fn tenant_sweep(
+    quick: bool,
+    packets: usize,
+    lane_width: LaneWidth,
+) -> (Vec<TenantCellRecord>, usize) {
+    let mut records = Vec::new();
+    let mut failures = 0usize;
+    let settings = FlatSettings {
+        lanes: lane_width,
+        ..FlatSettings::default()
+    };
+    type FlatBuild<'a> = &'a dyn Fn(&RuleSet) -> FlatTreeClassifier;
+    let build_hicuts_flat = move |rs: &RuleSet| {
+        HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults())
+            .flatten()
+            .with_settings(settings)
+    };
+    let build_hypercuts_flat = move |rs: &RuleSet| {
+        HyperCutsClassifier::build(rs, &HyperCutsConfig::paper_defaults())
+            .flatten()
+            .with_settings(settings)
+    };
+    let roster: [(&str, FlatBuild); 2] = [
+        ("hicuts-flat", &build_hicuts_flat),
+        ("hypercuts-flat", &build_hypercuts_flat),
+    ];
+
+    for s in scenario::tenant_scenarios(quick) {
+        let workloads = s.workloads(packets);
+        let mix = s.mix.mix_name();
+        let profile = s.profile_tag();
+        let total_rules: usize = workloads.iter().map(|w| w.ruleset.len()).sum();
+        println!(
+            "== tenants: {} ({} tenants, {} rules total, {} workers) ==",
+            mix,
+            workloads.len(),
+            total_rules,
+            s.workers
+        );
+        let truths: Vec<_> = workloads
+            .iter()
+            .map(|w| w.trace.ground_truth(&w.ruleset))
+            .collect();
+        let traces: Vec<Trace> = workloads.iter().map(|w| w.trace.clone()).collect();
+        let tagged = TaggedTrace::interleave(format!("{mix}_tagged"), &traces);
+        println!(
+            "{:<14} {:>7} | {:>10} {:>10} {:>8} {:>7}",
+            "classifier", "workers", "Mpps", "solo", "vs solo", "jain"
+        );
+        for (name, build) in roster {
+            let config = EngineConfig::new()
+                .workers(s.workers)
+                .lane_width(lane_width);
+            let router = config.tenant_router(
+                workloads
+                    .iter()
+                    .map(|w| (w.name.clone(), build(&w.ruleset))),
+            );
+            // The warmup pass carries the per-tenant packet-for-packet
+            // gate — the router is deterministic, so one projection per
+            // tenant covers every subsequent pass of this cell.
+            let warmup = router.classify_tagged(&tagged);
+            let verified = (0..workloads.len())
+                .all(|t| tagged.tenant_results(t as TenantId, &warmup.results) == truths[t]);
+            if !verified {
+                failures += 1;
+                eprintln!(
+                    "TENANT MISMATCH: {} on {} with {} workers disagrees with linear \
+                     search for at least one tenant",
+                    name, mix, s.workers
+                );
+                continue;
+            }
+            let passes =
+                (TARGET_CELL_WALL_NS / warmup.report.wall_ns.max(1)).clamp(1, MAX_CELL_PASSES);
+            // Best (highest-Mpps) aggregate for the router and the solo
+            // baseline independently: both sides keep their own best
+            // window, so one scheduler burst cannot skew the ratio both
+            // ways at once.
+            let mut best: Option<(u64, u64, f64, TenantRun)> = None;
+            let mut best_solo = 0.0f64;
+            for _ in 0..TENANT_AGGREGATES {
+                let mut pkts = 0u64;
+                let mut wall_ns = 0u64;
+                let mut fastest: Option<TenantRun> = None;
+                for _ in 0..passes {
+                    let run = router.classify_tagged(&tagged);
+                    pkts += run.report.pkts;
+                    wall_ns += run.report.wall_ns;
+                    if fastest
+                        .as_ref()
+                        .is_none_or(|f| run.report.mpps > f.report.mpps)
+                    {
+                        fastest = Some(run);
+                    }
+                }
+                let mpps = if wall_ns == 0 {
+                    0.0
+                } else {
+                    pkts as f64 * 1e3 / wall_ns as f64
+                };
+                if best.as_ref().is_none_or(|b| mpps > b.2) {
+                    best = Some((pkts, wall_ns, mpps, fastest.expect("at least one pass")));
+                }
+                let mut solo_pkts = 0u64;
+                let mut solo_wall_ns = 0u64;
+                for _ in 0..passes {
+                    for (t, trace) in traces.iter().enumerate() {
+                        let run = router.classify_solo(t as TenantId, trace);
+                        solo_pkts += run.report.pkts;
+                        solo_wall_ns += run.report.wall_ns;
+                    }
+                }
+                if solo_wall_ns > 0 {
+                    best_solo = best_solo.max(solo_pkts as f64 * 1e3 / solo_wall_ns as f64);
+                }
+            }
+            let (pkts, wall_ns, mpps, fastest) = best.expect("at least one aggregate measured");
+            let router_vs_solo = if best_solo == 0.0 {
+                0.0
+            } else {
+                mpps / best_solo
+            };
+            println!(
+                "{:<14} {:>7} | {:>10.3} {:>10.3} {:>8.2} {:>7.3}",
+                name, s.workers, mpps, best_solo, router_vs_solo, fastest.fairness.jain_index
+            );
+            let per_tenant = fastest
+                .tenants
+                .iter()
+                .map(|t| TenantSliceRecord {
+                    tenant: t.tenant,
+                    ruleset: t.name.clone(),
+                    rules: workloads[t.tenant as usize].ruleset.len(),
+                    pkts: t.pkts,
+                    mpps: t.mpps,
+                    p50_ns: t.batch_latency.p50_ns,
+                    p95_ns: t.batch_latency.p95_ns,
+                    p99_ns: t.batch_latency.p99_ns,
+                })
+                .collect();
+            records.push(TenantCellRecord {
+                classifier: name.to_string(),
+                ruleset: mix.clone(),
+                rules: total_rules,
+                tenants: workloads.len(),
+                workers: s.workers,
+                batch: router.batch_size(),
+                profile: profile.clone(),
+                packets: pkts,
+                wall_ns,
+                mpps,
+                solo_mpps: best_solo,
+                router_vs_solo,
+                fairness: fastest.fairness,
+                per_tenant,
+                verified,
+            });
+        }
+    }
+    (records, failures)
+}
+
+/// Runs the [`check`] comparison over every quiescent, churn, *and*
+/// tenant cell, prints the per-cell report and (optionally) writes it as
+/// markdown;
 /// returns `false` when the gate fails (see `pclass_bench::check` for the
 /// model — the decision logic is unit-tested there).
 fn check_against_baseline(
@@ -609,6 +865,7 @@ fn check_against_baseline(
         .map(|run| RunCell {
             classifier: run.classifier.clone(),
             ruleset: run.ruleset.clone(),
+            tenants: 0,
             workers: run.workers as u64,
             profile: run.profile.clone(),
             mpps: run.mpps,
@@ -617,15 +874,25 @@ fn check_against_baseline(
     fresh.extend(file.churn.iter().map(|cell| RunCell {
         classifier: cell.classifier.clone(),
         ruleset: cell.ruleset.clone(),
+        tenants: 0,
         workers: cell.workers as u64,
         profile: cell.profile.clone(),
         mpps: cell.mpps_under_churn,
+    }));
+    fresh.extend(file.tenants.iter().map(|cell| RunCell {
+        classifier: cell.classifier.clone(),
+        ruleset: cell.ruleset.clone(),
+        tenants: cell.tenants as u64,
+        workers: cell.workers as u64,
+        profile: cell.profile.clone(),
+        mpps: cell.mpps,
     }));
     let report = match check::compare(&base, &fresh, tolerance) {
         Ok(report) => report,
         Err(check::CheckError::NoComparableCells) => {
             eprintln!(
-                "--check: no comparable (classifier, ruleset, workers, profile) cells in {path}"
+                "--check: no comparable (classifier, ruleset, tenants, workers, profile) \
+                 cells in {path}"
             );
             std::process::exit(3);
         }

@@ -5,23 +5,26 @@
 //! *pass or fail* lives here.
 //!
 //! Comparison model (see the README's "Regression gate" section): cells are
-//! matched by `(classifier, ruleset, workers, profile)` — the profile tag
-//! carries the trace profile (`uniform` / `zipf`) and, for live-update
-//! cells, the churn profile (`uniform+churn-deep10`, ...), so churn and
-//! skew cells are only ever compared like-for-like, never against a
-//! quiescent cell.  The median new/baseline ratio, capped at 1, calibrates
-//! for host speed; a cell regresses when it falls more than the tolerance
-//! below its calibrated expectation.  Tolerances are profile-aware:
-//! multi-worker cells — which fold in core count and scheduler placement —
-//! get a tolerance a quarter of the way to 1 (now that CI compares the
-//! quick sweep against a committed quick-mode baseline, like for like, the
-//! old halfway widening is unnecessarily loose), and churn cells — whose
-//! throughput additionally folds in update pacing and writer contention —
+//! matched by `(classifier, ruleset, tenants, workers, profile)` — the
+//! profile tag carries the trace profile (`uniform` / `zipf`), the churn
+//! profile for live-update cells (`uniform+churn-deep10`, ...), and the
+//! tenant mix for multi-tenant cells (`uniform+tenants-skew16`, ...), so
+//! churn, skew and tenant cells are only ever compared like-for-like,
+//! never against a quiescent single-tenant cell.  The median new/baseline
+//! ratio, capped at 1, calibrates for host speed; a cell regresses when it
+//! falls more than the tolerance below its calibrated expectation.
+//! Tolerances are profile-aware: multi-worker cells — which fold in core
+//! count and scheduler placement — get a tolerance a quarter of the way to
+//! 1 (now that CI compares the quick sweep against a committed quick-mode
+//! baseline, like for like, the old halfway widening is unnecessarily
+//! loose), and churn and tenant cells — whose throughput additionally
+//! folds in update pacing / writer contention / cross-tenant grouping —
 //! get one half of the way to 1.  A classifier present in the baseline but
 //! absent from the fresh sweep fails the check outright, and so does any
 //! *individual* baseline cell with no fresh partner — the measured
-//! envelope (scenarios, churn profiles, worker ladder) must never shrink
-//! silently.
+//! envelope (scenarios, churn profiles, tenant mixes, worker ladder) must
+//! never shrink silently (dropping `--tenants` orphans every committed
+//! tenant cell, exactly like dropping `--churn` orphans the churn cells).
 //!
 //! Baselines additionally carry the recording host's metadata (logical CPU
 //! count, rustc version).  A mismatch against the comparing host does not
@@ -36,18 +39,24 @@ use serde::Serialize;
 /// the default trace).
 pub const DEFAULT_PROFILE: &str = "uniform";
 
-/// One comparable `(classifier, ruleset, workers, profile)` measurement.
+/// One comparable `(classifier, ruleset, tenants, workers, profile)`
+/// measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunCell {
     /// Classifier roster name.
     pub classifier: String,
-    /// Ruleset name (e.g. `acl1_2000`).
+    /// Ruleset name (e.g. `acl1_2000`), or the ruleset-mix name for
+    /// tenant cells (e.g. `acl1_10000+15x500`).
     pub ruleset: String,
+    /// Tenant count: 0 for single-tenant cells (`runs` / `churn`
+    /// records), the router's tenant count for v5 `tenants` records.
+    pub tenants: u64,
     /// Engine worker count.
     pub workers: u64,
     /// Scenario profile tag: the trace profile for quiescent cells
     /// (`uniform` / `zipf`), `<trace>+churn-<profile>` for live-update
-    /// cells.  Cells only compare against cells with the same tag.
+    /// cells, `<trace>+tenants-<mix>` for multi-tenant cells.  Cells only
+    /// compare against cells with the same tag.
     pub profile: String,
     /// Measured throughput.
     pub mpps: f64,
@@ -59,6 +68,13 @@ impl RunCell {
     /// placement).
     pub fn is_churn(&self) -> bool {
         self.profile.contains("churn")
+    }
+
+    /// `true` for multi-tenant cells (wider tolerance: their throughput
+    /// folds in cross-tenant grouping and per-tenant snapshot traffic on
+    /// top of scheduler placement).
+    pub fn is_tenant(&self) -> bool {
+        self.tenants > 0
     }
 }
 
@@ -95,11 +111,12 @@ pub struct CheckReport {
     /// non-empty list fails the check (a vanished build must not pass
     /// silently).
     pub missing_classifiers: Vec<String>,
-    /// Baseline cells with no `(classifier, ruleset, workers, profile)`
-    /// partner in the fresh run; a non-empty list fails the check — the
-    /// measured envelope must not shrink silently (e.g. CI dropping
-    /// `--churn` would orphan every committed churn cell, or removing a
-    /// scenario from the matrix would orphan its cells).
+    /// Baseline cells with no `(classifier, ruleset, tenants, workers,
+    /// profile)` partner in the fresh run; a non-empty list fails the
+    /// check — the measured envelope must not shrink silently (e.g. CI
+    /// dropping `--churn` or `--tenants` would orphan every committed
+    /// churn/tenant cell, or removing a scenario from the matrix would
+    /// orphan its cells).
     pub missing_cells: Vec<RunCell>,
     /// Per-cell verdicts, in fresh-run order.
     pub cells: Vec<CellVerdict>,
@@ -192,7 +209,8 @@ pub fn host_mismatch(baseline: Option<&HostInfo>, current: &HostInfo) -> Option<
 /// [`DEFAULT_PROFILE`]); v4 `churn` records yield cells tagged with their
 /// own profile and measured as `mpps_under_churn`, so the live-update
 /// envelope is regression-gated like-for-like too (pre-v4 churn records
-/// lack a worker count and are skipped).
+/// lack a worker count and are skipped); v5 `tenants` records yield cells
+/// carrying their tenant count, keyed by the ruleset-mix name.
 pub fn baseline_cells(baseline: &Value) -> Vec<RunCell> {
     let runs = baseline
         .get("runs")
@@ -204,6 +222,7 @@ pub fn baseline_cells(baseline: &Value) -> Vec<RunCell> {
             Some(RunCell {
                 classifier: run.get("classifier")?.as_str()?.to_string(),
                 ruleset: run.get("ruleset")?.as_str()?.to_string(),
+                tenants: 0,
                 workers: run.get("workers")?.as_u64()?,
                 profile: run
                     .get("profile")
@@ -222,9 +241,24 @@ pub fn baseline_cells(baseline: &Value) -> Vec<RunCell> {
         Some(RunCell {
             classifier: cell.get("classifier")?.as_str()?.to_string(),
             ruleset: cell.get("ruleset")?.as_str()?.to_string(),
+            tenants: 0,
             workers: cell.get("workers")?.as_u64()?,
             profile: cell.get("profile")?.as_str()?.to_string(),
             mpps: cell.get("mpps_under_churn")?.as_f64()?,
+        })
+    }));
+    let tenants = baseline
+        .get("tenants")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&[]);
+    cells.extend(tenants.iter().filter_map(|cell| {
+        Some(RunCell {
+            classifier: cell.get("classifier")?.as_str()?.to_string(),
+            ruleset: cell.get("ruleset")?.as_str()?.to_string(),
+            tenants: cell.get("tenants")?.as_u64()?,
+            workers: cell.get("workers")?.as_u64()?,
+            profile: cell.get("profile")?.as_str()?.to_string(),
+            mpps: cell.get("mpps")?.as_f64()?,
         })
     }));
     cells
@@ -245,6 +279,7 @@ pub fn compare(
                 .find(|b| {
                     b.classifier == cell.classifier
                         && b.ruleset == cell.ruleset
+                        && b.tenants == cell.tenants
                         && b.workers == cell.workers
                         && b.profile == cell.profile
                 })
@@ -272,6 +307,7 @@ pub fn compare(
             !fresh.iter().any(|f| {
                 f.classifier == b.classifier
                     && f.ruleset == b.ruleset
+                    && f.tenants == b.tenants
                     && f.workers == b.workers
                     && f.profile == b.profile
             })
@@ -297,11 +333,13 @@ pub fn compare(
         .map(|(cell, base_mpps)| {
             let rel = cell.mpps / (base_mpps * calibration);
             // Profile-aware tolerance: churn cells fold in update pacing
-            // and writer contention (halfway to 1); multi-worker quiescent
-            // cells fold in core count and scheduler placement (a quarter
-            // of the way).  The wider churn bound subsumes the multi-worker
-            // widening — churn cells always serve on 2 workers.
-            let cell_tolerance = if cell.is_churn() {
+            // and writer contention, tenant cells cross-tenant grouping
+            // and per-tenant snapshot traffic (both halfway to 1);
+            // multi-worker quiescent cells fold in core count and
+            // scheduler placement (a quarter of the way).  The wider
+            // churn/tenant bound subsumes the multi-worker widening —
+            // those cells always serve on shared multi-worker pools.
+            let cell_tolerance = if cell.is_churn() || cell.is_tenant() {
                 tolerance + (1.0 - tolerance) / 2.0
             } else if cell.workers > 1 {
                 tolerance + (1.0 - tolerance) / 4.0
@@ -420,9 +458,24 @@ mod tests {
         RunCell {
             classifier: classifier.to_string(),
             ruleset: ruleset.to_string(),
+            tenants: 0,
             workers,
             profile: profile.to_string(),
             mpps,
+        }
+    }
+
+    fn tenant_cell(
+        classifier: &str,
+        ruleset: &str,
+        tenants: u64,
+        workers: u64,
+        profile: &str,
+        mpps: f64,
+    ) -> RunCell {
+        RunCell {
+            tenants,
+            ..profiled(classifier, ruleset, workers, profile, mpps)
         }
     }
 
@@ -706,6 +759,107 @@ mod tests {
         let fresh_bad = [vec![profiled("a", "r", 2, churn, 2.0)], pad].concat();
         let report = compare(&base, &fresh_bad, 0.5).unwrap();
         assert!(report.cells[0].regressed, "churn 0.20 fails at 0.75");
+    }
+
+    #[test]
+    fn tenant_cells_parse_from_v5_baselines() {
+        let doc = json::parse(
+            r#"{"schema":"pclass-throughput/v5","runs":[
+                {"classifier":"hicuts","ruleset":"acl1_2000","workers":1,"mpps":12.0}
+            ],"tenants":[
+                {"classifier":"hicuts-flat","ruleset":"acl1_10000+15x500","tenants":16,
+                 "workers":4,"profile":"uniform+tenants-skew16","mpps":9.5},
+                {"classifier":"broken","ruleset":"acl1_2000x4","workers":4,
+                 "profile":"uniform+tenants-uni4","mpps":7.0}
+            ]}"#,
+        )
+        .unwrap();
+        let cells = baseline_cells(&doc);
+        assert_eq!(
+            cells,
+            vec![
+                cell("hicuts", "acl1_2000", 1, 12.0),
+                tenant_cell(
+                    "hicuts-flat",
+                    "acl1_10000+15x500",
+                    16,
+                    4,
+                    "uniform+tenants-skew16",
+                    9.5
+                ),
+            ],
+            "a tenants record without a tenant count must be skipped"
+        );
+        assert!(cells[1].is_tenant());
+        assert!(!cells[1].is_churn());
+        assert!(!cells[0].is_tenant());
+    }
+
+    #[test]
+    fn dropping_tenants_orphans_the_committed_tenant_cells() {
+        // The exact failure CI's orphan detection exists for: a fresh
+        // sweep that ran without --tenants covers every classifier but
+        // loses the tenant envelope — it must fail.
+        let tag = "uniform+tenants-skew16";
+        let base = vec![
+            cell("hicuts-flat", "acl1_2000", 1, 10.0),
+            tenant_cell("hicuts-flat", "acl1_10000+15x500", 16, 4, tag, 8.0),
+        ];
+        let fresh = vec![cell("hicuts-flat", "acl1_2000", 1, 10.0)];
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert_eq!(report.missing_cells.len(), 1);
+        assert_eq!(report.missing_cells[0].tenants, 16);
+        assert!(!report.passed());
+        // And the full envelope against itself passes.
+        assert!(compare(&base, &base.clone(), 0.5).unwrap().passed());
+    }
+
+    #[test]
+    fn tenant_cells_get_halfway_tolerance_and_never_cross_compare() {
+        let pad = vec![
+            cell("b", "r", 1, 10.0),
+            cell("c", "r", 1, 10.0),
+            cell("d", "r", 1, 10.0),
+        ];
+        let tag = "uniform+tenants-uni4";
+        // Same classifier/workers, one single-tenant, one 4-tenant: they
+        // must pair with their own kind only.
+        let base = [
+            vec![
+                cell("a", "acl1_2000", 4, 30.0),
+                tenant_cell("a", "acl1_2000x4", 4, 4, tag, 10.0),
+            ],
+            pad.clone(),
+        ]
+        .concat();
+        // Tenant cell at 0.30 of baseline: fails the quarter-widened
+        // multi-worker bar (0.625) but passes the halfway tenant bar
+        // (0.75).  The quiescent 4-worker cell is untouched.
+        let fresh = [
+            vec![
+                cell("a", "acl1_2000", 4, 30.0),
+                tenant_cell("a", "acl1_2000x4", 4, 4, tag, 3.0),
+            ],
+            pad.clone(),
+        ]
+        .concat();
+        let report = compare(&base, &fresh, 0.5).unwrap();
+        assert_eq!(report.calibration, 1.0);
+        assert_eq!(report.cells.len(), 5);
+        let tenant = report.cells.iter().find(|c| c.cell.is_tenant()).unwrap();
+        assert!(!tenant.regressed, "tenant 0.30 passes at 0.75");
+        // 0.20 fails even the tenant bar.
+        let fresh_bad = [
+            vec![
+                cell("a", "acl1_2000", 4, 30.0),
+                tenant_cell("a", "acl1_2000x4", 4, 4, tag, 2.0),
+            ],
+            pad,
+        ]
+        .concat();
+        let report = compare(&base, &fresh_bad, 0.5).unwrap();
+        let tenant = report.cells.iter().find(|c| c.cell.is_tenant()).unwrap();
+        assert!(tenant.regressed, "tenant 0.20 fails at 0.75");
     }
 
     #[test]

@@ -27,11 +27,11 @@
 //! * **delete-heavy** — a net *drain*: 10 % of the rules deleted with only
 //!   one fresh insert per five deletes, the decommissioning pattern that
 //!   leaves reusable slack behind;
-//! * **sustained** — a stream paced against *served packets* through
-//!   [`LiveEngine::with_progress`], one update at a time stretched
-//!   continuously across the whole serving window (machine-speed
-//!   independent), modelling the steady low-rate update feed of a
-//!   long-lived deployment rather than a one-off burst.
+//! * **sustained** — a stream paced against *served packets* through the
+//!   [`pclass_engine::EngineConfig::progress`] hook, one update at a time
+//!   stretched continuously across the whole serving window
+//!   (machine-speed independent), modelling the steady low-rate update
+//!   feed of a long-lived deployment rather than a one-off burst.
 //!
 //! Everything is derived from [`crate::WORKLOAD_SEED`], so the stream is
 //! identical run to run and host to host.
@@ -40,8 +40,8 @@ use pclass_algos::update::{
     classify_live_linear, map_result, renumbered_ruleset, RuleUpdate, UpdatableClassifier,
 };
 use pclass_classbench::ClassBenchGenerator;
-use pclass_engine::{LiveClassifier, LiveEngine};
-use pclass_types::{Rule, RuleId, RuleSet, Trace, UpdateStats};
+use pclass_engine::{EngineConfig, LiveClassifier};
+use pclass_types::{LatencyPercentiles, Rule, RuleId, RuleSet, Trace, UpdateStats};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -59,7 +59,7 @@ pub enum Pacing {
         cap_ns: u64,
     },
     /// Bursts are paced against *served packets* through the
-    /// [`LiveEngine::with_progress`] hook: burst `k` of `n` lands once
+    /// [`EngineConfig::progress`] hook: burst `k` of `n` lands once
     /// `k/n` of `passes` trace passes' worth of packets has been served,
     /// so the stream stretches continuously across the whole serving
     /// window regardless of machine speed.
@@ -279,9 +279,11 @@ where
     // of sleeping wall-clock time.  Attaching it is harmless under
     // wall-clock pacing (one relaxed fetch_add per sub-batch).
     let progress = Arc::new(AtomicU64::new(0));
-    let engine = LiveEngine::new(config.workers, Arc::clone(&live))
-        .with_batch_size(config.batch)
-        .with_progress(Arc::clone(&progress));
+    let engine = EngineConfig::new()
+        .workers(config.workers)
+        .batch_size(config.batch)
+        .progress(Arc::clone(&progress))
+        .live_engine(Arc::clone(&live));
 
     // One quiescent pass warms the structure and calibrates wall-clock
     // pacing, so "throughput under churn" actually overlaps serving with
@@ -398,14 +400,7 @@ where
             && updated == classify_live_linear(&final_live, pkt)
     });
 
-    latencies.sort_unstable();
-    let pct = |p: usize| -> u64 {
-        if latencies.is_empty() {
-            0
-        } else {
-            latencies[(latencies.len() * p / 100).min(latencies.len() - 1)]
-        }
-    };
+    let update_latency = LatencyPercentiles::from_samples(&mut latencies);
     Ok(ChurnMeasurement {
         packets_served,
         serve_wall_ns,
@@ -416,9 +411,9 @@ where
         },
         updates: updates.len() as u64,
         bursts: bursts.len() as u64,
-        update_p50_ns: pct(50),
-        update_p95_ns: pct(95),
-        update_p99_ns: pct(99),
+        update_p50_ns: update_latency.p50_ns,
+        update_p95_ns: update_latency.p95_ns,
+        update_p99_ns: update_latency.p99_ns,
         update_stats: live.with_writer(|w| w.update_stats()),
         verified,
     })

@@ -8,9 +8,11 @@
 //! top of the paper reproduction the crate carries the serving-throughput
 //! measurement stack:
 //!
-//! * [`serving_roster`] / [`serving_roster_lanes`] — the single source of
-//!   truth for which classifiers serve a ruleset (and at which flat-arena
-//!   [`LaneWidth`]), with explicit skip records for builds that cannot.
+//! * [`serving_roster`] / [`serving_roster_lanes`] /
+//!   [`serving_roster_config`] — the single source of truth for which
+//!   classifiers serve a ruleset (and at which flat-arena [`LaneWidth`]),
+//!   with explicit skip records for builds that cannot; the registration
+//!   list itself is the typed [`roster_entries`] table.
 //! * [`scenario`] — the declarative scenario matrix: ruleset style × size
 //!   × trace profile × churn profile × worker count, with `quick` tags so
 //!   CI and the weekly full sweep can never drift apart.
@@ -51,7 +53,7 @@ pub mod scenario;
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 use pclass_algos::{
-    Classifier, LaneWidth, LinearClassifier, LookupStats, OpCounters, RfcClassifier,
+    Classifier, FlatSettings, LaneWidth, LinearClassifier, LookupStats, OpCounters, RfcClassifier,
 };
 use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
 use pclass_core::builder::HwTree;
@@ -59,7 +61,7 @@ use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
 use pclass_core::hw::{Accelerator, AcceleratorClassifier, ClassificationReport};
 use pclass_core::program::{HardwareProgram, ProgramStats};
 use pclass_energy::sa1100::Sa1100Model;
-use pclass_engine::SharedClassifier;
+use pclass_engine::{EngineConfig, SharedClassifier};
 use pclass_tcam::TcamClassifier;
 use pclass_types::{ArenaStats, RuleSet, Trace};
 use std::sync::Arc;
@@ -235,13 +237,244 @@ pub enum RosterScope {
     Software,
 }
 
+/// Shared state threaded through every [`RosterEntry`] build hook.
+///
+/// Memoizes the HiCuts/HyperCuts pointer trees so the pointer entry and
+/// its flat-arena sibling share one build (the arena is flattened *from*
+/// the pointer tree; rebuilding the tree per entry would double the most
+/// expensive part of roster construction on the 64 k cells), and carries
+/// the flat-arena [`LaneWidth`] requested by the caller.
+pub struct RosterCtx<'a> {
+    ruleset: &'a RuleSet,
+    lanes: LaneWidth,
+    hicuts: Option<Arc<HiCutsClassifier>>,
+    hypercuts: Option<Arc<HyperCutsClassifier>>,
+}
+
+impl<'a> RosterCtx<'a> {
+    fn new(ruleset: &'a RuleSet, lanes: LaneWidth) -> RosterCtx<'a> {
+        RosterCtx {
+            ruleset,
+            lanes,
+            hicuts: None,
+            hypercuts: None,
+        }
+    }
+
+    /// The ruleset the roster is being built for.
+    pub fn ruleset(&self) -> &RuleSet {
+        self.ruleset
+    }
+
+    /// Flat-arena settings with the caller's lane width (the other knobs
+    /// stay at their defaults).
+    pub fn flat_settings(&self) -> FlatSettings {
+        FlatSettings {
+            lanes: self.lanes,
+            ..FlatSettings::default()
+        }
+    }
+
+    /// The HiCuts pointer tree, built on first use and shared afterwards.
+    pub fn hicuts(&mut self) -> Arc<HiCutsClassifier> {
+        Arc::clone(self.hicuts.get_or_insert_with(|| {
+            Arc::new(HiCutsClassifier::build(
+                self.ruleset,
+                &HiCutsConfig::paper_defaults(),
+            ))
+        }))
+    }
+
+    /// The HyperCuts pointer tree, built on first use and shared afterwards.
+    pub fn hypercuts(&mut self) -> Arc<HyperCutsClassifier> {
+        Arc::clone(self.hypercuts.get_or_insert_with(|| {
+            Arc::new(HyperCutsClassifier::build(
+                self.ruleset,
+                &HyperCutsConfig::paper_defaults(),
+            ))
+        }))
+    }
+}
+
+/// What one build hook returns: the classifier behind a shared handle,
+/// plus arena layout statistics for the flat decision-tree variants.
+pub type RosterBuildResult = Result<(SharedClassifier, Option<ArenaStats>), String>;
+
+/// One registered classifier in the serving roster.
+///
+/// The roster used to be assembled by a single function with name-matched
+/// special cases (which classifiers the `Software` scope skips, which
+/// entries carry arena stats); each entry now declares its own scope and
+/// skip reason, so adding a classifier to the workspace means adding one
+/// entry to [`roster_entries`] — no string matching anywhere.
+pub struct RosterEntry {
+    /// Roster name; matches [`Classifier::name`], so run and skip records
+    /// in `BENCH_throughput.json` always correlate.
+    pub name: &'static str,
+    /// The narrowest [`RosterScope`] that includes this entry:
+    /// [`RosterScope::Software`] entries serve in every scope,
+    /// [`RosterScope::Full`] entries only when the full roster is asked
+    /// for.
+    pub scope: RosterScope,
+    /// Builds the classifier; a build failure (`Err`) becomes an explicit
+    /// [`RosterSkip`], never a silent gap.
+    pub build: fn(&mut RosterCtx) -> RosterBuildResult,
+    /// For [`RosterScope::Full`] entries: the reason recorded when a
+    /// narrower scope excludes the entry *a priori* (without attempting
+    /// the build).  `None` for entries that serve in every scope.
+    pub scope_skip: Option<fn(&RuleSet) -> String>,
+}
+
+fn build_linear(ctx: &mut RosterCtx) -> RosterBuildResult {
+    Ok((Arc::new(LinearClassifier::new(ctx.ruleset().clone())), None))
+}
+
+fn build_hicuts(ctx: &mut RosterCtx) -> RosterBuildResult {
+    Ok((ctx.hicuts(), None))
+}
+
+fn build_hicuts_flat(ctx: &mut RosterCtx) -> RosterBuildResult {
+    // The flat variant shares nothing with its pointer tree at serve
+    // time: the arena is a deep re-packing, so both layouts can be
+    // measured side by side.
+    let flat = ctx.hicuts().flatten().with_settings(ctx.flat_settings());
+    let arena = flat.arena_stats();
+    Ok((Arc::new(flat), Some(arena)))
+}
+
+fn build_hypercuts(ctx: &mut RosterCtx) -> RosterBuildResult {
+    Ok((ctx.hypercuts(), None))
+}
+
+fn build_hypercuts_flat(ctx: &mut RosterCtx) -> RosterBuildResult {
+    let flat = ctx.hypercuts().flatten().with_settings(ctx.flat_settings());
+    let arena = flat.arena_stats();
+    Ok((Arc::new(flat), Some(arena)))
+}
+
+fn build_rfc(ctx: &mut RosterCtx) -> RosterBuildResult {
+    RfcClassifier::build(ctx.ruleset())
+        .map(|rfc| (Arc::new(rfc) as SharedClassifier, None))
+        .map_err(|e| e.to_string())
+}
+
+fn build_tcam(ctx: &mut RosterCtx) -> RosterBuildResult {
+    TcamClassifier::program(ctx.ruleset())
+        .map(|tcam| (Arc::new(tcam) as SharedClassifier, None))
+        .map_err(|e| e.to_string())
+}
+
+fn build_hw(ctx: &mut RosterCtx, algorithm: CutAlgorithm) -> RosterBuildResult {
+    let config = BuildConfig::paper_defaults(algorithm);
+    HardwareProgram::build_with_capacity(ctx.ruleset(), &config, 4096)
+        .map(|program| {
+            (
+                Arc::new(AcceleratorClassifier::new(program)) as SharedClassifier,
+                None,
+            )
+        })
+        .map_err(|e| e.to_string())
+}
+
+fn build_hw_hicuts(ctx: &mut RosterCtx) -> RosterBuildResult {
+    build_hw(ctx, CutAlgorithm::HiCuts)
+}
+
+fn build_hw_hypercuts(ctx: &mut RosterCtx) -> RosterBuildResult {
+    build_hw(ctx, CutAlgorithm::HyperCuts)
+}
+
+// RFC's memory-budget estimate only bounds the *final* table; at 32 k
+// rules the estimate passes but the phase cross-producting itself runs
+// for tens of minutes, so past the 10 k wall RFC is excluded a priori
+// like the hardware models rather than discovered-by-stall.
+fn rfc_scope_skip(ruleset: &RuleSet) -> String {
+    format!(
+        "excluded by the scenario matrix at {} rules (phase-table \
+         cross-producting is unbounded in time past the 10k wall \
+         even when the final table fits the memory budget)",
+        ruleset.len()
+    )
+}
+
+fn hardware_scope_skip(ruleset: &RuleSet) -> String {
+    format!(
+        "excluded by the scenario matrix at {} rules (hardware model \
+         address space and TCAM range expansion are infeasible at \
+         this size)",
+        ruleset.len()
+    )
+}
+
+/// The registration list behind [`serving_roster`]: every classifier in
+/// the workspace, in the fixed roster order.  Adding a classifier to the
+/// workspace means adding exactly one entry here.
+pub fn roster_entries() -> [RosterEntry; 9] {
+    [
+        RosterEntry {
+            name: "linear",
+            scope: RosterScope::Software,
+            build: build_linear,
+            scope_skip: None,
+        },
+        RosterEntry {
+            name: "hicuts",
+            scope: RosterScope::Software,
+            build: build_hicuts,
+            scope_skip: None,
+        },
+        RosterEntry {
+            name: "hicuts-flat",
+            scope: RosterScope::Software,
+            build: build_hicuts_flat,
+            scope_skip: None,
+        },
+        RosterEntry {
+            name: "hypercuts",
+            scope: RosterScope::Software,
+            build: build_hypercuts,
+            scope_skip: None,
+        },
+        RosterEntry {
+            name: "hypercuts-flat",
+            scope: RosterScope::Software,
+            build: build_hypercuts_flat,
+            scope_skip: None,
+        },
+        RosterEntry {
+            name: "rfc",
+            scope: RosterScope::Full,
+            build: build_rfc,
+            scope_skip: Some(rfc_scope_skip),
+        },
+        RosterEntry {
+            name: "tcam",
+            scope: RosterScope::Full,
+            build: build_tcam,
+            scope_skip: Some(hardware_scope_skip),
+        },
+        RosterEntry {
+            name: "hw-hicuts",
+            scope: RosterScope::Full,
+            build: build_hw_hicuts,
+            scope_skip: Some(hardware_scope_skip),
+        },
+        RosterEntry {
+            name: "hw-hypercuts",
+            scope: RosterScope::Full,
+            build: build_hw_hypercuts,
+            scope_skip: Some(hardware_scope_skip),
+        },
+    ]
+}
+
 /// Builds every classifier in the workspace for a ruleset, behind shared
 /// handles the `pclass-engine` serving layer can fan out across workers.
 ///
 /// This is the single source of truth for the serving roster — the
 /// `throughput` binary, the engine equivalence tests and the
-/// `serving_throughput` example all use it, so adding a classifier to the
-/// workspace means adding it here once.
+/// `serving_throughput` example all use it; the registration list itself
+/// is [`roster_entries`].
 pub fn serving_roster(ruleset: &RuleSet) -> ClassifierRoster {
     serving_roster_scoped(ruleset, RosterScope::Full)
 }
@@ -250,6 +483,18 @@ pub fn serving_roster(ruleset: &RuleSet) -> ClassifierRoster {
 /// uses [`RosterScope::Software`] for its ≥32 k-rule cells.
 pub fn serving_roster_scoped(ruleset: &RuleSet, scope: RosterScope) -> ClassifierRoster {
     serving_roster_lanes(ruleset, scope, LaneWidth::default())
+}
+
+/// [`serving_roster_scoped`] driven by an [`EngineConfig`]: the roster's
+/// flat-arena lane width comes from [`EngineConfig::lanes`], so one
+/// builder value plumbs from a CLI flag through roster construction and
+/// engine construction alike.
+pub fn serving_roster_config(
+    ruleset: &RuleSet,
+    scope: RosterScope,
+    config: &EngineConfig,
+) -> ClassifierRoster {
+    serving_roster_lanes(ruleset, scope, config.lanes())
 }
 
 /// [`serving_roster_scoped`] with an explicit [`LaneWidth`] for the flat
@@ -262,100 +507,36 @@ pub fn serving_roster_lanes(
     scope: RosterScope,
     lanes: LaneWidth,
 ) -> ClassifierRoster {
-    let hicuts = HiCutsClassifier::build(ruleset, &HiCutsConfig::paper_defaults());
-    let hypercuts = HyperCutsClassifier::build(ruleset, &HyperCutsConfig::paper_defaults());
-    // The flat variants share nothing with their pointer trees at serve
-    // time: the arena is a deep re-packing, so both layouts can be measured
-    // side by side.
-    let hicuts_flat = hicuts.flatten().with_lanes(lanes);
-    let hypercuts_flat = hypercuts.flatten().with_lanes(lanes);
-    let arenas = [
-        ("hicuts-flat", hicuts_flat.arena_stats()),
-        ("hypercuts-flat", hypercuts_flat.arena_stats()),
-    ];
-    let mut classifiers: Vec<(&'static str, SharedClassifier)> = vec![
-        ("linear", Arc::new(LinearClassifier::new(ruleset.clone()))),
-        ("hicuts", Arc::new(hicuts)),
-        ("hicuts-flat", Arc::new(hicuts_flat)),
-        ("hypercuts", Arc::new(hypercuts)),
-        ("hypercuts-flat", Arc::new(hypercuts_flat)),
-    ];
+    let mut ctx = RosterCtx::new(ruleset, lanes);
+    let mut classifiers: Vec<(&'static str, SharedClassifier)> = Vec::new();
     let mut skipped = Vec::new();
-    match scope {
-        RosterScope::Full => {
-            match RfcClassifier::build(ruleset) {
-                Ok(rfc) => classifiers.push(("rfc", Arc::new(rfc))),
-                Err(e) => skipped.push(RosterSkip {
-                    classifier: "rfc",
-                    reason: e.to_string(),
-                }),
-            }
-            match TcamClassifier::program(ruleset) {
-                Ok(tcam) => classifiers.push(("tcam", Arc::new(tcam))),
-                Err(e) => skipped.push(RosterSkip {
-                    classifier: "tcam",
-                    reason: e.to_string(),
-                }),
-            }
-            for algorithm in [CutAlgorithm::HiCuts, CutAlgorithm::HyperCuts] {
-                let config = BuildConfig::paper_defaults(algorithm);
-                match HardwareProgram::build_with_capacity(ruleset, &config, 4096) {
-                    Ok(program) => {
-                        let adapter = AcceleratorClassifier::new(program);
-                        classifiers.push((Classifier::name(&adapter), Arc::new(adapter)));
-                    }
-                    Err(e) => skipped.push(RosterSkip {
-                        // The adapter's trait name, so skip records correlate
-                        // with run records in BENCH_throughput.json.
-                        classifier: match algorithm {
-                            CutAlgorithm::HiCuts => "hw-hicuts",
-                            CutAlgorithm::HyperCuts => "hw-hypercuts",
-                        },
-                        reason: e.to_string(),
-                    }),
-                }
-            }
-        }
-        RosterScope::Software => {
-            // RFC's memory-budget estimate only bounds the *final* table;
-            // at 32 k rules the estimate passes but the phase
-            // cross-producting itself runs for tens of minutes, so past
-            // the 10 k wall RFC is excluded a priori like the hardware
-            // models rather than discovered-by-stall.
+    let mut builds = Vec::new();
+    for entry in roster_entries() {
+        if scope == RosterScope::Software && entry.scope == RosterScope::Full {
+            let skip = entry
+                .scope_skip
+                .expect("Full-scope roster entries must declare a scope-skip reason");
             skipped.push(RosterSkip {
-                classifier: "rfc",
-                reason: format!(
-                    "excluded by the scenario matrix at {} rules (phase-table \
-                     cross-producting is unbounded in time past the 10k wall \
-                     even when the final table fits the memory budget)",
-                    ruleset.len()
-                ),
+                classifier: entry.name,
+                reason: skip(ruleset),
             });
-            let reason = format!(
-                "excluded by the scenario matrix at {} rules (hardware model \
-                 address space and TCAM range expansion are infeasible at \
-                 this size)",
-                ruleset.len()
-            );
-            for classifier in ["tcam", "hw-hicuts", "hw-hypercuts"] {
-                skipped.push(RosterSkip {
-                    classifier,
-                    reason: reason.clone(),
+            continue;
+        }
+        match (entry.build)(&mut ctx) {
+            Ok((classifier, arena)) => {
+                builds.push(RosterBuild {
+                    classifier: entry.name,
+                    memory_bytes: classifier.memory_bytes(),
+                    arena,
                 });
+                classifiers.push((entry.name, classifier));
             }
+            Err(reason) => skipped.push(RosterSkip {
+                classifier: entry.name,
+                reason,
+            }),
         }
     }
-    let builds = classifiers
-        .iter()
-        .map(|(name, classifier)| RosterBuild {
-            classifier: name,
-            memory_bytes: classifier.memory_bytes(),
-            arena: arenas
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, stats)| *stats),
-        })
-        .collect();
     ClassifierRoster {
         classifiers,
         skipped,
@@ -452,6 +633,52 @@ mod tests {
             );
         }
         assert_eq!(roster.builds.len(), roster.classifiers.len());
+    }
+
+    #[test]
+    fn roster_entries_declare_consistent_scopes_and_unique_names() {
+        let entries = roster_entries();
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len(), "duplicate roster entry name");
+        for entry in &entries {
+            // Entries outside the Software scope must explain their
+            // exclusion; always-on entries must not carry a stale reason.
+            assert_eq!(
+                entry.scope_skip.is_some(),
+                entry.scope == RosterScope::Full,
+                "{}: scope_skip must be present iff scope is Full",
+                entry.name
+            );
+            if let Some(skip) = entry.scope_skip {
+                assert!(
+                    skip(&acl_ruleset(60)).contains("scenario matrix"),
+                    "{}: skip reason must say why",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roster_config_lane_width_reaches_the_flat_arenas() {
+        let rs = acl_ruleset(120);
+        let config = EngineConfig::new().lane_width(LaneWidth::Scalar);
+        let roster = serving_roster_config(&rs, RosterScope::Software, &config);
+        // Same entries as the default-lane roster; the lane width only
+        // changes the flat arenas' walk, which their settings expose.
+        let names: Vec<&str> = roster.classifiers.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"hicuts-flat"));
+        let default_roster = serving_roster_scoped(&rs, RosterScope::Software);
+        assert_eq!(
+            names,
+            default_roster
+                .classifiers
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

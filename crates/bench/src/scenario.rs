@@ -230,6 +230,192 @@ pub fn scenarios(quick: bool) -> Vec<Scenario> {
     matrix().into_iter().filter(|s| !quick || s.quick).collect()
 }
 
+/// The tenant-count × size-distribution axis of the multi-tenant cells
+/// (runs under `throughput --tenants`).  Sizes are rungs of the acl
+/// ruleset ladder; "skewed" mixes pair one large tenant with many small
+/// ones — the shape cross-tenant batching exists for (a 500-rule tenant
+/// must not waste a core, and must not be starved by its big neighbour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantMix {
+    /// 1 tenant × 2 000 rules — the degenerate mix, pinning the router to
+    /// the single-tenant serving path.
+    Uni1,
+    /// 4 tenants × 2 000 rules, uniform.
+    Uni4,
+    /// 1 × 10 000 + 3 × 2 000 rules, skewed.
+    Skew4,
+    /// 16 tenants × 500 rules, uniform.
+    Uni16,
+    /// 1 × 10 000 + 15 × 500 rules — the 16-tenant mixed-size acceptance
+    /// cell: one big tenant sharing the pool with fifteen small ones.
+    Skew16,
+}
+
+impl TenantMix {
+    /// Every tenant mix, in matrix order.
+    pub const ALL: [TenantMix; 5] = [
+        TenantMix::Uni1,
+        TenantMix::Uni4,
+        TenantMix::Skew4,
+        TenantMix::Uni16,
+        TenantMix::Skew16,
+    ];
+
+    /// Per-tenant ruleset sizes, in tenant-id order.
+    pub fn sizes(self) -> Vec<usize> {
+        match self {
+            TenantMix::Uni1 => vec![2_000],
+            TenantMix::Uni4 => vec![2_000; 4],
+            TenantMix::Skew4 => {
+                let mut sizes = vec![10_000];
+                sizes.extend([2_000; 3]);
+                sizes
+            }
+            TenantMix::Uni16 => vec![500; 16],
+            TenantMix::Skew16 => {
+                let mut sizes = vec![10_000];
+                sizes.extend([500; 15]);
+                sizes
+            }
+        }
+    }
+
+    /// Number of tenants in the mix.
+    pub fn tenants(self) -> usize {
+        self.sizes().len()
+    }
+
+    /// Short tag of the mix, the suffix of the cell's profile tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TenantMix::Uni1 => "uni1",
+            TenantMix::Uni4 => "uni4",
+            TenantMix::Skew4 => "skew4",
+            TenantMix::Uni16 => "uni16",
+            TenantMix::Skew16 => "skew16",
+        }
+    }
+
+    /// The ruleset-mix name recorded in the cell's `ruleset` field, e.g.
+    /// `acl1_2000x4` or `acl1_10000+15x500`.
+    pub fn mix_name(self) -> String {
+        match self {
+            TenantMix::Uni1 => "acl1_2000x1".to_string(),
+            TenantMix::Uni4 => "acl1_2000x4".to_string(),
+            TenantMix::Skew4 => "acl1_10000+3x2000".to_string(),
+            TenantMix::Uni16 => "acl1_500x16".to_string(),
+            TenantMix::Skew16 => "acl1_10000+15x500".to_string(),
+        }
+    }
+}
+
+/// One tenant's workload inside a tenant cell: an isolated ruleset (its
+/// own ClassBench seed, so tenants never share rules) and its own trace.
+#[derive(Debug, Clone)]
+pub struct TenantWorkload {
+    /// The tenant's roster name (e.g. `acl1_500#t3`).
+    pub name: String,
+    /// The tenant's ruleset.
+    pub ruleset: RuleSet,
+    /// The tenant's traffic, in its own arrival order.
+    pub trace: Trace,
+}
+
+/// One multi-tenant cell of the scenario matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantScenario {
+    /// The tenant-count × size-distribution mix.
+    pub mix: TenantMix,
+    /// Worker count of the shared pool.
+    pub workers: usize,
+    /// Whether the cell is part of the quick (per-PR CI) subset.
+    pub quick: bool,
+}
+
+impl TenantScenario {
+    /// The profile tag recorded in schema-v5 tenant cells, e.g.
+    /// `uniform+tenants-skew16` — distinct per mix, so the regression
+    /// gate keys tenant cells like-for-like.
+    pub fn profile_tag(&self) -> String {
+        format!("uniform+tenants-{}", self.mix.tag())
+    }
+
+    /// Builds the per-tenant workloads, splitting a total packet budget
+    /// evenly across tenants (at least 256 packets each so every tenant's
+    /// percentiles rest on real samples).  Deterministic: each tenant's
+    /// ruleset and trace are derived from [`crate::WORKLOAD_SEED`] salted
+    /// with the tenant id.
+    pub fn workloads(&self, packet_budget: usize) -> Vec<TenantWorkload> {
+        let sizes = self.mix.sizes();
+        let per_tenant = (packet_budget / sizes.len()).max(256);
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(t, &size)| {
+                let name = format!("acl1_{size}#t{t}");
+                let ruleset = pclass_classbench::ClassBenchGenerator::new(
+                    SeedStyle::Acl,
+                    crate::WORKLOAD_SEED ^ (0x7E57_0000 + t as u64),
+                )
+                .generate(size)
+                .truncated(size, name.clone());
+                let trace =
+                    TraceGenerator::new(&ruleset, crate::WORKLOAD_SEED ^ (0xBEEF_0000 + t as u64))
+                        .generate_named(per_tenant, format!("{name}_trace"));
+                TenantWorkload {
+                    name,
+                    ruleset,
+                    trace,
+                }
+            })
+            .collect()
+    }
+}
+
+/// **The** tenant-cell matrix, the single declarative list both sweep
+/// modes derive from (mirroring [`matrix`]).  Quick keeps the degenerate
+/// 1-tenant cell (router = live-engine guard), the uniform 4-tenant cell
+/// and the 16-tenant mixed-size acceptance cell; the remaining mixes run
+/// weekly.
+pub fn tenant_matrix() -> Vec<TenantScenario> {
+    vec![
+        TenantScenario {
+            mix: TenantMix::Uni1,
+            workers: 2,
+            quick: true,
+        },
+        TenantScenario {
+            mix: TenantMix::Uni4,
+            workers: 4,
+            quick: true,
+        },
+        TenantScenario {
+            mix: TenantMix::Skew4,
+            workers: 2,
+            quick: false,
+        },
+        TenantScenario {
+            mix: TenantMix::Uni16,
+            workers: 4,
+            quick: false,
+        },
+        TenantScenario {
+            mix: TenantMix::Skew16,
+            workers: 4,
+            quick: true,
+        },
+    ]
+}
+
+/// The tenant cells of one sweep mode (quick ⊆ full by construction, like
+/// [`scenarios`]).
+pub fn tenant_scenarios(quick: bool) -> Vec<TenantScenario> {
+    tenant_matrix()
+        .into_iter()
+        .filter(|s| !quick || s.quick)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +515,55 @@ mod tests {
         let tags: std::collections::HashSet<String> =
             matrix().iter().map(|s| s.profile_tag()).collect();
         assert!(tags.len() >= 6, "expected a rich tag space, got {tags:?}");
+    }
+
+    #[test]
+    fn tenant_quick_is_a_subset_and_gates_the_acceptance_cell() {
+        let full = tenant_scenarios(false);
+        for s in tenant_scenarios(true) {
+            assert!(
+                full.contains(&s),
+                "quick tenant cell {s:?} missing from the full matrix"
+            );
+        }
+        assert_eq!(full.len(), TenantMix::ALL.len(), "one cell per mix");
+        // The 16-tenant mixed-size acceptance cell is CI-gated.
+        assert!(
+            tenant_scenarios(true)
+                .iter()
+                .any(|s| s.mix == TenantMix::Skew16 && s.workers > 1),
+            "quick must include the skew16 acceptance cell"
+        );
+        // Tags are the gate's key: all distinct.
+        let tags: std::collections::HashSet<String> =
+            full.iter().map(|s| s.profile_tag()).collect();
+        assert_eq!(tags.len(), full.len());
+    }
+
+    #[test]
+    fn tenant_workloads_are_deterministic_isolated_and_sized() {
+        let cell = TenantScenario {
+            mix: TenantMix::Skew16,
+            workers: 4,
+            quick: true,
+        };
+        let workloads = cell.workloads(4_000);
+        assert_eq!(workloads.len(), 16);
+        assert_eq!(workloads[0].ruleset.len(), 10_000);
+        for w in &workloads[1..] {
+            assert_eq!(w.ruleset.len(), 500);
+        }
+        // Every tenant gets the floor when the budget splits thin.
+        assert!(workloads.iter().all(|w| w.trace.len() == 256));
+        // Tenants draw from distinct seeds: no two share a ruleset.
+        assert_ne!(workloads[1].ruleset.rules(), workloads[2].ruleset.rules());
+        // Deterministic run to run.
+        let again = cell.workloads(4_000);
+        assert_eq!(workloads[3].trace, again[3].trace);
+        assert_eq!(workloads[3].name, "acl1_500#t3");
+        assert_eq!(cell.profile_tag(), "uniform+tenants-skew16");
+        assert_eq!(cell.mix.mix_name(), "acl1_10000+15x500");
+        assert_eq!(cell.mix.tenants(), 16);
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The unified builder-style construction API of the serving layer.
+//!
+//! The engine family used to grow one ad-hoc constructor chain per type —
+//! `Engine::new` / `Engine::from_shared` / `Engine::with_batch_size`,
+//! `LiveEngine::new` / `with_batch_size` / `with_progress` — so every new
+//! serving axis multiplied `with_*` methods across three types.
+//! [`EngineConfig`] collapses them into one builder that every front end
+//! consumes:
+//!
+//! * [`EngineConfig::engine`] / [`EngineConfig::engine_with`] — a fixed
+//!   [`Engine`] over one shared classifier (or one per worker shard);
+//! * [`EngineConfig::live_engine`] — a [`LiveEngine`] over an epoch-swap
+//!   [`LiveClassifier`];
+//! * [`EngineConfig::tenant_router`] — a [`TenantRouter`] over a roster of
+//!   per-tenant live classifiers.
+//!
+//! The old constructors survive as thin deprecated shims, so downstream
+//! code compiles unchanged while it migrates.
+//!
+//! Knob semantics:
+//!
+//! * **workers** and **batch size** apply to every front end;
+//! * the **progress hook** applies to the live front ends ([`LiveEngine`],
+//!   [`TenantRouter`]) — the fixed [`Engine`] has no sustained-pacing use
+//!   for it and ignores it.  Unlike the deprecated
+//!   `LiveEngine::with_progress` (which silently replaced any prior
+//!   counter), the builder **rejects a double-set with a panic** — two
+//!   subsystems attaching pacing counters to one config is a wiring bug
+//!   that last-wins semantics would hide;
+//! * the **lane width** is not consumed by the engines themselves (it
+//!   tunes the flat-arena classifiers, not the sharding loop); it rides on
+//!   the config so one value can be plumbed from a CLI flag through roster
+//!   construction (`pclass_bench::serving_roster_config`) and the engines
+//!   alike.
+//!
+//! # Example
+//!
+//! ```
+//! use pclass_algos::LinearClassifier;
+//! use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+//! use pclass_engine::EngineConfig;
+//! use std::sync::Arc;
+//!
+//! let rs = ClassBenchGenerator::new(SeedStyle::Acl, 42).generate(100);
+//! let trace = TraceGenerator::new(&rs, 7).generate(512);
+//!
+//! let engine = EngineConfig::new()
+//!     .workers(2)
+//!     .batch_size(128)
+//!     .engine(Arc::new(LinearClassifier::new(rs.clone())));
+//! let run = engine.classify_trace(&trace);
+//! assert_eq!(run.results, trace.ground_truth(&rs));
+//! ```
+
+use crate::live::{LiveClassifier, LiveEngine};
+use crate::tenant::TenantRouter;
+use crate::{Engine, SharedClassifier, DEFAULT_BATCH_SIZE};
+use pclass_algos::{Classifier, LaneWidth};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// The shared builder every serving front end is constructed through.
+/// See the [module docs](self) for which front end consumes which knob.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    workers: usize,
+    batch: usize,
+    progress: Option<Arc<AtomicU64>>,
+    lanes: LaneWidth,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::new()
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration: 1 worker, [`DEFAULT_BATCH_SIZE`], no
+    /// progress hook, default [`LaneWidth`].
+    pub fn new() -> EngineConfig {
+        EngineConfig {
+            workers: 1,
+            batch: DEFAULT_BATCH_SIZE,
+            progress: None,
+            lanes: LaneWidth::default(),
+        }
+    }
+
+    /// Sets the number of worker shards (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> EngineConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the sub-batch size (clamped to at least 1).  Smaller batches
+    /// let live front ends pick up published generations sooner.
+    pub fn batch_size(mut self, batch: usize) -> EngineConfig {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Attaches a shared serving-progress counter: the live front ends add
+    /// the size of each finished sub-batch, across every classify call —
+    /// the pacing hook for sustained update streams (an updater spreads
+    /// its stream over packets actually served instead of wall-clock
+    /// time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a counter is already attached: two subsystems wiring
+    /// pacing counters into one config is a bug that silent last-wins
+    /// replacement (the deprecated `LiveEngine::with_progress` behaviour)
+    /// would hide.
+    pub fn progress(mut self, counter: Arc<AtomicU64>) -> EngineConfig {
+        assert!(
+            self.progress.is_none(),
+            "EngineConfig::progress set twice — a progress counter is \
+             already attached, and replacing it would silently detach the \
+             first subscriber's pacing"
+        );
+        self.progress = Some(counter);
+        self
+    }
+
+    /// Sets the flat-arena lane width carried by this config (consumed by
+    /// roster/classifier construction, not by the engines; see the module
+    /// docs).
+    pub fn lane_width(mut self, lanes: LaneWidth) -> EngineConfig {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Number of worker shards.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Sub-batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The attached progress counter, if any.
+    pub fn progress_counter(&self) -> Option<&Arc<AtomicU64>> {
+        self.progress.as_ref()
+    }
+
+    /// The flat-arena lane width this config carries.
+    pub fn lanes(&self) -> LaneWidth {
+        self.lanes
+    }
+
+    /// Builds a fixed [`Engine`] whose worker shards all share one
+    /// classifier — the common deployment, mirroring the paper's engines
+    /// sharing one read-only memory image.
+    pub fn engine(&self, classifier: SharedClassifier) -> Engine {
+        self.engine_with(|_| Arc::clone(&classifier))
+    }
+
+    /// Builds a fixed [`Engine`], calling `factory(worker_index)` once per
+    /// shard — for workers that should own their own copy of the search
+    /// structure (e.g. to place it in that worker's NUMA domain).
+    pub fn engine_with(&self, factory: impl FnMut(usize) -> SharedClassifier) -> Engine {
+        Engine::from_config(self, factory)
+    }
+
+    /// Builds a [`LiveEngine`] serving an epoch-swap [`LiveClassifier`],
+    /// re-snapshotting per sub-batch; inherits this config's progress
+    /// hook.
+    pub fn live_engine<C: Classifier + Clone + Send + Sync>(
+        &self,
+        live: Arc<LiveClassifier<C>>,
+    ) -> LiveEngine<C> {
+        LiveEngine::from_config(self, live)
+    }
+
+    /// Builds a [`TenantRouter`] over `(tenant name, classifier)` pairs —
+    /// tenant ids are assigned in iteration order, each classifier is
+    /// wrapped in its own [`LiveClassifier`] (per-tenant churn isolation),
+    /// and tagged traffic is served on this config's shared worker pool;
+    /// inherits the progress hook.
+    pub fn tenant_router<C: Classifier + Clone + Send + Sync>(
+        &self,
+        tenants: impl IntoIterator<Item = (String, C)>,
+    ) -> TenantRouter<C> {
+        TenantRouter::from_config(self, tenants)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclass_algos::LinearClassifier;
+    use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+    use std::sync::atomic::Ordering;
+
+    fn workload(rules: usize, packets: usize) -> (pclass_types::RuleSet, pclass_types::Trace) {
+        let rs = ClassBenchGenerator::new(SeedStyle::Acl, 91).generate(rules);
+        let trace = TraceGenerator::new(&rs, 92).generate(packets);
+        (rs, trace)
+    }
+
+    #[test]
+    fn defaults_match_the_historical_constructors() {
+        let config = EngineConfig::new();
+        assert_eq!(config.worker_count(), 1);
+        assert_eq!(config.batch(), DEFAULT_BATCH_SIZE);
+        assert!(config.progress_counter().is_none());
+        assert_eq!(config.lanes(), LaneWidth::default());
+        assert_eq!(EngineConfig::default().batch(), config.batch());
+    }
+
+    #[test]
+    fn workers_and_batch_clamp_to_one() {
+        let config = EngineConfig::new().workers(0).batch_size(0);
+        assert_eq!(config.worker_count(), 1);
+        assert_eq!(config.batch(), 1);
+    }
+
+    #[test]
+    fn one_config_builds_every_front_end() {
+        let (rs, trace) = workload(80, 400);
+        let truth = trace.ground_truth(&rs);
+        let config = EngineConfig::new().workers(3).batch_size(64);
+
+        let engine = config.engine(Arc::new(LinearClassifier::new(rs.clone())));
+        assert_eq!(engine.workers(), 3);
+        assert_eq!(engine.batch_size(), 64);
+        assert_eq!(engine.classify_trace(&trace).results, truth);
+
+        let live = Arc::new(LiveClassifier::new(LinearClassifier::new(rs.clone())));
+        let live_engine = config.live_engine(Arc::clone(&live));
+        assert_eq!(live_engine.workers(), 3);
+        assert_eq!(live_engine.classify_trace(&trace).results, truth);
+
+        let router = config.tenant_router([("t0".to_string(), LinearClassifier::new(rs.clone()))]);
+        assert_eq!(router.workers(), 3);
+        assert_eq!(router.batch_size(), 64);
+        assert_eq!(router.tenant_count(), 1);
+    }
+
+    #[test]
+    fn engine_with_calls_the_factory_once_per_shard() {
+        let (rs, trace) = workload(40, 120);
+        let mut calls = 0usize;
+        let engine = EngineConfig::new().workers(3).engine_with(|worker| {
+            assert_eq!(worker, calls);
+            calls += 1;
+            Arc::new(LinearClassifier::new(rs.clone()))
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(
+            engine.classify_trace(&trace).results,
+            trace.ground_truth(&rs)
+        );
+    }
+
+    #[test]
+    fn progress_counter_is_inherited_by_live_front_ends() {
+        let (rs, trace) = workload(60, 300);
+        let counter = Arc::new(AtomicU64::new(0));
+        let live = Arc::new(LiveClassifier::new(LinearClassifier::new(rs.clone())));
+        let engine = EngineConfig::new()
+            .workers(2)
+            .batch_size(32)
+            .progress(Arc::clone(&counter))
+            .live_engine(live);
+        engine.classify_trace(&trace);
+        assert_eq!(counter.load(Ordering::Relaxed), trace.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "progress set twice")]
+    fn double_set_progress_is_rejected() {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        // The deprecated `LiveEngine::with_progress` silently replaced the
+        // first counter; the builder refuses.
+        let _ = EngineConfig::new().progress(a).progress(b);
+    }
+}

@@ -27,13 +27,18 @@
 //! wall-clock time, never decisions.  The integration tests enforce this
 //! for every classifier in the workspace.
 //!
+//! Every serving front end — the fixed [`Engine`], the epoch-swap
+//! [`LiveEngine`], and the multi-tenant [`tenant::TenantRouter`] — is
+//! built through one [`EngineConfig`] builder; the older per-type
+//! constructors remain as deprecated shims.
+//!
 //! # Example
 //!
 //! Serve a trace over two workers and check the merged results are
 //! packet-for-packet what a sequential linear search produces:
 //!
 //! ```
-//! use pclass_engine::{Engine, SharedClassifier};
+//! use pclass_engine::{EngineConfig, SharedClassifier};
 //! use pclass_algos::LinearClassifier;
 //! use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
 //! use std::sync::Arc;
@@ -42,7 +47,7 @@
 //! let trace = TraceGenerator::new(&rs, 7).generate(512);
 //!
 //! let shared: SharedClassifier = Arc::new(LinearClassifier::new(rs.clone()));
-//! let engine = Engine::new(2, |_| shared.clone()).with_batch_size(128);
+//! let engine = EngineConfig::new().workers(2).batch_size(128).engine(shared);
 //! let run = engine.classify_trace(&trace);
 //!
 //! assert_eq!(run.results, trace.ground_truth(&rs));
@@ -51,9 +56,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod live;
+pub mod tenant;
 
+pub use config::EngineConfig;
 pub use live::{LiveClassifier, LiveEngine};
+pub use tenant::{TaggedPacket, TaggedTrace, TenantId, TenantReport, TenantRouter, TenantRun};
 
 use pclass_algos::Classifier;
 use pclass_types::{MatchResult, PacketHeader, Trace};
@@ -120,12 +129,14 @@ pub(crate) fn mpps(pkts: u64, wall_ns: u64) -> f64 {
 /// ```
 /// use pclass_algos::LinearClassifier;
 /// use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
-/// use pclass_engine::Engine;
+/// use pclass_engine::EngineConfig;
 /// use std::sync::Arc;
 ///
 /// let rs = ClassBenchGenerator::new(SeedStyle::Acl, 1).generate(200);
 /// let trace = TraceGenerator::new(&rs, 2).generate(1_000);
-/// let engine = Engine::from_shared(4, Arc::new(LinearClassifier::new(rs.clone())));
+/// let engine = EngineConfig::new()
+///     .workers(4)
+///     .engine(Arc::new(LinearClassifier::new(rs.clone())));
 /// let run = engine.classify_trace(&trace);
 /// assert_eq!(run.results, trace.ground_truth(&rs));
 /// assert_eq!(run.report.pkts, 1_000);
@@ -146,25 +157,37 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Creates an engine of `workers` shards (at least 1), calling
-    /// `factory(worker_index)` once per shard.
-    ///
-    /// Use this when each worker should own its own copy of the search
-    /// structure (e.g. to place it in that worker's NUMA domain); use
-    /// [`Engine::from_shared`] to share one read-only structure.
-    pub fn new(workers: usize, mut factory: impl FnMut(usize) -> SharedClassifier) -> Engine {
-        let workers = workers.max(1);
+    /// The canonical constructor: used by [`EngineConfig::engine_with`]
+    /// (and through it [`EngineConfig::engine`]), which every public
+    /// construction path funnels into.
+    pub(crate) fn from_config(
+        config: &EngineConfig,
+        mut factory: impl FnMut(usize) -> SharedClassifier,
+    ) -> Engine {
         Engine {
-            shards: (0..workers).map(&mut factory).collect(),
-            batch: DEFAULT_BATCH_SIZE,
+            shards: (0..config.worker_count()).map(&mut factory).collect(),
+            batch: config.batch(),
         }
     }
 
+    /// Creates an engine of `workers` shards (at least 1), calling
+    /// `factory(worker_index)` once per shard.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineConfig::new().workers(n).engine_with(factory)`"
+    )]
+    pub fn new(workers: usize, factory: impl FnMut(usize) -> SharedClassifier) -> Engine {
+        EngineConfig::new().workers(workers).engine_with(factory)
+    }
+
     /// Creates an engine of `workers` shards (at least 1) all sharing one
-    /// classifier — the common deployment, mirroring the paper's engines
-    /// sharing one read-only memory image.
+    /// classifier.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineConfig::new().workers(n).engine(classifier)`"
+    )]
     pub fn from_shared(workers: usize, classifier: SharedClassifier) -> Engine {
-        Engine::new(workers, |_| Arc::clone(&classifier))
+        EngineConfig::new().workers(workers).engine(classifier)
     }
 
     /// Number of worker shards.
@@ -178,6 +201,10 @@ impl Engine {
     }
 
     /// Overrides the sub-batch size (clamped to at least 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineConfig::batch_size` before building the engine"
+    )]
     pub fn with_batch_size(mut self, batch: usize) -> Engine {
         self.batch = batch.max(1);
         self
@@ -335,7 +362,9 @@ mod tests {
         let truth = trace.ground_truth(&rs);
         for classifier in all_classifiers(&rs) {
             for workers in [1usize, 2, 4, 7] {
-                let engine = Engine::from_shared(workers, Arc::clone(&classifier));
+                let engine = EngineConfig::new()
+                    .workers(workers)
+                    .engine(Arc::clone(&classifier));
                 assert_eq!(engine.workers(), workers);
                 let run = engine.classify_trace(&trace);
                 assert_eq!(run.results, truth, "{} x{workers}", engine.name());
@@ -351,7 +380,9 @@ mod tests {
     fn empty_trace_and_tiny_traces_are_served() {
         let (rs, _) = workload(50, 1);
         let classifier: SharedClassifier = Arc::new(LinearClassifier::new(rs.clone()));
-        let engine = Engine::from_shared(4, Arc::clone(&classifier));
+        let engine = EngineConfig::new()
+            .workers(4)
+            .engine(Arc::clone(&classifier));
 
         let empty = Trace::from_headers("empty", vec![]);
         let run = engine.classify_trace(&empty);
@@ -373,7 +404,10 @@ mod tests {
         let truth = trace.ground_truth(&rs);
         let classifier: SharedClassifier = Arc::new(RfcClassifier::build(&rs).unwrap());
         for batch in [1usize, 3, 64, 512, 10_000] {
-            let engine = Engine::from_shared(3, Arc::clone(&classifier)).with_batch_size(batch);
+            let engine = EngineConfig::new()
+                .workers(3)
+                .batch_size(batch)
+                .engine(Arc::clone(&classifier));
             assert_eq!(engine.batch_size(), batch.max(1));
             assert_eq!(
                 engine.classify_trace(&trace).results,
@@ -386,7 +420,9 @@ mod tests {
     #[test]
     fn zero_workers_clamps_to_one() {
         let (rs, trace) = workload(40, 60);
-        let engine = Engine::from_shared(0, Arc::new(LinearClassifier::new(rs.clone())));
+        let engine = EngineConfig::new()
+            .workers(0)
+            .engine(Arc::new(LinearClassifier::new(rs.clone())));
         assert_eq!(engine.workers(), 1);
         assert_eq!(
             engine.classify_trace(&trace).results,
@@ -395,19 +431,32 @@ mod tests {
     }
 
     #[test]
-    fn per_worker_factory_is_called_once_per_shard() {
-        let (rs, trace) = workload(40, 200);
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_serve_identically_to_the_builder() {
+        // The pre-builder construction API survives as shims; downstream
+        // code using it must keep getting the exact same engines.
+        let (rs, trace) = workload(60, 250);
+        let truth = trace.ground_truth(&rs);
+        let classifier: SharedClassifier = Arc::new(LinearClassifier::new(rs.clone()));
+
+        let shimmed = Engine::from_shared(3, Arc::clone(&classifier)).with_batch_size(64);
+        let built = EngineConfig::new()
+            .workers(3)
+            .batch_size(64)
+            .engine(Arc::clone(&classifier));
+        assert_eq!(shimmed.workers(), built.workers());
+        assert_eq!(shimmed.batch_size(), built.batch_size());
+        assert_eq!(shimmed.classify_trace(&trace).results, truth);
+        assert_eq!(built.classify_trace(&trace).results, truth);
+
         let mut calls = 0usize;
-        let engine = Engine::new(3, |worker| {
+        let factory_engine = Engine::new(2, |worker| {
             assert_eq!(worker, calls);
             calls += 1;
             Arc::new(LinearClassifier::new(rs.clone()))
         });
-        assert_eq!(calls, 3);
-        assert_eq!(
-            engine.classify_trace(&trace).results,
-            trace.ground_truth(&rs)
-        );
+        assert_eq!(calls, 2);
+        assert_eq!(factory_engine.classify_trace(&trace).results, truth);
     }
 
     #[test]

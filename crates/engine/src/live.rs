@@ -23,7 +23,7 @@
 //! [`crate::Engine`], but each worker re-snapshots per sub-batch, so a
 //! ruleset change lands mid-trace without stopping the stream.
 
-use crate::{EngineRun, DEFAULT_BATCH_SIZE};
+use crate::{EngineConfig, EngineRun};
 use pclass_algos::update::{RuleUpdate, UpdatableClassifier, UpdateError};
 use pclass_algos::Classifier;
 use pclass_types::Trace;
@@ -99,19 +99,36 @@ pub struct LiveEngine<C> {
 }
 
 impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
-    /// Creates an engine of `workers` shards (at least 1) over a shared
-    /// live classifier.
-    pub fn new(workers: usize, live: Arc<LiveClassifier<C>>) -> LiveEngine<C> {
+    /// The canonical constructor, used by [`EngineConfig::live_engine`];
+    /// inherits the config's workers, batch size and progress hook.
+    pub(crate) fn from_config(
+        config: &EngineConfig,
+        live: Arc<LiveClassifier<C>>,
+    ) -> LiveEngine<C> {
         LiveEngine {
             live,
-            workers: workers.max(1),
-            batch: DEFAULT_BATCH_SIZE,
-            progress: None,
+            workers: config.worker_count(),
+            batch: config.batch(),
+            progress: config.progress_counter().cloned(),
         }
+    }
+
+    /// Creates an engine of `workers` shards (at least 1) over a shared
+    /// live classifier.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineConfig::new().workers(n).live_engine(live)`"
+    )]
+    pub fn new(workers: usize, live: Arc<LiveClassifier<C>>) -> LiveEngine<C> {
+        EngineConfig::new().workers(workers).live_engine(live)
     }
 
     /// Overrides the sub-batch size (clamped to at least 1).  Smaller
     /// batches pick up published generations sooner.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineConfig::batch_size` before building the engine"
+    )]
     pub fn with_batch_size(mut self, batch: usize) -> LiveEngine<C> {
         self.batch = batch.max(1);
         self
@@ -119,11 +136,18 @@ impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
 
     /// Attaches a shared serving-progress counter: every worker adds the
     /// size of each sub-batch it finishes, across every
-    /// [`LiveEngine::classify_trace`] call.  This is the pacing hook for
-    /// *sustained* update streams — an updater thread can spread its
-    /// stream evenly over the packets actually served (machine-speed
-    /// independent) instead of sleeping wall-clock time, by waiting for
-    /// the counter to cross per-update thresholds.
+    /// [`LiveEngine::classify_trace`] call — the pacing hook for
+    /// *sustained* update streams (see [`EngineConfig::progress`]).
+    ///
+    /// Deprecated-path semantics: calling this twice silently replaces
+    /// the earlier counter (**last wins**), detaching the first
+    /// subscriber.  The builder's [`EngineConfig::progress`] rejects the
+    /// double-set instead — migrate to it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineConfig::progress` before building the engine \
+                (which rejects double-set instead of silently replacing)"
+    )]
     pub fn with_progress(mut self, counter: Arc<AtomicU64>) -> LiveEngine<C> {
         self.progress = Some(counter);
         self
@@ -178,7 +202,9 @@ mod tests {
         let truth = trace.ground_truth(&rs);
         let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
         for workers in [1usize, 2, 4] {
-            let engine = LiveEngine::new(workers, Arc::clone(&live));
+            let engine = EngineConfig::new()
+                .workers(workers)
+                .live_engine(Arc::clone(&live));
             let run = engine.classify_trace(&trace);
             assert_eq!(run.results, truth, "x{workers}");
             assert_eq!(run.report.pkts, trace.len() as u64);
@@ -235,9 +261,11 @@ mod tests {
         let (rs, trace) = workload(80, 700);
         let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
         let counter = Arc::new(AtomicU64::new(0));
-        let engine = LiveEngine::new(3, Arc::clone(&live))
-            .with_batch_size(64)
-            .with_progress(Arc::clone(&counter));
+        let engine = EngineConfig::new()
+            .workers(3)
+            .batch_size(64)
+            .progress(Arc::clone(&counter))
+            .live_engine(Arc::clone(&live));
         engine.classify_trace(&trace);
         assert_eq!(counter.load(Ordering::Relaxed), trace.len() as u64);
         // The counter is cumulative across calls — that is what lets a
@@ -245,8 +273,30 @@ mod tests {
         engine.classify_trace(&trace);
         assert_eq!(counter.load(Ordering::Relaxed), 2 * trace.len() as u64);
         // An engine without the hook leaves the counter alone.
-        LiveEngine::new(2, Arc::clone(&live)).classify_trace(&trace);
+        EngineConfig::new()
+            .workers(2)
+            .live_engine(Arc::clone(&live))
+            .classify_trace(&trace);
         assert_eq!(counter.load(Ordering::Relaxed), 2 * trace.len() as u64);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_progress_is_documented_last_wins() {
+        // The deprecated shim keeps its historical semantics: a second
+        // counter silently replaces the first.  The builder path rejects
+        // the double-set instead (see `EngineConfig::progress`).
+        let (rs, trace) = workload(40, 200);
+        let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
+        let first = Arc::new(AtomicU64::new(0));
+        let second = Arc::new(AtomicU64::new(0));
+        let engine = LiveEngine::new(2, Arc::clone(&live))
+            .with_batch_size(64)
+            .with_progress(Arc::clone(&first))
+            .with_progress(Arc::clone(&second));
+        engine.classify_trace(&trace);
+        assert_eq!(first.load(Ordering::Relaxed), 0, "first counter detached");
+        assert_eq!(second.load(Ordering::Relaxed), trace.len() as u64);
     }
 
     #[test]
@@ -254,7 +304,10 @@ mod tests {
         let (rs, trace) = workload(250, 3_000);
         let spec = *rs.spec();
         let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
-        let engine = LiveEngine::new(2, Arc::clone(&live)).with_batch_size(64);
+        let engine = EngineConfig::new()
+            .workers(2)
+            .batch_size(64)
+            .live_engine(Arc::clone(&live));
         std::thread::scope(|scope| {
             let live_ref = &live;
             let updater = scope.spawn(move || {

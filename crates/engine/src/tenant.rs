@@ -1,0 +1,659 @@
+//! Multi-tenant serving: many isolated rulesets on one shared worker pool.
+//!
+//! The serving stack so far is one process = one ruleset, but the
+//! deployment shape the paper's low-power classification setting targets —
+//! per-customer ACLs, per-VPC firewalls — serves many *isolated* tenants
+//! on shared cores.  [`TenantRouter`] is that front end:
+//!
+//! * it holds a roster of N [`LiveClassifier`]s (tenant id → live
+//!   classifier), so **churn is isolated per tenant**: one tenant's
+//!   [`LiveClassifier::apply_batch`] touches only its own writer copy and
+//!   snapshot slot and never blocks another tenant's readers;
+//! * tagged traffic ([`TaggedTrace`]) is served on a **shared worker
+//!   pool** with cross-tenant batching: each worker takes a sub-batch of
+//!   the interleaved stream, groups it by tenant, and classifies each
+//!   tenant group against **one snapshot per (tenant, sub-batch)** —
+//!   reusing the epoch-swap machinery, so a 500-rule tenant coalesces
+//!   into the same sub-batch as its neighbours instead of wasting a core;
+//! * every run returns **per-tenant accounting** ([`TenantReport`]:
+//!   packets, busy-time mpps, p50/p95/p99 batch-latency percentiles) plus
+//!   a [`FairnessSummary`] over the per-tenant rates.
+//!
+//! Construction goes through [`crate::EngineConfig::tenant_router`], the
+//! same builder the single-tenant engines use.
+//!
+//! Determinism: results are packet-for-packet what each tenant's own
+//! classifier decides — a router with one tenant produces exactly the
+//! output of a [`crate::LiveEngine`] over that classifier, and under
+//! interleaved cross-tenant traffic each tenant's result subsequence
+//! equals its solo run.  The workspace property tests enforce both.
+
+use crate::live::LiveClassifier;
+use crate::{EngineConfig, EngineRun, ThroughputReport, WorkerReport};
+use pclass_algos::Classifier;
+use pclass_types::{
+    shard_slices, FairnessSummary, LatencyPercentiles, MatchResult, PacketHeader, Trace,
+};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifies a tenant within one [`TenantRouter`] (dense, assigned in
+/// roster order starting at 0).
+pub type TenantId = u32;
+
+/// One packet of tagged traffic: the header plus the tenant whose ruleset
+/// must classify it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaggedPacket {
+    /// The tenant this packet belongs to.
+    pub tenant: TenantId,
+    /// The packet header.
+    pub header: PacketHeader,
+}
+
+/// A trace of tagged packets — the multi-tenant counterpart of
+/// [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedTrace {
+    name: String,
+    entries: Vec<TaggedPacket>,
+}
+
+impl TaggedTrace {
+    /// Builds a tagged trace from explicit entries.
+    pub fn new(name: impl Into<String>, entries: Vec<TaggedPacket>) -> TaggedTrace {
+        TaggedTrace {
+            name: name.into(),
+            entries,
+        }
+    }
+
+    /// Deterministically interleaves one per-tenant trace per tenant id
+    /// (index in `traces` = tenant id) into a single proportional-fair
+    /// tagged stream: at every step the next packet comes from the tenant
+    /// whose emitted share of its own trace is furthest behind, ties going
+    /// to the lowest tenant id.  Per-tenant packet order is preserved, so
+    /// [`TaggedTrace::tenant_headers`] reproduces each input trace exactly.
+    pub fn interleave(name: impl Into<String>, traces: &[Trace]) -> TaggedTrace {
+        let lens: Vec<u128> = traces.iter().map(|t| t.len() as u128).collect();
+        let total: usize = traces.iter().map(|t| t.len()).sum();
+        let mut next = vec![0usize; traces.len()];
+        let mut entries = Vec::with_capacity(total);
+        for _ in 0..total {
+            let mut best: Option<usize> = None;
+            for (t, trace) in traces.iter().enumerate() {
+                if next[t] >= trace.len() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => t,
+                    Some(b) => {
+                        // t is further behind than b iff
+                        // (next[t]+1)/lens[t] < (next[b]+1)/lens[b],
+                        // compared by cross-multiplication to stay exact.
+                        let t_share = (next[t] as u128 + 1) * lens[b];
+                        let b_share = (next[b] as u128 + 1) * lens[t];
+                        if t_share < b_share {
+                            t
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            let t = best.expect("fewer emitted packets than counted total");
+            entries.push(TaggedPacket {
+                tenant: t as TenantId,
+                header: traces[t].entries()[next[t]].header,
+            });
+            next[t] += 1;
+        }
+        TaggedTrace {
+            name: name.into(),
+            entries,
+        }
+    }
+
+    /// The trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tagged packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tagged packets in arrival order.
+    pub fn entries(&self) -> &[TaggedPacket] {
+        &self.entries
+    }
+
+    /// Number of distinct tenant slots the trace addresses (highest tagged
+    /// tenant id + 1; 0 for an empty trace).
+    pub fn tenant_count(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|p| p.tenant as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The headers of one tenant's packets, in arrival order.
+    pub fn tenant_headers(&self, tenant: TenantId) -> Vec<PacketHeader> {
+        self.entries
+            .iter()
+            .filter(|p| p.tenant == tenant)
+            .map(|p| p.header)
+            .collect()
+    }
+
+    /// Projects a full-trace result vector (as returned by
+    /// [`TenantRouter::classify_tagged`]) down to one tenant's results, in
+    /// that tenant's arrival order — the subsequence to compare against a
+    /// solo run over [`TaggedTrace::tenant_headers`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is not exactly one result per trace packet.
+    pub fn tenant_results(&self, tenant: TenantId, results: &[MatchResult]) -> Vec<MatchResult> {
+        assert_eq!(
+            results.len(),
+            self.entries.len(),
+            "results must cover the whole tagged trace"
+        );
+        self.entries
+            .iter()
+            .zip(results)
+            .filter(|(p, _)| p.tenant == tenant)
+            .map(|(_, r)| *r)
+            .collect()
+    }
+}
+
+/// Per-tenant accounting of one [`TenantRouter::classify_tagged`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// The tenant id.
+    pub tenant: TenantId,
+    /// The tenant's roster name.
+    pub name: String,
+    /// Packets classified for this tenant.
+    pub pkts: u64,
+    /// Nanoseconds workers spent inside this tenant's classifier (summed
+    /// over tenant groups; excludes grouping/scatter overhead).
+    pub busy_ns: u64,
+    /// Millions of packets per second over the tenant's busy time — the
+    /// tenant's service rate while it was actually being served.
+    pub mpps: f64,
+    /// Latency percentiles over this tenant's per-sub-batch classify
+    /// calls (one sample per tenant group actually served).
+    pub batch_latency: LatencyPercentiles,
+}
+
+/// Output of [`TenantRouter::classify_tagged`]: merged decisions in trace
+/// order, the shared-pool throughput report, and per-tenant accounting.
+#[derive(Debug, Clone)]
+pub struct TenantRun {
+    /// One result per tagged packet, in arrival order.
+    pub results: Vec<MatchResult>,
+    /// Whole-run throughput over the shared worker pool.
+    pub report: ThroughputReport,
+    /// Per-tenant accounting, indexed by tenant id.
+    pub tenants: Vec<TenantReport>,
+    /// Jain fairness over the busy-time rates of tenants that received
+    /// traffic.
+    pub fairness: FairnessSummary,
+}
+
+struct TenantEntry<C> {
+    name: String,
+    live: Arc<LiveClassifier<C>>,
+}
+
+#[derive(Clone, Default)]
+struct TenantAccum {
+    pkts: u64,
+    busy_ns: u64,
+    latencies: Vec<u64>,
+}
+
+/// A multi-tenant serving front end: tenant id → [`LiveClassifier`],
+/// served on a shared worker pool with cross-tenant batching.  See the
+/// [module docs](self); construct through
+/// [`crate::EngineConfig::tenant_router`].
+pub struct TenantRouter<C> {
+    tenants: Vec<TenantEntry<C>>,
+    workers: usize,
+    batch: usize,
+    progress: Option<Arc<std::sync::atomic::AtomicU64>>,
+}
+
+impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
+    pub(crate) fn from_config(
+        config: &EngineConfig,
+        tenants: impl IntoIterator<Item = (String, C)>,
+    ) -> TenantRouter<C> {
+        let tenants: Vec<TenantEntry<C>> = tenants
+            .into_iter()
+            .map(|(name, classifier)| TenantEntry {
+                name,
+                live: Arc::new(LiveClassifier::new(classifier)),
+            })
+            .collect();
+        assert!(
+            !tenants.is_empty(),
+            "TenantRouter needs at least one tenant"
+        );
+        TenantRouter {
+            tenants,
+            workers: config.worker_count(),
+            batch: config.batch(),
+            progress: config.progress_counter().cloned(),
+        }
+    }
+
+    /// Number of tenants in the roster.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Number of worker shards in the shared pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sub-batch size of the shared pool.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// The roster name of one tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is not in the roster.
+    pub fn name(&self, tenant: TenantId) -> &str {
+        &self.tenants[tenant as usize].name
+    }
+
+    /// One tenant's live classifier — the handle for that tenant's churn
+    /// ([`LiveClassifier::apply_batch`]) and for solo-baseline serving.
+    /// Updates through it publish a new snapshot for this tenant only;
+    /// other tenants' readers are untouched (separate locks per tenant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is not in the roster.
+    pub fn live(&self, tenant: TenantId) -> &Arc<LiveClassifier<C>> {
+        &self.tenants[tenant as usize].live
+    }
+
+    /// Classifies a tagged trace on the shared worker pool.
+    ///
+    /// The trace is split into the same deterministic balanced shards as
+    /// the single-tenant engines; each worker walks its shard in
+    /// `batch`-sized sub-batches, groups each sub-batch by tenant, and
+    /// classifies every non-empty tenant group against one fresh snapshot
+    /// of that tenant — so a generation published mid-run lands at the
+    /// next (tenant, sub-batch) boundary, exactly like
+    /// [`crate::LiveEngine`].
+    ///
+    /// Results come back in trace order; [`TaggedTrace::tenant_results`]
+    /// projects them per tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace tags a tenant id outside the roster.
+    pub fn classify_tagged(&self, trace: &TaggedTrace) -> TenantRun {
+        let started = Instant::now();
+        let n_tenants = self.tenants.len();
+        let workers = self.workers;
+        let shards = shard_slices(trace.entries(), workers);
+        type Partial = (Vec<MatchResult>, u64, Vec<TenantAccum>);
+        let mut partials: Vec<Option<Partial>> = (0..workers).map(|_| None).collect();
+
+        let serve_shard = |slice: &[TaggedPacket]| -> Partial {
+            let worker_started = Instant::now();
+            let mut results = Vec::with_capacity(slice.len());
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_tenants];
+            let mut headers: Vec<PacketHeader> = Vec::new();
+            let mut tenant_results: Vec<MatchResult> = Vec::new();
+            let mut accums = vec![TenantAccum::default(); n_tenants];
+            for sub in slice.chunks(self.batch) {
+                for group in &mut groups {
+                    group.clear();
+                }
+                for (i, pkt) in sub.iter().enumerate() {
+                    let t = pkt.tenant as usize;
+                    assert!(
+                        t < n_tenants,
+                        "tagged packet for unknown tenant {} (roster has {n_tenants})",
+                        pkt.tenant
+                    );
+                    groups[t].push(i);
+                }
+                // Placeholder slots, then scatter each tenant group's
+                // results back to their arrival positions.
+                let base = results.len();
+                results.resize(base + sub.len(), MatchResult::NoMatch);
+                for (t, group) in groups.iter().enumerate() {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    headers.clear();
+                    headers.extend(group.iter().map(|&i| sub[i].header));
+                    // One snapshot per (tenant, sub-batch): the whole
+                    // group drains on a single consistent generation.
+                    let snapshot = self.tenants[t].live.snapshot();
+                    let group_started = Instant::now();
+                    tenant_results.clear();
+                    snapshot.classify_batch(&headers, &mut tenant_results);
+                    let busy_ns = group_started.elapsed().as_nanos() as u64;
+                    debug_assert_eq!(tenant_results.len(), group.len());
+                    for (&i, &result) in group.iter().zip(tenant_results.iter()) {
+                        results[base + i] = result;
+                    }
+                    let accum = &mut accums[t];
+                    accum.pkts += group.len() as u64;
+                    accum.busy_ns += busy_ns;
+                    accum.latencies.push(busy_ns);
+                }
+                if let Some(counter) = &self.progress {
+                    counter.fetch_add(sub.len() as u64, Ordering::Relaxed);
+                }
+            }
+            let wall_ns = worker_started.elapsed().as_nanos() as u64;
+            (results, wall_ns, accums)
+        };
+
+        if workers == 1 {
+            // Single shard: serve inline, matching `run_sharded`'s policy
+            // of not charging thread-spawn overhead to one-worker runs.
+            partials[0] = Some(serve_shard(shards[0]));
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, slice) in shards.into_iter().enumerate() {
+                    if slice.is_empty() {
+                        partials[i] =
+                            Some((Vec::new(), 0, vec![TenantAccum::default(); n_tenants]));
+                        continue;
+                    }
+                    let serve = &serve_shard;
+                    handles.push((i, scope.spawn(move || serve(slice))));
+                }
+                for (i, handle) in handles {
+                    partials[i] = Some(handle.join().expect("tenant router worker panicked"));
+                }
+            });
+        }
+
+        let mut results = Vec::with_capacity(trace.len());
+        let mut per_worker = Vec::with_capacity(workers);
+        let mut merged = vec![TenantAccum::default(); n_tenants];
+        for (worker, partial) in partials.into_iter().enumerate() {
+            let (shard_results, wall_ns, accums) = partial.expect("worker output missing");
+            let pkts = shard_results.len() as u64;
+            per_worker.push(WorkerReport {
+                worker,
+                pkts,
+                wall_ns,
+                mpps: crate::mpps(pkts, wall_ns),
+            });
+            results.extend(shard_results);
+            for (into, from) in merged.iter_mut().zip(accums) {
+                into.pkts += from.pkts;
+                into.busy_ns += from.busy_ns;
+                into.latencies.extend(from.latencies);
+            }
+        }
+        debug_assert_eq!(results.len(), trace.len());
+
+        let tenants: Vec<TenantReport> = merged
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut accum)| TenantReport {
+                tenant: t as TenantId,
+                name: self.tenants[t].name.clone(),
+                pkts: accum.pkts,
+                busy_ns: accum.busy_ns,
+                mpps: crate::mpps(accum.pkts, accum.busy_ns),
+                batch_latency: LatencyPercentiles::from_samples(&mut accum.latencies),
+            })
+            .collect();
+        let rates: Vec<f64> = tenants
+            .iter()
+            .filter(|t| t.pkts > 0)
+            .map(|t| t.mpps)
+            .collect();
+        let fairness = FairnessSummary::over_rates(&rates);
+
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let pkts = results.len() as u64;
+        TenantRun {
+            results,
+            report: ThroughputReport {
+                pkts,
+                wall_ns,
+                mpps: crate::mpps(pkts, wall_ns),
+                per_worker,
+            },
+            tenants,
+            fairness,
+        }
+    }
+
+    /// Serves one tenant's headers solo through the shared-pool geometry
+    /// (same workers/batch), as a plain [`Trace`] — the baseline the
+    /// tenant-cell benchmark compares cross-tenant batching against.
+    pub fn classify_solo(&self, tenant: TenantId, trace: &Trace) -> EngineRun {
+        let live = Arc::clone(&self.tenants[tenant as usize].live);
+        crate::run_sharded(trace, self.workers, self.batch, |_, headers, results| {
+            live.snapshot().classify_batch(headers, results);
+        })
+    }
+}
+
+impl<C> std::fmt::Debug for TenantRouter<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantRouter")
+            .field("tenants", &self.tenants.len())
+            .field("workers", &self.workers)
+            .field("batch", &self.batch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pclass_algos::update::RuleUpdate;
+    use pclass_algos::{HiCutsClassifier, HiCutsConfig, LinearClassifier};
+    use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
+    use pclass_types::RuleSet;
+
+    fn ruleset(rules: usize, seed: u64) -> RuleSet {
+        ClassBenchGenerator::new(SeedStyle::Acl, seed).generate(rules)
+    }
+
+    fn trace_for(rs: &RuleSet, seed: u64, packets: usize) -> Trace {
+        TraceGenerator::new(rs, seed).generate(packets)
+    }
+
+    #[test]
+    fn interleave_is_proportional_and_order_preserving() {
+        let a = ruleset(30, 1);
+        let b = ruleset(30, 2);
+        let ta = trace_for(&a, 3, 300);
+        let tb = trace_for(&b, 4, 100);
+        let tagged = TaggedTrace::interleave("mix", &[ta.clone(), tb.clone()]);
+        assert_eq!(tagged.len(), 400);
+        assert_eq!(tagged.tenant_count(), 2);
+        // Per-tenant order is preserved exactly.
+        let headers_a: Vec<_> = ta.entries().iter().map(|e| e.header).collect();
+        let headers_b: Vec<_> = tb.entries().iter().map(|e| e.header).collect();
+        assert_eq!(tagged.tenant_headers(0), headers_a);
+        assert_eq!(tagged.tenant_headers(1), headers_b);
+        // Proportional-fair: every prefix carries each tenant's share to
+        // within one packet of exact proportionality.
+        let mut seen = [0usize; 2];
+        for (i, pkt) in tagged.entries().iter().enumerate() {
+            seen[pkt.tenant as usize] += 1;
+            let expect_a = (i + 1) as f64 * 300.0 / 400.0;
+            assert!(
+                (seen[0] as f64 - expect_a).abs() <= 1.0,
+                "prefix {} has {} tenant-0 packets, expected ~{expect_a}",
+                i + 1,
+                seen[0]
+            );
+        }
+        // Deterministic.
+        assert_eq!(tagged, TaggedTrace::interleave("mix", &[ta, tb]));
+    }
+
+    #[test]
+    fn single_tenant_router_matches_live_engine_packet_for_packet() {
+        let rs = ruleset(120, 11);
+        let trace = trace_for(&rs, 12, 900);
+        let tagged = TaggedTrace::interleave("solo", std::slice::from_ref(&trace));
+        for workers in [1usize, 3] {
+            let config = EngineConfig::new().workers(workers).batch_size(128);
+            let router =
+                config.tenant_router([("only".to_string(), LinearClassifier::new(rs.clone()))]);
+            let live = Arc::new(LiveClassifier::new(LinearClassifier::new(rs.clone())));
+            let engine = config.live_engine(live);
+            let run = router.classify_tagged(&tagged);
+            assert_eq!(run.results, engine.classify_trace(&trace).results);
+            assert_eq!(run.tenants.len(), 1);
+            assert_eq!(run.tenants[0].pkts, trace.len() as u64);
+            assert_eq!(run.fairness.jain_index, 1.0);
+        }
+    }
+
+    #[test]
+    fn interleaved_tenants_each_get_their_own_solo_results() {
+        let rulesets: Vec<RuleSet> = (0..4)
+            .map(|t| ruleset(60 + 10 * t, 20 + t as u64))
+            .collect();
+        let traces: Vec<Trace> = rulesets
+            .iter()
+            .enumerate()
+            .map(|(t, rs)| trace_for(rs, 30 + t as u64, 250))
+            .collect();
+        let tagged = TaggedTrace::interleave("quad", &traces);
+        let router = EngineConfig::new().workers(2).batch_size(64).tenant_router(
+            rulesets
+                .iter()
+                .enumerate()
+                .map(|(t, rs)| (format!("t{t}"), LinearClassifier::new(rs.clone()))),
+        );
+        let run = router.classify_tagged(&tagged);
+        assert_eq!(run.results.len(), tagged.len());
+        for (t, rs) in rulesets.iter().enumerate() {
+            let got = tagged.tenant_results(t as TenantId, &run.results);
+            let expected = traces[t].ground_truth(rs);
+            assert_eq!(got, expected, "tenant {t}");
+            assert_eq!(run.tenants[t].pkts, 250);
+            assert_eq!(router.name(t as TenantId), format!("t{t}"));
+        }
+        let total: u64 = run.tenants.iter().map(|t| t.pkts).sum();
+        assert_eq!(total, tagged.len() as u64);
+    }
+
+    #[test]
+    fn churn_on_one_tenant_leaves_the_others_untouched() {
+        let rs0 = ruleset(80, 41);
+        let rs1 = ruleset(80, 42);
+        let flat_for =
+            |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten();
+        let router = EngineConfig::new().workers(2).tenant_router([
+            ("churny".to_string(), flat_for(&rs0)),
+            ("steady".to_string(), flat_for(&rs1)),
+        ]);
+        router
+            .live(0)
+            .apply_batch(&[RuleUpdate::Delete(5)])
+            .expect("delete applies");
+        assert_eq!(router.live(0).generation(), 1);
+        assert_eq!(router.live(1).generation(), 0, "tenant 1 never updated");
+        // Tenant 1 still serves its original ruleset; tenant 0 serves the
+        // post-delete one.
+        let t0 = trace_for(&rs0, 43, 200);
+        let t1 = trace_for(&rs1, 44, 200);
+        let tagged = TaggedTrace::interleave("pair", &[t0.clone(), t1.clone()]);
+        let run = router.classify_tagged(&tagged);
+        assert_eq!(
+            tagged.tenant_results(1, &run.results),
+            t1.ground_truth(&rs1)
+        );
+        let live0 = router.live(0).snapshot();
+        for (header, got) in t0
+            .entries()
+            .iter()
+            .map(|e| e.header)
+            .zip(tagged.tenant_results(0, &run.results))
+        {
+            assert_eq!(got, live0.classify(&header));
+        }
+    }
+
+    #[test]
+    fn accounting_covers_only_tenants_with_traffic() {
+        let rs = ruleset(50, 51);
+        let trace = trace_for(&rs, 52, 300);
+        let router = EngineConfig::new().tenant_router([
+            ("busy".to_string(), LinearClassifier::new(rs.clone())),
+            ("idle".to_string(), LinearClassifier::new(rs.clone())),
+        ]);
+        // All traffic tagged for tenant 0.
+        let tagged = TaggedTrace::interleave("one-sided", std::slice::from_ref(&trace));
+        let run = router.classify_tagged(&tagged);
+        assert_eq!(run.tenants[0].pkts, 300);
+        assert_eq!(run.tenants[1].pkts, 0);
+        assert_eq!(run.tenants[1].batch_latency, LatencyPercentiles::default());
+        // Fairness is over served tenants only — one busy tenant is fair.
+        assert_eq!(run.fairness.jain_index, 1.0);
+        assert!(run.tenants[0].busy_ns > 0);
+    }
+
+    #[test]
+    fn empty_tagged_trace_is_served() {
+        let rs = ruleset(20, 61);
+        let router = EngineConfig::new()
+            .workers(4)
+            .tenant_router([("only".to_string(), LinearClassifier::new(rs))]);
+        let run = router.classify_tagged(&TaggedTrace::new("empty", vec![]));
+        assert!(run.results.is_empty());
+        assert_eq!(run.report.pkts, 0);
+        assert_eq!(run.tenants[0].pkts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tenant")]
+    fn unknown_tenant_id_panics() {
+        let rs = ruleset(20, 71);
+        let router = EngineConfig::new()
+            .tenant_router([("only".to_string(), LinearClassifier::new(rs.clone()))]);
+        let header = trace_for(&rs, 72, 1).entries()[0].header;
+        let tagged = TaggedTrace::new("bad", vec![TaggedPacket { tenant: 7, header }]);
+        router.classify_tagged(&tagged);
+    }
+
+    #[test]
+    fn classify_solo_matches_ground_truth() {
+        let rs = ruleset(90, 81);
+        let trace = trace_for(&rs, 82, 400);
+        let router = EngineConfig::new()
+            .workers(2)
+            .tenant_router([("only".to_string(), LinearClassifier::new(rs.clone()))]);
+        let run = router.classify_solo(0, &trace);
+        assert_eq!(run.results, trace.ground_truth(&rs));
+    }
+}

@@ -67,6 +67,86 @@ pub struct UpdateStats {
     pub overflow_rules: u64,
 }
 
+/// p50/p95/p99 percentiles over a set of wall-time samples (nanoseconds).
+///
+/// Shared by every layer that reports latency distributions: the churn
+/// harness records per-burst `apply_batch` latencies, and the multi-tenant
+/// router records per-tenant batch-service latencies.  It lives here, next
+/// to [`UpdateStats`], so every crate that serializes measurements shares
+/// one definition — and one rank formula.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Median (50th-percentile) sample, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile sample, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile sample, nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl LatencyPercentiles {
+    /// Computes the percentiles of a sample set (sorted in place; an empty
+    /// set yields all-zero percentiles).  The rank formula
+    /// `sorted[(len * p / 100).min(len - 1)]` is the one the churn harness
+    /// has recorded since schema v2, so regenerated baselines stay
+    /// comparable.
+    pub fn from_samples(samples: &mut [u64]) -> LatencyPercentiles {
+        samples.sort_unstable();
+        let pct = |p: usize| -> u64 {
+            if samples.is_empty() {
+                0
+            } else {
+                samples[(samples.len() * p / 100).min(samples.len() - 1)]
+            }
+        };
+        LatencyPercentiles {
+            p50_ns: pct(50),
+            p95_ns: pct(95),
+            p99_ns: pct(99),
+        }
+    }
+}
+
+/// Cross-tenant fairness summary of one multi-tenant serving run,
+/// computed over the per-tenant service rates (Mpps of busy time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairnessSummary {
+    /// Jain's fairness index `(Σx)² / (n·Σx²)` over the per-tenant rates:
+    /// 1.0 when every tenant is served at the same rate, approaching `1/n`
+    /// when one tenant monopolises the worker pool.
+    pub jain_index: f64,
+    /// The slowest tenant's rate.
+    pub min_mpps: f64,
+    /// The fastest tenant's rate.
+    pub max_mpps: f64,
+}
+
+impl FairnessSummary {
+    /// Summarises a set of per-tenant rates.  An empty set (no tenant
+    /// served a packet) is perfectly fair by convention.
+    pub fn over_rates(rates: &[f64]) -> FairnessSummary {
+        if rates.is_empty() {
+            return FairnessSummary {
+                jain_index: 1.0,
+                min_mpps: 0.0,
+                max_mpps: 0.0,
+            };
+        }
+        let sum: f64 = rates.iter().sum();
+        let sq: f64 = rates.iter().map(|r| r * r).sum();
+        let jain_index = if sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (rates.len() as f64 * sq)
+        };
+        FairnessSummary {
+            jain_index,
+            min_mpps: rates.iter().copied().fold(f64::INFINITY, f64::min),
+            max_mpps: rates.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
 /// Summary statistics of a ruleset's structure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuleSetStats {
@@ -203,6 +283,38 @@ mod tests {
         assert_eq!(stats.wildcards[1], 2);
         assert!((stats.double_wildcard_fraction - 0.5).abs() < 1e-9);
         assert!(stats.mean_wildcard_dims > 4.0);
+    }
+
+    #[test]
+    fn latency_percentiles_use_the_churn_rank_formula() {
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(
+            LatencyPercentiles::from_samples(&mut empty),
+            LatencyPercentiles::default()
+        );
+        // Unsorted input is sorted in place; ranks match the historical
+        // inline formula `sorted[(len * p / 100).min(len - 1)]`.
+        let mut samples: Vec<u64> = (1..=100).rev().collect();
+        let p = LatencyPercentiles::from_samples(&mut samples);
+        assert_eq!((p.p50_ns, p.p95_ns, p.p99_ns), (51, 96, 100));
+        let mut one = vec![7u64];
+        let p = LatencyPercentiles::from_samples(&mut one);
+        assert_eq!((p.p50_ns, p.p95_ns, p.p99_ns), (7, 7, 7));
+    }
+
+    #[test]
+    fn fairness_summary_tracks_jain_index_and_extremes() {
+        let even = FairnessSummary::over_rates(&[2.0, 2.0, 2.0, 2.0]);
+        assert!((even.jain_index - 1.0).abs() < 1e-12);
+        assert_eq!((even.min_mpps, even.max_mpps), (2.0, 2.0));
+        // One tenant monopolising n tenants drives the index toward 1/n.
+        let skew = FairnessSummary::over_rates(&[4.0, 0.0, 0.0, 0.0]);
+        assert!((skew.jain_index - 0.25).abs() < 1e-12);
+        assert_eq!((skew.min_mpps, skew.max_mpps), (0.0, 4.0));
+        let none = FairnessSummary::over_rates(&[]);
+        assert_eq!(none.jain_index, 1.0);
+        let idle = FairnessSummary::over_rates(&[0.0, 0.0]);
+        assert_eq!(idle.jain_index, 1.0, "all-idle is fair by convention");
     }
 
     #[test]

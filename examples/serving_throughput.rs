@@ -37,7 +37,9 @@ fn main() {
     }
     for (name, classifier) in roster.classifiers {
         for workers in [1usize, 4] {
-            let engine = Engine::from_shared(workers, Arc::clone(&classifier));
+            let engine = EngineConfig::new()
+                .workers(workers)
+                .engine(Arc::clone(&classifier));
             let run = engine.classify_trace(&trace);
             assert_eq!(run.results, truth, "{name} disagrees with linear");
             println!(

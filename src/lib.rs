@@ -55,7 +55,7 @@ pub use pclass_types as types;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
-    pub use pclass_algos::flat::{FlatTree, FlatTreeClassifier, LaneWidth};
+    pub use pclass_algos::flat::{FlatSettings, FlatTree, FlatTreeClassifier, LaneWidth};
     pub use pclass_algos::hicuts::HiCutsClassifier;
     pub use pclass_algos::hypercuts::HyperCutsClassifier;
     pub use pclass_algos::linear::LinearClassifier;
@@ -67,10 +67,14 @@ pub mod prelude {
     pub use pclass_core::program::HardwareProgram;
     pub use pclass_energy::device::{DeviceModel, TechnologyNode};
     pub use pclass_energy::sa1100::Sa1100Model;
-    pub use pclass_engine::{Engine, EngineRun, SharedClassifier, ThroughputReport, WorkerReport};
+    pub use pclass_engine::{
+        Engine, EngineConfig, EngineRun, LiveClassifier, LiveEngine, SharedClassifier,
+        TaggedPacket, TaggedTrace, TenantId, TenantReport, TenantRouter, TenantRun,
+        ThroughputReport, WorkerReport,
+    };
     pub use pclass_tcam::TcamClassifier;
     pub use pclass_types::{
-        Dimension, DimensionSpec, FieldRange, MatchResult, PacketHeader, Prefix, Rule, RuleBuilder,
-        RuleId, RuleSet, Trace,
+        Dimension, DimensionSpec, FairnessSummary, FieldRange, LatencyPercentiles, MatchResult,
+        PacketHeader, Prefix, Rule, RuleBuilder, RuleId, RuleSet, Trace,
     };
 }

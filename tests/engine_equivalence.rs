@@ -40,7 +40,7 @@ proptest! {
             let sequential: Vec<MatchResult> =
                 trace.headers().map(|h| classifier.classify(h)).collect();
             for workers in [1usize, 2, 4] {
-                let engine = Engine::from_shared(workers, Arc::clone(&classifier));
+                let engine = EngineConfig::new().workers(workers).engine(Arc::clone(&classifier));
                 let run = engine.classify_trace(&trace);
                 prop_assert_eq!(
                     &run.results,
@@ -63,7 +63,10 @@ fn engine_handles_empty_trace_for_every_classifier() {
     let empty = Trace::from_headers("empty", vec![]);
     for classifier in classifiers(&rs) {
         for workers in [1usize, 2, 4] {
-            let run = Engine::from_shared(workers, Arc::clone(&classifier)).classify_trace(&empty);
+            let run = EngineConfig::new()
+                .workers(workers)
+                .engine(Arc::clone(&classifier))
+                .classify_trace(&empty);
             assert!(run.results.is_empty());
             assert_eq!(run.report.pkts, 0);
         }
@@ -76,7 +79,10 @@ fn engine_handles_trace_smaller_than_worker_count() {
     let trace = TraceGenerator::new(&rs, 79).generate(3);
     let truth = trace.ground_truth(&rs);
     for classifier in classifiers(&rs) {
-        let run = Engine::from_shared(4, Arc::clone(&classifier)).classify_trace(&trace);
+        let run = EngineConfig::new()
+            .workers(4)
+            .engine(Arc::clone(&classifier))
+            .classify_trace(&trace);
         assert_eq!(run.results, truth);
         // Exactly one result per packet even though one shard is idle.
         let served: u64 = run.report.per_worker.iter().map(|w| w.pkts).sum();

@@ -139,7 +139,9 @@ fn zipf_cell_serves_every_classifier_packet_for_packet() {
     assert!(roster.skipped.is_empty(), "{:?}", roster.skipped);
     for (name, classifier) in roster.classifiers {
         for workers in [1usize, 4] {
-            let engine = Engine::from_shared(workers, std::sync::Arc::clone(&classifier));
+            let engine = EngineConfig::new()
+                .workers(workers)
+                .engine(std::sync::Arc::clone(&classifier));
             let run = engine.classify_trace(&trace);
             assert_eq!(run.results, truth, "{name} x{workers} on zipf trace");
         }

@@ -173,8 +173,11 @@ proptest! {
         assert_equivalent(&c, build_hc, &headers);
 
         // HiCuts flat arena.
-        let build_hcf =
-            |rs: &RuleSet| build_hc(rs).flatten().with_dirty_threshold(threshold);
+        let settings = FlatSettings {
+            dirty_threshold: threshold,
+            ..FlatSettings::default()
+        };
+        let build_hcf = |rs: &RuleSet| build_hc(rs).flatten().with_settings(settings);
         let mut c = build_hcf(&rs);
         apply_script(&mut c, &script, &fresh_pool);
         assert_equivalent(&c, build_hcf, &headers);
@@ -186,8 +189,7 @@ proptest! {
         assert_equivalent(&c, build_hyc, &headers);
 
         // HyperCuts flat arena.
-        let build_hycf =
-            |rs: &RuleSet| build_hyc(rs).flatten().with_dirty_threshold(threshold);
+        let build_hycf = |rs: &RuleSet| build_hyc(rs).flatten().with_settings(settings);
         let mut c = build_hycf(&rs);
         apply_script(&mut c, &script, &fresh_pool);
         assert_equivalent(&c, build_hycf, &headers);

@@ -160,7 +160,10 @@ proptest! {
         ] {
             // Infinity: dirtying inserts spill to overflow side-tables and
             // are never compacted back into the slab.
-            let mut c = build().with_dirty_threshold(f64::INFINITY);
+            let mut c = build().with_settings(FlatSettings {
+                dirty_threshold: f64::INFINITY,
+                ..FlatSettings::default()
+            });
             apply_script(&mut c, &script, &fresh_pool);
             // The scalar oracle itself is checked against linear search
             // over the live set, so the chain is closed end to end.
@@ -191,7 +194,10 @@ fn acl1_2000_churn_with_live_overflow_is_lane_exact() {
 
     let mut c = HiCutsClassifier::build(&rs, &HiCutsConfig::paper_defaults())
         .flatten()
-        .with_dirty_threshold(f64::INFINITY);
+        .with_settings(FlatSettings {
+            dirty_threshold: f64::INFINITY,
+            ..FlatSettings::default()
+        });
     for u in &updates {
         c.apply(u).expect("churn update applies");
     }
