@@ -1432,12 +1432,12 @@ pub const DEFAULT_DIRTY_THRESHOLD: f64 = 0.05;
 /// The serving/update tuning of a [`FlatTreeClassifier`], applied in one
 /// shot through [`FlatTreeClassifier::with_settings`].
 ///
-/// This replaces the scattered `with_lanes`/`with_dirty_threshold` chain:
-/// construction sites name the fields they override and inherit the rest
-/// from [`FlatSettings::default`], so adding a tuning axis no longer
-/// multiplies `with_*` methods (`pclass_engine::EngineConfig` plays the
-/// same role one layer up, and its lane width is plumbed down into this
-/// struct by the bench roster).
+/// The settings bundle is the *only* tuning path: construction sites name
+/// the fields they override and inherit the rest from
+/// [`FlatSettings::default`], so adding a tuning axis never multiplies
+/// `with_*` methods (`pclass_engine::EngineConfig` plays the same role
+/// one layer up, and its lane width is plumbed down into this struct by
+/// the bench roster).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlatSettings {
     /// Lane width of the batched vectorised walk ([`LaneWidth::Scalar`]
@@ -1485,24 +1485,6 @@ impl FlatTreeClassifier {
             lanes: self.lanes,
             dirty_threshold: self.dirty_threshold,
         }
-    }
-
-    /// Overrides the dirty-ratio threshold that triggers an amortized
-    /// re-flatten after an update (`f64::INFINITY` disables it).
-    #[deprecated(note = "use `with_settings(FlatSettings { dirty_threshold, .. })`")]
-    pub fn with_dirty_threshold(mut self, threshold: f64) -> FlatTreeClassifier {
-        self.dirty_threshold = threshold;
-        self
-    }
-
-    /// Overrides the lane width the batched walk serves with —
-    /// [`LaneWidth::Scalar`] selects the per-packet fallback, so the
-    /// serving layers can exercise both paths (the `throughput` harness
-    /// exposes this as `--lane-width`).
-    #[deprecated(note = "use `with_settings(FlatSettings { lanes, .. })`")]
-    pub fn with_lanes(mut self, lanes: LaneWidth) -> FlatTreeClassifier {
-        self.lanes = lanes;
-        self
     }
 
     /// The lane width the batched walk serves with.

@@ -62,6 +62,7 @@ pub mod counters;
 pub mod dtree;
 pub mod flat;
 pub mod hicuts;
+pub mod hotcache;
 pub mod hypercuts;
 pub mod linear;
 pub mod rfc;
@@ -70,6 +71,7 @@ pub mod update;
 pub use counters::{BuildStats, LookupStats, OpCounters};
 pub use flat::{FlatSettings, FlatTree, FlatTreeClassifier, LaneWidth};
 pub use hicuts::{HiCutsClassifier, HiCutsConfig};
+pub use hotcache::{CachedClassifier, HotCache, HotCacheConfig};
 pub use hypercuts::{HyperCutsClassifier, HyperCutsConfig};
 pub use linear::LinearClassifier;
 pub use rfc::{RfcClassifier, RfcConfig, RfcError};
@@ -124,5 +126,36 @@ pub trait Classifier {
     /// static bound available.
     fn worst_case_memory_accesses(&self) -> Option<u64> {
         None
+    }
+}
+
+/// Shared handles classify like what they point at — including unsized
+/// targets, so an `Arc<dyn Classifier + Send + Sync>` is itself a
+/// [`Classifier`] and composes with wrappers such as
+/// [`hotcache::CachedClassifier`].  Every method delegates, so a batched
+/// override behind the handle keeps its locality win.
+impl<T: Classifier + ?Sized> Classifier for std::sync::Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn classify(&self, pkt: &PacketHeader) -> MatchResult {
+        (**self).classify(pkt)
+    }
+
+    fn classify_batch(&self, pkts: &[PacketHeader], out: &mut Vec<MatchResult>) {
+        (**self).classify_batch(pkts, out)
+    }
+
+    fn classify_with_stats(&self, pkt: &PacketHeader, stats: &mut LookupStats) -> MatchResult {
+        (**self).classify_with_stats(pkt, stats)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+
+    fn worst_case_memory_accesses(&self) -> Option<u64> {
+        (**self).worst_case_memory_accesses()
     }
 }

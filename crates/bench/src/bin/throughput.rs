@@ -21,14 +21,25 @@
 //! matrix of ruleset (style × size, acl up to 64 k rules, fw/ipc to 10 k)
 //! × trace profile (`uniform` / `zipf`) × churn profile (quiescent, 1 %
 //! bursts, 10 % deep churn, delete-heavy drain, sustained progress-paced
-//! stream) × worker count.  Quick mode runs exactly the `quick`-tagged
-//! subset of the same matrix, so the per-PR CI gate and the weekly full
-//! sweep can never drift apart.  Every quiescent cell serves the whole
-//! classifier roster (hardware models are excluded with explicit skip
-//! records at ≥32 k rules) and is verified packet-for-packet against
-//! linear search; every churn cell hard-fails unless the post-churn
-//! structure classifies packet-for-packet like a from-scratch rebuild of
-//! the surviving ruleset.
+//! stream) × worker count × hot-cache toggle.  Quick mode runs exactly
+//! the `quick`-tagged subset of the same matrix, so the per-PR CI gate
+//! and the weekly full sweep can never drift apart.  Every quiescent cell
+//! serves the whole classifier roster (hardware models are excluded with
+//! explicit skip records at ≥32 k rules) and is verified
+//! packet-for-packet against linear search; every churn cell hard-fails
+//! unless the post-churn structure classifies packet-for-packet like a
+//! from-scratch rebuild of the surviving ruleset.
+//!
+//! Cells with `cache: true` serve through the popularity-adaptive
+//! hot-flow cache (`pclass_algos::hotcache`, sized to the trace's flow
+//! working set) behind
+//! `EngineConfig::hot_cache`; they are verified packet-for-packet on the
+//! cold *and* on a warm pass (cache-hit path), carry a `+cache` profile
+//! suffix so the gate compares them against their own baseline, and
+//! record a `cache` summary (geometry, hits, misses, evictions, hit
+//! rate).  The zipf+cache cell's acceptance bar is beating the uncached
+//! zipf cell on the same ruleset; the uniform+cache cell is the control
+//! that the cache does not tax low-locality traffic.
 //!
 //! `--tenants` additionally runs the multi-tenant axis
 //! (`pclass_bench::scenario::tenant_scenarios`): 1/4/16 tenants with
@@ -40,16 +51,24 @@
 //! the same rulesets solo-sequentially (one tenant at a time, same
 //! workers) — the `router_vs_solo` ratio is the cost of sharing the
 //! worker pool — plus per-tenant batch-latency percentiles and a Jain
-//! fairness index.
+//! fairness index.  The churn+cache isolation cell additionally churns
+//! tenant 0's ruleset *mid-measurement* (a scripted burst stream racing
+//! the serving passes) behind per-tenant hot caches, then hard-fails
+//! unless tenant 0 classifies packet-for-packet like linear search over
+//! its post-churn rules while every neighbour still matches its original
+//! ground truth — churn isolation and generation-based cache
+//! invalidation, measured on every PR.
 //!
-//! Results land in `BENCH_throughput.json` (schema `pclass-throughput/v5`,
+//! Results land in `BENCH_throughput.json` (schema `pclass-throughput/v6`,
 //! documented in `docs/SCHEMA.md` and the README's "Scenario matrix"
 //! section): every run, churn, and tenant record carries its `profile`
 //! tag, and the header records the measuring host (logical CPU count,
 //! rustc version) so `--check` can flag cross-host comparisons.  Each
 //! `builds` record carries the memory footprint of one classifier build;
 //! the flat-arena variants additionally record their arena layout
-//! statistics.
+//! statistics; cached cells carry `cache` hit/miss/eviction summaries
+//! (the 5-part cell key is unchanged from v5 — cached cells are new
+//! *cells*, distinguished by profile tag, not a new key part).
 //!
 //! Every quiescent cell is measured as the best of seven aggregates of
 //! back-to-back engine runs, after one warmup pass (cold arena, page
@@ -83,7 +102,8 @@
 
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
 use pclass_algos::hypercuts::{HyperCutsClassifier, HyperCutsConfig};
-use pclass_algos::{FlatSettings, FlatTreeClassifier, LaneWidth};
+use pclass_algos::update::{classify_live_linear, UpdatableClassifier};
+use pclass_algos::{FlatSettings, FlatTreeClassifier, HotCacheConfig, LaneWidth};
 use pclass_bench::check::{self, HostInfo, RunCell};
 use pclass_bench::churn::{self, ChurnProfile};
 use pclass_bench::scenario::{self, Scenario};
@@ -92,10 +112,36 @@ use pclass_classbench::SeedStyle;
 use pclass_engine::{
     Engine, EngineConfig, TaggedTrace, TenantId, TenantRun, ThroughputReport, WorkerReport,
 };
-use pclass_types::{ArenaStats, FairnessSummary, RuleSet, Trace};
+use pclass_types::{ArenaStats, CacheStats, FairnessSummary, RuleSet, Trace};
 use serde::json;
 use serde::Serialize;
 use std::sync::Arc;
+
+/// Hot-flow cache accounting of one cached cell (schema v6): the
+/// configured geometry plus cumulative hit/miss/eviction counters over
+/// the cell's measured window.  `None` on uncached cells.
+#[derive(Debug, Clone, Serialize)]
+struct CacheSummary {
+    capacity: usize,
+    assoc: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    hit_rate: f64,
+}
+
+impl CacheSummary {
+    fn new(geometry: HotCacheConfig, stats: CacheStats) -> CacheSummary {
+        CacheSummary {
+            capacity: geometry.capacity,
+            assoc: geometry.assoc,
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            hit_rate: stats.hit_rate(),
+        }
+    }
+}
 
 /// One engine run in the JSON record.
 #[derive(Debug, Clone, Serialize)]
@@ -110,6 +156,7 @@ struct RunRecord {
     wall_ns: u64,
     mpps: f64,
     per_worker: Vec<WorkerReport>,
+    cache: Option<CacheSummary>,
 }
 
 /// A classifier that could not be built for a ruleset (with the reason), so
@@ -168,6 +215,7 @@ struct TenantSliceRecord {
     p50_ns: u64,
     p95_ns: u64,
     p99_ns: u64,
+    cache: Option<CacheSummary>,
 }
 
 /// One multi-tenant cell: N per-tenant classifiers behind one
@@ -191,6 +239,7 @@ struct TenantCellRecord {
     router_vs_solo: f64,
     fairness: FairnessSummary,
     per_tenant: Vec<TenantSliceRecord>,
+    cache: Option<CacheSummary>,
     verified: bool,
 }
 
@@ -359,15 +408,33 @@ fn main() {
                     let truth = trace.ground_truth(&ruleset);
                     for (name, classifier) in &roster.classifiers {
                         for &workers in worker_counts {
-                            let engine = EngineConfig::new()
-                                .workers(workers)
-                                .engine(Arc::clone(classifier));
+                            // Size the cache to the trace's flow working
+                            // set (ClassBench bursts mean ~trace/2 distinct
+                            // flows): the harness measures repeated passes,
+                            // so the steady state it reports is a cache
+                            // that *holds* the offered flows — CLOCK
+                            // pressure is covered by the tenant cells,
+                            // whose per-tenant slices are budgeted.
+                            let geometry = HotCacheConfig::new(
+                                trace.len().next_power_of_two(),
+                                HotCacheConfig::DEFAULT_ASSOC,
+                            );
+                            let mut config = EngineConfig::new().workers(workers);
+                            if cell.cache {
+                                config = config.hot_cache(geometry);
+                            }
+                            let engine = config.engine(Arc::clone(classifier));
                             // The warmup pass (cold arena, page faults)
                             // also carries the packet-for-packet gate —
                             // the engine is deterministic, so one check
                             // covers every subsequent pass of this cell.
+                            // Cached cells verify a *second* pass too: the
+                            // warm pass answers from the cache, a path the
+                            // cold pass never takes.
                             let warmup = engine.classify_trace(trace);
-                            if warmup.results != truth {
+                            let warm_ok =
+                                !cell.cache || engine.classify_trace(trace).results == truth;
+                            if warmup.results != truth || !warm_ok {
                                 mismatches += 1;
                                 eprintln!(
                                     "MISMATCH: {} with {} workers disagrees with linear \
@@ -398,6 +465,9 @@ fn main() {
                                 wall_ns: measured.wall_ns,
                                 mpps: measured.mpps,
                                 per_worker: measured.per_worker,
+                                cache: engine
+                                    .cache_stats()
+                                    .map(|stats| CacheSummary::new(geometry, stats)),
                             });
                         }
                     }
@@ -421,7 +491,7 @@ fn main() {
     };
 
     let file = BenchFile {
-        schema: "pclass-throughput/v5".to_string(),
+        schema: "pclass-throughput/v6".to_string(),
         seed: WORKLOAD_SEED,
         quick,
         host: HostInfo::current(),
@@ -732,9 +802,20 @@ fn tenant_sweep(
             "classifier", "workers", "Mpps", "solo", "vs solo", "jain"
         );
         for (name, build) in roster {
-            let config = EngineConfig::new()
+            // Router-wide entry budget scaled to the offered load, split
+            // equally per tenant by the router (see `TenantRouter`).
+            let geometry = HotCacheConfig::new(
+                tagged.len().next_power_of_two(),
+                HotCacheConfig::DEFAULT_ASSOC,
+            );
+            let per_tenant_geometry =
+                HotCacheConfig::new(geometry.capacity / workloads.len(), geometry.assoc);
+            let mut config = EngineConfig::new()
                 .workers(s.workers)
                 .lane_width(lane_width);
+            if s.cache {
+                config = config.hot_cache(geometry);
+            }
             let router = config.tenant_router(
                 workloads
                     .iter()
@@ -742,10 +823,17 @@ fn tenant_sweep(
             );
             // The warmup pass carries the per-tenant packet-for-packet
             // gate — the router is deterministic, so one projection per
-            // tenant covers every subsequent pass of this cell.
+            // tenant covers every subsequent pass of this cell.  Cached
+            // cells verify a *second* (warm) pass too: it answers from
+            // the per-tenant caches, a path the cold pass never takes.
             let warmup = router.classify_tagged(&tagged);
-            let verified = (0..workloads.len())
+            let mut verified = (0..workloads.len())
                 .all(|t| tagged.tenant_results(t as TenantId, &warmup.results) == truths[t]);
+            if verified && s.cache {
+                let warm = router.classify_tagged(&tagged);
+                verified = (0..workloads.len())
+                    .all(|t| tagged.tenant_results(t as TenantId, &warm.results) == truths[t]);
+            }
             if !verified {
                 failures += 1;
                 eprintln!(
@@ -757,46 +845,95 @@ fn tenant_sweep(
             }
             let passes =
                 (TARGET_CELL_WALL_NS / warmup.report.wall_ns.max(1)).clamp(1, MAX_CELL_PASSES);
+            // The churn isolation cell applies a scripted burst stream to
+            // tenant 0 *while* the aggregates below measure: the updater
+            // thread races the serving passes, every burst publishing a
+            // new snapshot generation (which also retires tenant 0's
+            // cached entries).  The stream is finite and deterministic,
+            // so the post-churn ruleset is exact regardless of timing.
+            let updates = s
+                .churn
+                .then(|| ChurnProfile::Burst1.stream(&workloads[0].ruleset));
             // Best (highest-Mpps) aggregate for the router and the solo
             // baseline independently: both sides keep their own best
             // window, so one scheduler burst cannot skew the ratio both
             // ways at once.
-            let mut best: Option<(u64, u64, f64, TenantRun)> = None;
-            let mut best_solo = 0.0f64;
-            for _ in 0..TENANT_AGGREGATES {
-                let mut pkts = 0u64;
-                let mut wall_ns = 0u64;
-                let mut fastest: Option<TenantRun> = None;
-                for _ in 0..passes {
-                    let run = router.classify_tagged(&tagged);
-                    pkts += run.report.pkts;
-                    wall_ns += run.report.wall_ns;
-                    if fastest
-                        .as_ref()
-                        .is_none_or(|f| run.report.mpps > f.report.mpps)
-                    {
-                        fastest = Some(run);
+            let (best, best_solo) = std::thread::scope(|scope| {
+                let updater = updates.as_ref().map(|stream| {
+                    let live0 = router.live(0);
+                    scope.spawn(move || {
+                        for burst in stream.chunks(4) {
+                            live0
+                                .apply_batch(burst)
+                                .expect("scripted tenant-0 burst applies");
+                            std::thread::yield_now();
+                        }
+                    })
+                });
+                let mut best: Option<(u64, u64, f64, TenantRun)> = None;
+                let mut best_solo = 0.0f64;
+                for _ in 0..TENANT_AGGREGATES {
+                    let mut pkts = 0u64;
+                    let mut wall_ns = 0u64;
+                    let mut fastest: Option<TenantRun> = None;
+                    for _ in 0..passes {
+                        let run = router.classify_tagged(&tagged);
+                        pkts += run.report.pkts;
+                        wall_ns += run.report.wall_ns;
+                        if fastest
+                            .as_ref()
+                            .is_none_or(|f| run.report.mpps > f.report.mpps)
+                        {
+                            fastest = Some(run);
+                        }
+                    }
+                    let mpps = if wall_ns == 0 {
+                        0.0
+                    } else {
+                        pkts as f64 * 1e3 / wall_ns as f64
+                    };
+                    if best.as_ref().is_none_or(|b| mpps > b.2) {
+                        best = Some((pkts, wall_ns, mpps, fastest.expect("at least one pass")));
+                    }
+                    let mut solo_pkts = 0u64;
+                    let mut solo_wall_ns = 0u64;
+                    for _ in 0..passes {
+                        for (t, trace) in traces.iter().enumerate() {
+                            let run = router.classify_solo(t as TenantId, trace);
+                            solo_pkts += run.report.pkts;
+                            solo_wall_ns += run.report.wall_ns;
+                        }
+                    }
+                    if solo_wall_ns > 0 {
+                        best_solo = best_solo.max(solo_pkts as f64 * 1e3 / solo_wall_ns as f64);
                     }
                 }
-                let mpps = if wall_ns == 0 {
-                    0.0
-                } else {
-                    pkts as f64 * 1e3 / wall_ns as f64
-                };
-                if best.as_ref().is_none_or(|b| mpps > b.2) {
-                    best = Some((pkts, wall_ns, mpps, fastest.expect("at least one pass")));
+                if let Some(handle) = updater {
+                    handle.join().expect("tenant churn updater panicked");
                 }
-                let mut solo_pkts = 0u64;
-                let mut solo_wall_ns = 0u64;
-                for _ in 0..passes {
-                    for (t, trace) in traces.iter().enumerate() {
-                        let run = router.classify_solo(t as TenantId, trace);
-                        solo_pkts += run.report.pkts;
-                        solo_wall_ns += run.report.wall_ns;
-                    }
-                }
-                if solo_wall_ns > 0 {
-                    best_solo = best_solo.max(solo_pkts as f64 * 1e3 / solo_wall_ns as f64);
+                (best, best_solo)
+            });
+            if s.churn {
+                // Quiescent again: tenant 0 must now serve exactly what
+                // linear search over its post-churn rules decides, while
+                // every neighbour still matches its untouched ground
+                // truth — churn isolation, verified packet for packet.
+                let final_run = router.classify_tagged(&tagged);
+                let final_rules = router.live(0).snapshot().live_rules();
+                let t0_ok = tagged
+                    .tenant_headers(0)
+                    .iter()
+                    .zip(tagged.tenant_results(0, &final_run.results))
+                    .all(|(header, got)| got == classify_live_linear(&final_rules, header));
+                let others_ok = (1..workloads.len())
+                    .all(|t| tagged.tenant_results(t as TenantId, &final_run.results) == truths[t]);
+                verified = t0_ok && others_ok;
+                if !verified {
+                    failures += 1;
+                    eprintln!(
+                        "TENANT CHURN MISMATCH: {name} on {mix} — churn on tenant 0 leaked \
+                         into the serving path (t0 ok: {t0_ok}, neighbours ok: {others_ok})"
+                    );
                 }
             }
             let (pkts, wall_ns, mpps, fastest) = best.expect("at least one aggregate measured");
@@ -821,8 +958,23 @@ fn tenant_sweep(
                     p50_ns: t.batch_latency.p50_ns,
                     p95_ns: t.batch_latency.p95_ns,
                     p99_ns: t.batch_latency.p99_ns,
+                    cache: t
+                        .cache
+                        .map(|stats| CacheSummary::new(per_tenant_geometry, stats)),
                 })
                 .collect();
+            // Cell-level cache accounting is cumulative over the whole
+            // cell (warmup + every measured pass), merged across tenants
+            // against the router-wide geometry budget.
+            let cache = s.cache.then(|| {
+                let mut total = CacheStats::default();
+                for t in 0..workloads.len() {
+                    if let Some(stats) = router.cache_stats(t as TenantId) {
+                        total.merge(&stats);
+                    }
+                }
+                CacheSummary::new(geometry, total)
+            });
             records.push(TenantCellRecord {
                 classifier: name.to_string(),
                 ruleset: mix.clone(),
@@ -838,6 +990,7 @@ fn tenant_sweep(
                 router_vs_solo,
                 fairness: fastest.fairness,
                 per_tenant,
+                cache,
                 verified,
             });
         }

@@ -12,7 +12,11 @@
 //! * **churn profile** — quiescent (`churn: None`) or one of the
 //!   [`ChurnProfile`] live-update workloads (1 % bursts, 10 % deep churn,
 //!   a delete-heavy drain, a sustained progress-paced stream);
-//! * **worker count** — the [`worker_ladder`] the quiescent cells sweep.
+//! * **worker count** — the [`worker_ladder`] the quiescent cells sweep;
+//! * **hot cache** — [`Scenario::cache`] serves the cell through the
+//!   popularity-adaptive hot-flow cache (`pclass_algos::hotcache`); the
+//!   quick matrix gates a Zipf showcase cell *and* a uniform control
+//!   cell so both the speed-up and the no-tax claim are CI-checked.
 //!
 //! [`matrix`] is the **single source of truth** for both sweep modes: the
 //! quick matrix (CI's per-PR `perf-smoke` gate) is exactly the
@@ -79,9 +83,10 @@ impl TraceProfile {
 }
 
 /// One cell family of the scenario matrix: a ruleset × trace profile ×
-/// churn profile.  Quiescent cells additionally sweep the worker ladder
-/// and the whole classifier roster; churn cells serve the updatable
-/// classifiers under their profile's [`ChurnProfile::config`].
+/// churn profile (× hot-cache toggle).  Quiescent cells additionally
+/// sweep the worker ladder and the whole classifier roster; churn cells
+/// serve the updatable classifiers under their profile's
+/// [`ChurnProfile::config`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// ClassBench seed style of the ruleset.
@@ -92,6 +97,12 @@ pub struct Scenario {
     pub trace: TraceProfile,
     /// Live-update profile; `None` is a quiescent cell.
     pub churn: Option<ChurnProfile>,
+    /// Whether the engine serves through the popularity-adaptive hot-flow
+    /// cache (`pclass_algos::hotcache`, sized by the harness to the trace's
+    /// flow working set).  Cached cells
+    /// carry a `+cache` profile-tag suffix so the regression gate compares
+    /// them against their own baseline, never against the uncached twin.
+    pub cache: bool,
     /// Whether the cell is part of the quick (per-PR CI) subset.
     pub quick: bool,
 }
@@ -116,13 +127,19 @@ impl Scenario {
         }
     }
 
-    /// The profile tag recorded in schema-v4 cells and used by the
+    /// The profile tag recorded in schema-v6 cells and used by the
     /// regression gate to match cells like-for-like: the trace tag for
-    /// quiescent cells, `<trace>+churn-<profile>` for churn cells.
+    /// quiescent cells, `<trace>+churn-<profile>` for churn cells, with a
+    /// `+cache` suffix when the cell serves through the hot-flow cache.
     pub fn profile_tag(&self) -> String {
-        match self.churn {
+        let base = match self.churn {
             None => self.trace.tag().to_string(),
             Some(churn) => format!("{}+churn-{}", self.trace.tag(), churn.tag()),
+        };
+        if self.cache {
+            format!("{base}+cache")
+        } else {
+            base
         }
     }
 }
@@ -146,6 +163,7 @@ pub fn matrix() -> Vec<Scenario> {
         rules,
         trace,
         churn: None,
+        cache: false,
         quick,
     };
     let churn = |style, rules, trace, profile, quick| Scenario {
@@ -153,6 +171,15 @@ pub fn matrix() -> Vec<Scenario> {
         rules,
         trace,
         churn: Some(profile),
+        cache: false,
+        quick,
+    };
+    let cached = |style, rules, trace, quick| Scenario {
+        style,
+        rules,
+        trace,
+        churn: None,
+        cache: true,
         quick,
     };
 
@@ -174,6 +201,12 @@ pub fn matrix() -> Vec<Scenario> {
     // and 10 k (weekly).
     cells.push(quiescent(SeedStyle::Acl, 2_000, TraceProfile::Zipf, true));
     cells.push(quiescent(SeedStyle::Acl, 10_000, TraceProfile::Zipf, false));
+    // Hot-cache axis (both quick, CI-gated on every PR): the Zipf cell is
+    // the cache's home turf — its acceptance bar is beating the uncached
+    // zipf cell above — while the uniform cell is the *control*: near the
+    // cache's worst case, it guards against the cache taxing cold traffic.
+    cells.push(cached(SeedStyle::Acl, 2_000, TraceProfile::Zipf, true));
+    cells.push(cached(SeedStyle::Acl, 2_000, TraceProfile::Uniform, true));
     // Churn axis (runs under --churn): the original 1 % burst on all three
     // 2 k families, plus the deep, drain and sustained profiles — one of
     // each in quick on the acl row, the cross-family and larger variants
@@ -328,16 +361,33 @@ pub struct TenantScenario {
     pub mix: TenantMix,
     /// Worker count of the shared pool.
     pub workers: usize,
+    /// Whether tenant 0's ruleset churns mid-trace (a scripted update
+    /// burst lands between measurement passes), so churn *isolation* —
+    /// neighbours keep serving their unchanged rulesets correctly — is
+    /// measured, not just unit-tested.
+    pub churn: bool,
+    /// Whether the router serves through per-tenant hot-flow caches
+    /// (the configured capacity is split evenly across the roster).
+    pub cache: bool,
     /// Whether the cell is part of the quick (per-PR CI) subset.
     pub quick: bool,
 }
 
 impl TenantScenario {
-    /// The profile tag recorded in schema-v5 tenant cells, e.g.
-    /// `uniform+tenants-skew16` — distinct per mix, so the regression
-    /// gate keys tenant cells like-for-like.
+    /// The profile tag recorded in schema-v6 tenant cells, e.g.
+    /// `uniform+tenants-skew16` or `uniform+tenants-uni4+churn+cache` —
+    /// distinct per cell, so the regression gate keys tenant cells
+    /// like-for-like (the `churn` token also selects the gate's wider
+    /// churn tolerance).
     pub fn profile_tag(&self) -> String {
-        format!("uniform+tenants-{}", self.mix.tag())
+        let mut tag = format!("uniform+tenants-{}", self.mix.tag());
+        if self.churn {
+            tag.push_str("+churn");
+        }
+        if self.cache {
+            tag.push_str("+cache");
+        }
+        tag
     }
 
     /// Builds the per-tenant workloads, splitting a total packet budget
@@ -374,34 +424,30 @@ impl TenantScenario {
 
 /// **The** tenant-cell matrix, the single declarative list both sweep
 /// modes derive from (mirroring [`matrix`]).  Quick keeps the degenerate
-/// 1-tenant cell (router = live-engine guard), the uniform 4-tenant cell
-/// and the 16-tenant mixed-size acceptance cell; the remaining mixes run
-/// weekly.
+/// 1-tenant cell (router = live-engine guard), the uniform 4-tenant cell,
+/// the 16-tenant mixed-size acceptance cell and the churn+cache isolation
+/// cell (tenant 0 churns mid-trace behind per-tenant caches, so both
+/// churn isolation and generation-based cache invalidation are measured
+/// on every PR); the remaining mixes run weekly.
 pub fn tenant_matrix() -> Vec<TenantScenario> {
+    let steady = |mix, workers, quick| TenantScenario {
+        mix,
+        workers,
+        churn: false,
+        cache: false,
+        quick,
+    };
     vec![
-        TenantScenario {
-            mix: TenantMix::Uni1,
-            workers: 2,
-            quick: true,
-        },
+        steady(TenantMix::Uni1, 2, true),
+        steady(TenantMix::Uni4, 4, true),
+        steady(TenantMix::Skew4, 2, false),
+        steady(TenantMix::Uni16, 4, false),
+        steady(TenantMix::Skew16, 4, true),
         TenantScenario {
             mix: TenantMix::Uni4,
             workers: 4,
-            quick: true,
-        },
-        TenantScenario {
-            mix: TenantMix::Skew4,
-            workers: 2,
-            quick: false,
-        },
-        TenantScenario {
-            mix: TenantMix::Uni16,
-            workers: 4,
-            quick: false,
-        },
-        TenantScenario {
-            mix: TenantMix::Skew16,
-            workers: 4,
+            churn: true,
+            cache: true,
             quick: true,
         },
     ]
@@ -420,12 +466,13 @@ pub fn tenant_scenarios(quick: bool) -> Vec<TenantScenario> {
 mod tests {
     use super::*;
 
-    fn key(s: &Scenario) -> (String, usize, &'static str, Option<&'static str>) {
+    fn key(s: &Scenario) -> (String, usize, &'static str, Option<&'static str>, bool) {
         (
             s.style.name().to_string(),
             s.rules,
             s.trace.tag(),
             s.churn.map(|c| c.tag()),
+            s.cache,
         )
     }
 
@@ -473,6 +520,30 @@ mod tests {
         assert!(has(&|s| s.churn == Some(ChurnProfile::DeleteHeavy)));
         assert!(has(&|s| s.churn == Some(ChurnProfile::Sustained)));
         assert!(has(&|s| s.churn == Some(ChurnProfile::Burst1)));
+        // The hot-cache pair: the Zipf showcase cell and its uniform
+        // control are both gated on every PR.
+        assert!(
+            has(&|s| s.cache && s.trace == TraceProfile::Zipf),
+            "quick must include the zipf+cache cell"
+        );
+        assert!(
+            has(&|s| s.cache && s.trace == TraceProfile::Uniform),
+            "quick must include the uniform+cache control cell"
+        );
+        // Every cached cell has an uncached like-for-like twin in the full
+        // matrix (same ruleset, trace and churn), so the ≥1.2x zipf
+        // speed-up claim is always comparable.
+        let full = scenarios(false);
+        for cell in full.iter().filter(|s| s.cache) {
+            assert!(
+                full.iter().any(|s| !s.cache
+                    && s.style == cell.style
+                    && s.rules == cell.rules
+                    && s.trace == cell.trace
+                    && s.churn == cell.churn),
+                "cached cell {cell:?} has no uncached twin"
+            );
+        }
     }
 
     #[test]
@@ -498,6 +569,7 @@ mod tests {
             rules: 2_000,
             trace: TraceProfile::Zipf,
             churn: Some(ChurnProfile::Sustained),
+            cache: false,
             quick: false,
         };
         assert_eq!(s.profile_tag(), "zipf+churn-sustained");
@@ -510,6 +582,13 @@ mod tests {
         };
         assert_eq!(big.profile_tag(), "uniform");
         assert_eq!(big.scope(), RosterScope::Software);
+        let cached = Scenario {
+            trace: TraceProfile::Zipf,
+            churn: None,
+            cache: true,
+            ..s
+        };
+        assert_eq!(cached.profile_tag(), "zipf+cache");
         // Tags are what the regression gate keys on: every distinct
         // (trace, churn) combination in the matrix has a distinct tag.
         let tags: std::collections::HashSet<String> =
@@ -526,7 +605,13 @@ mod tests {
                 "quick tenant cell {s:?} missing from the full matrix"
             );
         }
-        assert_eq!(full.len(), TenantMix::ALL.len(), "one cell per mix");
+        // One quiescent uncached cell per mix, plus the churn+cache
+        // isolation cell.
+        assert_eq!(full.len(), TenantMix::ALL.len() + 1);
+        assert_eq!(
+            full.iter().filter(|s| !s.churn && !s.cache).count(),
+            TenantMix::ALL.len()
+        );
         // The 16-tenant mixed-size acceptance cell is CI-gated.
         assert!(
             tenant_scenarios(true)
@@ -534,6 +619,14 @@ mod tests {
                 .any(|s| s.mix == TenantMix::Skew16 && s.workers > 1),
             "quick must include the skew16 acceptance cell"
         );
+        // So is the churn+cache isolation cell — its tag carries the
+        // `churn` token that selects the gate's wider tolerance.
+        let isolation = tenant_scenarios(true)
+            .into_iter()
+            .find(|s| s.churn && s.cache)
+            .expect("quick must include the churn+cache isolation cell");
+        assert_eq!(isolation.profile_tag(), "uniform+tenants-uni4+churn+cache");
+        assert!(isolation.profile_tag().contains("churn"));
         // Tags are the gate's key: all distinct.
         let tags: std::collections::HashSet<String> =
             full.iter().map(|s| s.profile_tag()).collect();
@@ -545,6 +638,8 @@ mod tests {
         let cell = TenantScenario {
             mix: TenantMix::Skew16,
             workers: 4,
+            churn: false,
+            cache: false,
             quick: true,
         };
         let workloads = cell.workloads(4_000);

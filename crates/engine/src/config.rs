@@ -14,24 +14,30 @@
 //! * [`EngineConfig::tenant_router`] — a [`TenantRouter`] over a roster of
 //!   per-tenant live classifiers.
 //!
-//! The old constructors survive as thin deprecated shims, so downstream
-//! code compiles unchanged while it migrates.
+//! The builder is the *only* construction path: the old per-type
+//! constructors (`Engine::new`, `LiveEngine::with_progress`, …) have been
+//! deleted.
 //!
 //! Knob semantics:
 //!
 //! * **workers** and **batch size** apply to every front end;
 //! * the **progress hook** applies to the live front ends ([`LiveEngine`],
 //!   [`TenantRouter`]) — the fixed [`Engine`] has no sustained-pacing use
-//!   for it and ignores it.  Unlike the deprecated
-//!   `LiveEngine::with_progress` (which silently replaced any prior
-//!   counter), the builder **rejects a double-set with a panic** — two
-//!   subsystems attaching pacing counters to one config is a wiring bug
-//!   that last-wins semantics would hide;
+//!   for it and ignores it;
+//! * the **hot cache** ([`EngineConfig::hot_cache`]) puts an exact-match
+//!   flow cache in front of the classifier: per worker shard on [`Engine`]
+//!   and [`LiveEngine`], per tenant on [`TenantRouter`] (where the entry
+//!   budget is split evenly across the roster);
 //! * the **lane width** is not consumed by the engines themselves (it
 //!   tunes the flat-arena classifiers, not the sharding loop); it rides on
 //!   the config so one value can be plumbed from a CLI flag through roster
 //!   construction (`pclass_bench::serving_roster_config`) and the engines
 //!   alike.
+//!
+//! Every setter **rejects a double-set with a panic**: two subsystems
+//! configuring the same knob on one config is a wiring bug that last-wins
+//! semantics would hide (the deprecated `with_*` chains did exactly that
+//! with the progress counter).
 //!
 //! # Example
 //!
@@ -55,48 +61,61 @@
 use crate::live::{LiveClassifier, LiveEngine};
 use crate::tenant::TenantRouter;
 use crate::{Engine, SharedClassifier, DEFAULT_BATCH_SIZE};
-use pclass_algos::{Classifier, LaneWidth};
+use pclass_algos::{Classifier, HotCacheConfig, LaneWidth};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// The shared builder every serving front end is constructed through.
 /// See the [module docs](self) for which front end consumes which knob.
-#[derive(Debug, Clone)]
+///
+/// Unset knobs resolve to their defaults at read time; every setter
+/// panics on a double-set (see the module docs).
+#[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
-    workers: usize,
-    batch: usize,
+    workers: Option<usize>,
+    batch: Option<usize>,
     progress: Option<Arc<AtomicU64>>,
-    lanes: LaneWidth,
-}
-
-impl Default for EngineConfig {
-    fn default() -> EngineConfig {
-        EngineConfig::new()
-    }
+    lanes: Option<LaneWidth>,
+    hot_cache: Option<HotCacheConfig>,
 }
 
 impl EngineConfig {
     /// The default configuration: 1 worker, [`DEFAULT_BATCH_SIZE`], no
-    /// progress hook, default [`LaneWidth`].
+    /// progress hook, default [`LaneWidth`], no hot cache.
     pub fn new() -> EngineConfig {
-        EngineConfig {
-            workers: 1,
-            batch: DEFAULT_BATCH_SIZE,
-            progress: None,
-            lanes: LaneWidth::default(),
-        }
+        EngineConfig::default()
     }
 
     /// Sets the number of worker shards (clamped to at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker count was already set.
     pub fn workers(mut self, workers: usize) -> EngineConfig {
-        self.workers = workers.max(1);
+        assert!(
+            self.workers.is_none(),
+            "EngineConfig::workers set twice — the worker count is already \
+             configured; a second value would silently override the first \
+             subsystem's choice"
+        );
+        self.workers = Some(workers.max(1));
         self
     }
 
     /// Sets the sub-batch size (clamped to at least 1).  Smaller batches
     /// let live front ends pick up published generations sooner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size was already set.
     pub fn batch_size(mut self, batch: usize) -> EngineConfig {
-        self.batch = batch.max(1);
+        assert!(
+            self.batch.is_none(),
+            "EngineConfig::batch_size set twice — the sub-batch size is \
+             already configured; a second value would silently override the \
+             first subsystem's choice"
+        );
+        self.batch = Some(batch.max(1));
         self
     }
 
@@ -110,8 +129,7 @@ impl EngineConfig {
     ///
     /// Panics if a counter is already attached: two subsystems wiring
     /// pacing counters into one config is a bug that silent last-wins
-    /// replacement (the deprecated `LiveEngine::with_progress` behaviour)
-    /// would hide.
+    /// replacement would hide.
     pub fn progress(mut self, counter: Arc<AtomicU64>) -> EngineConfig {
         assert!(
             self.progress.is_none(),
@@ -126,19 +144,50 @@ impl EngineConfig {
     /// Sets the flat-arena lane width carried by this config (consumed by
     /// roster/classifier construction, not by the engines; see the module
     /// docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane width was already set.
     pub fn lane_width(mut self, lanes: LaneWidth) -> EngineConfig {
-        self.lanes = lanes;
+        assert!(
+            self.lanes.is_none(),
+            "EngineConfig::lane_width set twice — the lane width is already \
+             configured; a second value would silently override the first \
+             subsystem's choice"
+        );
+        self.lanes = Some(lanes);
+        self
+    }
+
+    /// Puts an exact-match hot-flow cache
+    /// ([`pclass_algos::hotcache::HotCache`]) in front of the classifier:
+    /// each [`Engine`]/[`LiveEngine`] worker shard gets its own cache with
+    /// this geometry, and a [`TenantRouter`] gives every tenant its own
+    /// cache with `capacity / tenant_count` entries (the per-tenant entry
+    /// budget), so one hot tenant cannot cache-starve its neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hot-cache geometry was already set.
+    pub fn hot_cache(mut self, cache: HotCacheConfig) -> EngineConfig {
+        assert!(
+            self.hot_cache.is_none(),
+            "EngineConfig::hot_cache set twice — a cache geometry is \
+             already configured; a second value would silently override the \
+             first subsystem's choice"
+        );
+        self.hot_cache = Some(cache);
         self
     }
 
     /// Number of worker shards.
     pub fn worker_count(&self) -> usize {
-        self.workers
+        self.workers.unwrap_or(1)
     }
 
     /// Sub-batch size.
     pub fn batch(&self) -> usize {
-        self.batch
+        self.batch.unwrap_or(DEFAULT_BATCH_SIZE)
     }
 
     /// The attached progress counter, if any.
@@ -148,7 +197,12 @@ impl EngineConfig {
 
     /// The flat-arena lane width this config carries.
     pub fn lanes(&self) -> LaneWidth {
-        self.lanes
+        self.lanes.unwrap_or_default()
+    }
+
+    /// The hot-flow cache geometry, if one is configured.
+    pub fn hot_cache_config(&self) -> Option<HotCacheConfig> {
+        self.hot_cache
     }
 
     /// Builds a fixed [`Engine`] whose worker shards all share one
@@ -208,6 +262,7 @@ mod tests {
         assert_eq!(config.batch(), DEFAULT_BATCH_SIZE);
         assert!(config.progress_counter().is_none());
         assert_eq!(config.lanes(), LaneWidth::default());
+        assert!(config.hot_cache_config().is_none());
         assert_eq!(EngineConfig::default().batch(), config.batch());
     }
 
@@ -275,8 +330,67 @@ mod tests {
     fn double_set_progress_is_rejected() {
         let a = Arc::new(AtomicU64::new(0));
         let b = Arc::new(AtomicU64::new(0));
-        // The deprecated `LiveEngine::with_progress` silently replaced the
-        // first counter; the builder refuses.
+        // The deleted `LiveEngine::with_progress` shim silently replaced
+        // the first counter; the builder refuses.
         let _ = EngineConfig::new().progress(a).progress(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "workers set twice")]
+    fn double_set_workers_is_rejected() {
+        let _ = EngineConfig::new().workers(2).workers(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size set twice")]
+    fn double_set_batch_size_is_rejected() {
+        let _ = EngineConfig::new().batch_size(64).batch_size(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane_width set twice")]
+    fn double_set_lane_width_is_rejected() {
+        let _ = EngineConfig::new()
+            .lane_width(LaneWidth::X4)
+            .lane_width(LaneWidth::X8);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_cache set twice")]
+    fn double_set_hot_cache_is_rejected() {
+        let _ = EngineConfig::new()
+            .hot_cache(HotCacheConfig::default())
+            .hot_cache(HotCacheConfig::new(64, 2));
+    }
+
+    #[test]
+    fn hot_cache_rides_the_config() {
+        let config = EngineConfig::new().hot_cache(HotCacheConfig::new(256, 2));
+        assert_eq!(config.hot_cache_config(), Some(HotCacheConfig::new(256, 2)));
+        // The geometry survives a clone (configs are reused across cells).
+        assert_eq!(
+            config.clone().hot_cache_config(),
+            Some(HotCacheConfig::new(256, 2))
+        );
+    }
+
+    #[test]
+    fn cached_engine_serves_identically_and_reports_cache_stats() {
+        let (rs, trace) = workload(120, 600);
+        let truth = trace.ground_truth(&rs);
+        let engine = EngineConfig::new()
+            .workers(2)
+            .batch_size(64)
+            .hot_cache(HotCacheConfig::new(512, 4))
+            .engine(Arc::new(LinearClassifier::new(rs.clone())));
+        // First pass fills, second pass hits; decisions never change.
+        assert_eq!(engine.classify_trace(&trace).results, truth);
+        assert_eq!(engine.classify_trace(&trace).results, truth);
+        let stats = engine.cache_stats().expect("cache configured");
+        assert!(stats.hits > 0, "second pass must hit");
+        assert_eq!(stats.hits + stats.misses, 2 * trace.len() as u64);
+        // An uncached engine reports no cache stats.
+        let plain = EngineConfig::new().engine(Arc::new(LinearClassifier::new(rs.clone())));
+        assert!(plain.cache_stats().is_none());
     }
 }

@@ -29,8 +29,11 @@
 //!
 //! Every serving front end — the fixed [`Engine`], the epoch-swap
 //! [`LiveEngine`], and the multi-tenant [`tenant::TenantRouter`] — is
-//! built through one [`EngineConfig`] builder; the older per-type
-//! constructors remain as deprecated shims.
+//! built through one [`EngineConfig`] builder (the older per-type
+//! constructors are gone).  The builder can also put an exact-match
+//! hot-flow cache in front of any of them ([`EngineConfig::hot_cache`]):
+//! each worker shard probes its own cache first and falls cache misses
+//! through to the classifier as one dense batch.
 //!
 //! # Example
 //!
@@ -144,6 +147,9 @@ pub(crate) fn mpps(pkts: u64, wall_ns: u64) -> f64 {
 pub struct Engine {
     shards: Vec<SharedClassifier>,
     batch: usize,
+    /// Per-shard hot-flow caches when [`EngineConfig::hot_cache`] is set
+    /// (kept alongside the type-erased shard handles for stats reporting).
+    caches: Vec<Arc<pclass_algos::HotCache>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -164,30 +170,27 @@ impl Engine {
         config: &EngineConfig,
         mut factory: impl FnMut(usize) -> SharedClassifier,
     ) -> Engine {
-        Engine {
-            shards: (0..config.worker_count()).map(&mut factory).collect(),
-            batch: config.batch(),
+        let mut shards: Vec<SharedClassifier> =
+            (0..config.worker_count()).map(&mut factory).collect();
+        let mut caches = Vec::new();
+        if let Some(geometry) = config.hot_cache_config() {
+            // Each worker shard gets its own hot-flow cache in front of its
+            // classifier handle: no cross-worker contention, and the shard
+            // only ever sees its own slice of the trace anyway.
+            shards = shards
+                .into_iter()
+                .map(|shard| {
+                    let cached = pclass_algos::CachedClassifier::new(shard, geometry);
+                    caches.push(Arc::clone(cached.cache()));
+                    Arc::new(cached) as SharedClassifier
+                })
+                .collect();
         }
-    }
-
-    /// Creates an engine of `workers` shards (at least 1), calling
-    /// `factory(worker_index)` once per shard.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EngineConfig::new().workers(n).engine_with(factory)`"
-    )]
-    pub fn new(workers: usize, factory: impl FnMut(usize) -> SharedClassifier) -> Engine {
-        EngineConfig::new().workers(workers).engine_with(factory)
-    }
-
-    /// Creates an engine of `workers` shards (at least 1) all sharing one
-    /// classifier.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EngineConfig::new().workers(n).engine(classifier)`"
-    )]
-    pub fn from_shared(workers: usize, classifier: SharedClassifier) -> Engine {
-        EngineConfig::new().workers(workers).engine(classifier)
+        Engine {
+            shards,
+            batch: config.batch(),
+            caches,
+        }
     }
 
     /// Number of worker shards.
@@ -200,14 +203,19 @@ impl Engine {
         self.batch
     }
 
-    /// Overrides the sub-batch size (clamped to at least 1).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EngineConfig::batch_size` before building the engine"
-    )]
-    pub fn with_batch_size(mut self, batch: usize) -> Engine {
-        self.batch = batch.max(1);
-        self
+    /// Aggregated hit/miss/eviction counters of the per-shard hot-flow
+    /// caches, or `None` when the engine was built without
+    /// [`EngineConfig::hot_cache`].  Counters are cumulative across every
+    /// [`Engine::classify_trace`] call.
+    pub fn cache_stats(&self) -> Option<pclass_types::CacheStats> {
+        if self.caches.is_empty() {
+            return None;
+        }
+        let mut total = pclass_types::CacheStats::default();
+        for cache in &self.caches {
+            total.merge(&cache.stats());
+        }
+        Some(total)
     }
 
     /// Name reported by the shard classifiers (they are all the same
@@ -431,32 +439,33 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shims_serve_identically_to_the_builder() {
-        // The pre-builder construction API survives as shims; downstream
-        // code using it must keep getting the exact same engines.
-        let (rs, trace) = workload(60, 250);
+    fn cached_shards_serve_every_classifier_identically() {
+        // The hot cache is a transparent layer: with it in front, every
+        // classifier still produces the ground truth at every worker count,
+        // on a cold and on a warm cache.
+        let (rs, trace) = workload(150, 800);
         let truth = trace.ground_truth(&rs);
-        let classifier: SharedClassifier = Arc::new(LinearClassifier::new(rs.clone()));
-
-        let shimmed = Engine::from_shared(3, Arc::clone(&classifier)).with_batch_size(64);
-        let built = EngineConfig::new()
-            .workers(3)
-            .batch_size(64)
-            .engine(Arc::clone(&classifier));
-        assert_eq!(shimmed.workers(), built.workers());
-        assert_eq!(shimmed.batch_size(), built.batch_size());
-        assert_eq!(shimmed.classify_trace(&trace).results, truth);
-        assert_eq!(built.classify_trace(&trace).results, truth);
-
-        let mut calls = 0usize;
-        let factory_engine = Engine::new(2, |worker| {
-            assert_eq!(worker, calls);
-            calls += 1;
-            Arc::new(LinearClassifier::new(rs.clone()))
-        });
-        assert_eq!(calls, 2);
-        assert_eq!(factory_engine.classify_trace(&trace).results, truth);
+        for classifier in all_classifiers(&rs) {
+            for workers in [1usize, 3] {
+                let engine = EngineConfig::new()
+                    .workers(workers)
+                    .batch_size(128)
+                    .hot_cache(pclass_algos::HotCacheConfig::new(256, 4))
+                    .engine(Arc::clone(&classifier));
+                assert_eq!(engine.name(), classifier.name(), "name passes through");
+                for pass in 0..2 {
+                    let run = engine.classify_trace(&trace);
+                    assert_eq!(
+                        run.results,
+                        truth,
+                        "{} x{workers} pass {pass}",
+                        engine.name()
+                    );
+                }
+                let stats = engine.cache_stats().expect("cache configured");
+                assert!(stats.hits > 0, "{}: warm pass must hit", engine.name());
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,20 @@ impl<C: Classifier + Clone> LiveClassifier<C> {
         Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
     }
 
+    /// The current snapshot together with the generation that published
+    /// it, read as one consistent pair (the generation is only ever
+    /// advanced while the snapshot write lock is held, so holding the
+    /// read lock across both loads rules out a snapshot tagged with a
+    /// neighbouring generation's number).  This is the handle a hot-flow
+    /// cache needs: tagging cache fills with the pair's generation makes
+    /// entries from an older ruleset structurally unreachable the moment
+    /// a new one is published.
+    pub fn snapshot_tagged(&self) -> (u64, Arc<C>) {
+        let guard = self.snapshot.read().expect("snapshot lock poisoned");
+        let generation = self.generation.load(Ordering::Acquire);
+        (generation, Arc::clone(&guard))
+    }
+
     /// Number of published update generations (0 = never updated).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
@@ -73,9 +87,17 @@ impl<C: UpdatableClassifier + Clone> LiveClassifier<C> {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let result = updates.iter().try_for_each(|u| writer.apply(u));
         let published = Arc::new(writer.clone());
-        *self.snapshot.write().expect("snapshot lock poisoned") = published;
-        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        result.map(|()| generation)
+        {
+            // The generation advances inside the snapshot critical section
+            // so that `snapshot_tagged` can never pair a snapshot with the
+            // wrong number.  Writers are already serialised by the writer
+            // mutex, so a load+store is race-free here.
+            let mut snapshot = self.snapshot.write().expect("snapshot lock poisoned");
+            *snapshot = published;
+            let generation = self.generation.load(Ordering::Relaxed) + 1;
+            self.generation.store(generation, Ordering::Release);
+            result.map(|()| generation)
+        }
     }
 
     /// Runs a closure against the writer copy without publishing (used to
@@ -96,61 +118,32 @@ pub struct LiveEngine<C> {
     workers: usize,
     batch: usize,
     progress: Option<Arc<AtomicU64>>,
+    caches: Vec<Arc<pclass_algos::HotCache>>,
 }
 
 impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
     /// The canonical constructor, used by [`EngineConfig::live_engine`];
-    /// inherits the config's workers, batch size and progress hook.
+    /// inherits the config's workers, batch size, progress hook and
+    /// hot-cache geometry (one private cache per worker, so the hot path
+    /// never contends across shards).
     pub(crate) fn from_config(
         config: &EngineConfig,
         live: Arc<LiveClassifier<C>>,
     ) -> LiveEngine<C> {
+        let workers = config.worker_count();
+        let caches = match config.hot_cache_config() {
+            Some(geometry) => (0..workers)
+                .map(|_| Arc::new(pclass_algos::HotCache::new(geometry)))
+                .collect(),
+            None => Vec::new(),
+        };
         LiveEngine {
             live,
-            workers: config.worker_count(),
+            workers,
             batch: config.batch(),
             progress: config.progress_counter().cloned(),
+            caches,
         }
-    }
-
-    /// Creates an engine of `workers` shards (at least 1) over a shared
-    /// live classifier.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EngineConfig::new().workers(n).live_engine(live)`"
-    )]
-    pub fn new(workers: usize, live: Arc<LiveClassifier<C>>) -> LiveEngine<C> {
-        EngineConfig::new().workers(workers).live_engine(live)
-    }
-
-    /// Overrides the sub-batch size (clamped to at least 1).  Smaller
-    /// batches pick up published generations sooner.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EngineConfig::batch_size` before building the engine"
-    )]
-    pub fn with_batch_size(mut self, batch: usize) -> LiveEngine<C> {
-        self.batch = batch.max(1);
-        self
-    }
-
-    /// Attaches a shared serving-progress counter: every worker adds the
-    /// size of each sub-batch it finishes, across every
-    /// [`LiveEngine::classify_trace`] call — the pacing hook for
-    /// *sustained* update streams (see [`EngineConfig::progress`]).
-    ///
-    /// Deprecated-path semantics: calling this twice silently replaces
-    /// the earlier counter (**last wins**), detaching the first
-    /// subscriber.  The builder's [`EngineConfig::progress`] rejects the
-    /// double-set instead — migrate to it.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EngineConfig::progress` before building the engine \
-                (which rejects double-set instead of silently replacing)"
-    )]
-    pub fn with_progress(mut self, counter: Arc<AtomicU64>) -> LiveEngine<C> {
-        self.progress = Some(counter);
-        self
     }
 
     /// Number of worker shards.
@@ -163,18 +156,49 @@ impl<C: Classifier + Clone + Send + Sync> LiveEngine<C> {
         &self.live
     }
 
+    /// Aggregated hit/miss/eviction counters of the per-worker hot-flow
+    /// caches, or `None` when the engine was built without
+    /// [`EngineConfig::hot_cache`].  Counters are cumulative across every
+    /// [`LiveEngine::classify_trace`] call.
+    pub fn cache_stats(&self) -> Option<pclass_types::CacheStats> {
+        if self.caches.is_empty() {
+            return None;
+        }
+        let mut total = pclass_types::CacheStats::default();
+        for cache in &self.caches {
+            total.merge(&cache.stats());
+        }
+        Some(total)
+    }
+
     /// Classifies a whole trace, sharding it across the workers; each
-    /// sub-batch is served by the snapshot current at its start.
+    /// sub-batch is served by the snapshot current at its start.  With a
+    /// hot cache configured, the worker probes its cache with the
+    /// snapshot's generation as the entry tag — a sub-batch therefore
+    /// only ever consumes cache entries filled from the exact snapshot
+    /// it classifies against, and a published update invalidates every
+    /// older entry without touching the cache.
     pub fn classify_trace(&self, trace: &Trace) -> EngineRun {
-        crate::run_sharded(trace, self.workers, self.batch, |_, headers, results| {
-            // Re-snapshot per sub-batch: a generation published mid-shard
-            // serves the remaining batches, while this batch drains on the
-            // snapshot it started with.
-            self.live.snapshot().classify_batch(headers, results);
-            if let Some(counter) = &self.progress {
-                counter.fetch_add(headers.len() as u64, Ordering::Relaxed);
-            }
-        })
+        crate::run_sharded(
+            trace,
+            self.workers,
+            self.batch,
+            |worker, headers, results| {
+                // Re-snapshot per sub-batch: a generation published mid-shard
+                // serves the remaining batches, while this batch drains on the
+                // snapshot it started with.
+                let (tag, snap) = self.live.snapshot_tagged();
+                match self.caches.get(worker) {
+                    Some(cache) => cache.serve_batch(tag, headers, results, |misses, out| {
+                        snap.classify_batch(misses, out)
+                    }),
+                    None => snap.classify_batch(headers, results),
+                }
+                if let Some(counter) = &self.progress {
+                    counter.fetch_add(headers.len() as u64, Ordering::Relaxed);
+                }
+            },
+        )
     }
 }
 
@@ -281,22 +305,64 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_progress_is_documented_last_wins() {
-        // The deprecated shim keeps its historical semantics: a second
-        // counter silently replaces the first.  The builder path rejects
-        // the double-set instead (see `EngineConfig::progress`).
-        let (rs, trace) = workload(40, 200);
+    fn cached_live_engine_matches_truth_and_warm_passes_hit() {
+        let (rs, trace) = workload(150, 900);
+        let truth = trace.ground_truth(&rs);
         let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
-        let first = Arc::new(AtomicU64::new(0));
-        let second = Arc::new(AtomicU64::new(0));
-        let engine = LiveEngine::new(2, Arc::clone(&live))
-            .with_batch_size(64)
-            .with_progress(Arc::clone(&first))
-            .with_progress(Arc::clone(&second));
-        engine.classify_trace(&trace);
-        assert_eq!(first.load(Ordering::Relaxed), 0, "first counter detached");
-        assert_eq!(second.load(Ordering::Relaxed), trace.len() as u64);
+        let engine = EngineConfig::new()
+            .workers(2)
+            .batch_size(64)
+            .hot_cache(pclass_algos::HotCacheConfig::new(512, 4))
+            .live_engine(Arc::clone(&live));
+        for pass in 0..2 {
+            assert_eq!(engine.classify_trace(&trace).results, truth, "pass {pass}");
+        }
+        let stats = engine.cache_stats().expect("cache configured");
+        assert!(stats.hits > 0, "warm pass must hit");
+        assert_eq!(stats.hits + stats.misses, 2 * trace.len() as u64);
+        // An update invalidates by generation: the next pass still matches
+        // the *new* truth packet for packet even though old entries are
+        // physically present in the cache.
+        live.apply_batch(&[RuleUpdate::Delete(0)]).expect("delete");
+        let snap = live.snapshot();
+        let final_live = snap.live_rules();
+        let run = engine.classify_trace(&trace);
+        for (entry, got) in trace.entries().iter().zip(&run.results) {
+            assert_eq!(*got, classify_live_linear(&final_live, &entry.header));
+        }
+    }
+
+    #[test]
+    fn snapshot_tagged_pairs_are_consistent_under_churn() {
+        // Hammer apply_batch while readers take tagged snapshots; a tag
+        // must always identify the snapshot it came with.  The writer
+        // inserts a wildcard rule whose id encodes the generation, so a
+        // reader can cross-check the pair.
+        let (rs, _) = workload(40, 1);
+        let spec = *rs.spec();
+        let base_rules = rs.len() as u64;
+        let live = Arc::new(LiveClassifier::new(flat_for(&rs)));
+        std::thread::scope(|scope| {
+            let live_ref = &live;
+            let writer = scope.spawn(move || {
+                for round in 0..200u32 {
+                    live_ref
+                        .apply_batch(&[RuleUpdate::Insert(Rule::wildcard(10_000 + round, &spec))])
+                        .expect("insert");
+                }
+            });
+            for _ in 0..2_000 {
+                let (tag, snap) = live.snapshot_tagged();
+                // Generation g has exactly base_rules + g live rules.
+                assert_eq!(
+                    snap.live_rules().len() as u64,
+                    base_rules + tag,
+                    "tag must match the snapshot it was read with"
+                );
+            }
+            writer.join().expect("writer panicked");
+        });
+        assert_eq!(live.generation(), 200);
     }
 
     #[test]

@@ -30,9 +30,9 @@
 
 use crate::live::LiveClassifier;
 use crate::{EngineConfig, EngineRun, ThroughputReport, WorkerReport};
-use pclass_algos::Classifier;
+use pclass_algos::{Classifier, HotCache, HotCacheConfig};
 use pclass_types::{
-    shard_slices, FairnessSummary, LatencyPercentiles, MatchResult, PacketHeader, Trace,
+    shard_slices, CacheStats, FairnessSummary, LatencyPercentiles, MatchResult, PacketHeader, Trace,
 };
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -195,6 +195,11 @@ pub struct TenantReport {
     /// Latency percentiles over this tenant's per-sub-batch classify
     /// calls (one sample per tenant group actually served).
     pub batch_latency: LatencyPercentiles,
+    /// Hit/miss/eviction counters of this tenant's hot-flow cache over
+    /// *this run only* (the cumulative counters are deltaed per call), or
+    /// `None` when the router was built without
+    /// [`crate::EngineConfig::hot_cache`].
+    pub cache: Option<CacheStats>,
 }
 
 /// Output of [`TenantRouter::classify_tagged`]: merged decisions in trace
@@ -215,6 +220,7 @@ pub struct TenantRun {
 struct TenantEntry<C> {
     name: String,
     live: Arc<LiveClassifier<C>>,
+    cache: Option<Arc<HotCache>>,
 }
 
 #[derive(Clone, Default)]
@@ -240,17 +246,30 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
         config: &EngineConfig,
         tenants: impl IntoIterator<Item = (String, C)>,
     ) -> TenantRouter<C> {
-        let tenants: Vec<TenantEntry<C>> = tenants
+        let mut tenants: Vec<TenantEntry<C>> = tenants
             .into_iter()
             .map(|(name, classifier)| TenantEntry {
                 name,
                 live: Arc::new(LiveClassifier::new(classifier)),
+                cache: None,
             })
             .collect();
         assert!(
             !tenants.is_empty(),
             "TenantRouter needs at least one tenant"
         );
+        if let Some(geometry) = config.hot_cache_config() {
+            // The configured capacity is a *router-wide* entry budget:
+            // every tenant gets an equal slice, so one tenant's hot flows
+            // can never crowd a neighbour out of cache (the same isolation
+            // story as the per-tenant snapshots).  A slice rounding to
+            // zero entries degrades that tenant to pure pass-through,
+            // never to over-budget.
+            let per_tenant = HotCacheConfig::new(geometry.capacity / tenants.len(), geometry.assoc);
+            for entry in &mut tenants {
+                entry.cache = Some(Arc::new(HotCache::new(per_tenant)));
+            }
+        }
         TenantRouter {
             tenants,
             workers: config.worker_count(),
@@ -281,6 +300,31 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
     /// Panics if `tenant` is not in the roster.
     pub fn name(&self, tenant: TenantId) -> &str {
         &self.tenants[tenant as usize].name
+    }
+
+    /// Cumulative hit/miss/eviction counters of one tenant's hot-flow
+    /// cache, or `None` when the router was built without
+    /// [`crate::EngineConfig::hot_cache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is not in the roster.
+    pub fn cache_stats(&self, tenant: TenantId) -> Option<CacheStats> {
+        self.tenants[tenant as usize]
+            .cache
+            .as_ref()
+            .map(|c| c.stats())
+    }
+
+    /// Total cache slots actually allocated across all tenants — always
+    /// within the [`crate::EngineConfig::hot_cache`] capacity budget
+    /// (0 when no cache is configured).
+    pub fn cache_slot_total(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter_map(|e| e.cache.as_ref())
+            .map(|c| c.slot_count())
+            .sum()
     }
 
     /// One tenant's live classifier — the handle for that tenant's churn
@@ -314,6 +358,13 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
     pub fn classify_tagged(&self, trace: &TaggedTrace) -> TenantRun {
         let started = Instant::now();
         let n_tenants = self.tenants.len();
+        // Per-tenant cache counters are cumulative; snapshot them here so
+        // the reports below can carry this run's delta.
+        let cache_before: Vec<Option<CacheStats>> = self
+            .tenants
+            .iter()
+            .map(|e| e.cache.as_ref().map(|c| c.stats()))
+            .collect();
         let workers = self.workers;
         let shards = shard_slices(trace.entries(), workers);
         type Partial = (Vec<MatchResult>, u64, Vec<TenantAccum>);
@@ -351,10 +402,21 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
                     headers.extend(group.iter().map(|&i| sub[i].header));
                     // One snapshot per (tenant, sub-batch): the whole
                     // group drains on a single consistent generation.
-                    let snapshot = self.tenants[t].live.snapshot();
+                    // With a hot cache, the snapshot's generation tags the
+                    // probe, so the group only consumes entries filled from
+                    // this exact generation of this tenant's ruleset.
+                    let entry = &self.tenants[t];
+                    let (tag, snapshot) = entry.live.snapshot_tagged();
                     let group_started = Instant::now();
                     tenant_results.clear();
-                    snapshot.classify_batch(&headers, &mut tenant_results);
+                    match &entry.cache {
+                        Some(cache) => {
+                            cache.serve_batch(tag, &headers, &mut tenant_results, |misses, out| {
+                                snapshot.classify_batch(misses, out)
+                            });
+                        }
+                        None => snapshot.classify_batch(&headers, &mut tenant_results),
+                    }
                     let busy_ns = group_started.elapsed().as_nanos() as u64;
                     debug_assert_eq!(tenant_results.len(), group.len());
                     for (&i, &result) in group.iter().zip(tenant_results.iter()) {
@@ -426,6 +488,10 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
                 busy_ns: accum.busy_ns,
                 mpps: crate::mpps(accum.pkts, accum.busy_ns),
                 batch_latency: LatencyPercentiles::from_samples(&mut accum.latencies),
+                cache: self.tenants[t].cache.as_ref().map(|c| {
+                    c.stats()
+                        .delta_since(cache_before[t].as_ref().expect("snapshotted above"))
+                }),
             })
             .collect();
         let rates: Vec<f64> = tenants
@@ -453,6 +519,8 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
     /// Serves one tenant's headers solo through the shared-pool geometry
     /// (same workers/batch), as a plain [`Trace`] — the baseline the
     /// tenant-cell benchmark compares cross-tenant batching against.
+    /// Always uncached, so the baseline measures the classifier itself
+    /// and the solo run neither warms nor perturbs the tenant's cache.
     pub fn classify_solo(&self, tenant: TenantId, trace: &Trace) -> EngineRun {
         let live = Arc::clone(&self.tenants[tenant as usize].live);
         crate::run_sharded(trace, self.workers, self.batch, |_, headers, results| {
@@ -644,6 +712,110 @@ mod tests {
         let header = trace_for(&rs, 72, 1).entries()[0].header;
         let tagged = TaggedTrace::new("bad", vec![TaggedPacket { tenant: 7, header }]);
         router.classify_tagged(&tagged);
+    }
+
+    #[test]
+    fn per_tenant_caches_stay_within_the_router_entry_budget() {
+        let rs = ruleset(30, 91);
+        let make = |n: usize| {
+            EngineConfig::new()
+                .hot_cache(pclass_algos::HotCacheConfig::new(1024, 4))
+                .tenant_router((0..n).map(|t| (format!("t{t}"), LinearClassifier::new(rs.clone()))))
+        };
+        for n in [1usize, 3, 5] {
+            let router = make(n);
+            assert!(
+                router.cache_slot_total() <= 1024,
+                "{n} tenants allocated {} slots over the 1024 budget",
+                router.cache_slot_total()
+            );
+            for t in 0..n {
+                assert_eq!(
+                    router.cache_stats(t as TenantId),
+                    Some(pclass_types::CacheStats::default()),
+                    "fresh cache, tenant {t}"
+                );
+            }
+        }
+        // A budget smaller than the roster degrades to pass-through, never
+        // to over-budget.
+        let starved = EngineConfig::new()
+            .hot_cache(pclass_algos::HotCacheConfig::new(1, 4))
+            .tenant_router((0..3).map(|t| (format!("t{t}"), LinearClassifier::new(rs.clone()))));
+        assert_eq!(starved.cache_slot_total(), 0);
+        // No cache configured: no slots, no stats.
+        let uncached = EngineConfig::new()
+            .tenant_router([("only".to_string(), LinearClassifier::new(rs.clone()))]);
+        assert_eq!(uncached.cache_slot_total(), 0);
+        assert_eq!(uncached.cache_stats(0), None);
+    }
+
+    #[test]
+    fn cached_router_serves_identically_and_isolates_churn() {
+        let rs0 = ruleset(80, 95);
+        let rs1 = ruleset(80, 96);
+        let flat_for =
+            |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten();
+        let router = EngineConfig::new()
+            .workers(2)
+            .batch_size(64)
+            .hot_cache(pclass_algos::HotCacheConfig::new(1024, 4))
+            .tenant_router([
+                ("churny".to_string(), flat_for(&rs0)),
+                ("steady".to_string(), flat_for(&rs1)),
+            ]);
+        let t0 = trace_for(&rs0, 97, 400);
+        let t1 = trace_for(&rs1, 98, 400);
+        let tagged = TaggedTrace::interleave("pair", &[t0.clone(), t1.clone()]);
+        // Cold pass and warm pass both match ground truth; the warm pass
+        // reports hits in the per-run delta.
+        for pass in 0..2 {
+            let run = router.classify_tagged(&tagged);
+            assert_eq!(
+                tagged.tenant_results(0, &run.results),
+                t0.ground_truth(&rs0),
+                "tenant 0, pass {pass}"
+            );
+            assert_eq!(
+                tagged.tenant_results(1, &run.results),
+                t1.ground_truth(&rs1),
+                "tenant 1, pass {pass}"
+            );
+            for report in &run.tenants {
+                let cache = report.cache.expect("cache configured");
+                assert_eq!(
+                    cache.hits + cache.misses,
+                    report.pkts,
+                    "per-run delta covers exactly this run's packets"
+                );
+                if pass == 1 {
+                    assert!(cache.hits > 0, "warm pass must hit ({})", report.name);
+                }
+            }
+        }
+        // Churn tenant 0: its stale entries die by generation, tenant 1's
+        // warm cache keeps serving the same (still correct) results.
+        router
+            .live(0)
+            .apply_batch(&[RuleUpdate::Delete(5)])
+            .expect("delete applies");
+        let run = router.classify_tagged(&tagged);
+        let live0 = router.live(0).snapshot();
+        for (header, got) in t0
+            .entries()
+            .iter()
+            .map(|e| e.header)
+            .zip(tagged.tenant_results(0, &run.results))
+        {
+            assert_eq!(got, live0.classify(&header), "post-churn tenant 0");
+        }
+        assert_eq!(
+            tagged.tenant_results(1, &run.results),
+            t1.ground_truth(&rs1),
+            "tenant 1 untouched by tenant 0 churn"
+        );
+        let steady = run.tenants[1].cache.expect("cache configured");
+        assert!(steady.hits > 0, "tenant 1 cache stays warm across churn");
     }
 
     #[test]

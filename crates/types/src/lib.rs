@@ -62,5 +62,7 @@ pub use prefix::Prefix;
 pub use range::FieldRange;
 pub use rule::{Protocol, Rule, RuleBuilder, RuleId};
 pub use ruleset::{MatchResult, RuleSet, RuleSetError};
-pub use stats::{ArenaStats, FairnessSummary, LatencyPercentiles, RuleSetStats, UpdateStats};
+pub use stats::{
+    ArenaStats, CacheStats, FairnessSummary, LatencyPercentiles, RuleSetStats, UpdateStats,
+};
 pub use trace::{shard_slices, Trace, TraceEntry};

@@ -107,6 +107,55 @@ impl LatencyPercentiles {
     }
 }
 
+/// Running hit/miss/eviction counters of an exact-match hot-flow cache.
+///
+/// Produced by `pclass_algos::hotcache::HotCache::stats` and recorded per
+/// cached cell in `BENCH_throughput.json` (schema `pclass-throughput/v6`);
+/// it lives here, next to [`ArenaStats`] and [`UpdateStats`], so every crate
+/// that serializes measurements shares one definition.  Counters are
+/// cumulative over the cache's lifetime; [`CacheStats::delta_since`] turns
+/// two snapshots into a per-run figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that fell through to the backing classifier (including every
+    /// probe of a zero-capacity cache).
+    pub misses: u64,
+    /// Fills that displaced a live (current-generation) entry.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of probes answered from the cache (0.0 when nothing was
+    /// probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter growth since an earlier snapshot of the same cache.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+
+    /// Adds another cache's counters into this one (used to aggregate the
+    /// per-shard caches of a multi-worker engine).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
 /// Cross-tenant fairness summary of one multi-tenant serving run,
 /// computed over the per-tenant service rates (Mpps of busy time).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -300,6 +349,27 @@ mod tests {
         let mut one = vec![7u64];
         let p = LatencyPercentiles::from_samples(&mut one);
         assert_eq!((p.p50_ns, p.p95_ns, p.p99_ns), (7, 7, 7));
+    }
+
+    #[test]
+    fn cache_stats_rate_delta_and_merge() {
+        let zero = CacheStats::default();
+        assert_eq!(zero.hit_rate(), 0.0, "no probes is a 0.0 rate, not NaN");
+        let mut a = CacheStats {
+            hits: 30,
+            misses: 10,
+            evictions: 2,
+        };
+        assert!((a.hit_rate() - 0.75).abs() < 1e-12);
+        let earlier = CacheStats {
+            hits: 10,
+            misses: 4,
+            evictions: 2,
+        };
+        let d = a.delta_since(&earlier);
+        assert_eq!((d.hits, d.misses, d.evictions), (20, 6, 0));
+        a.merge(&earlier);
+        assert_eq!((a.hits, a.misses, a.evictions), (40, 14, 4));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! * **sustained-stream churn** ends packet-for-packet equal to a
 //!   from-scratch rebuild of the surviving ruleset (and linear search over
 //!   it), mirroring `tests/update_equivalence.rs` for the progress-paced
-//!   continuous update path through `LiveEngine::with_progress`.
+//!   continuous update path through `EngineConfig::progress`.
 
 use packet_classifier::prelude::*;
 use pclass_algos::hicuts::HiCutsConfig;
