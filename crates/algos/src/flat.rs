@@ -1563,6 +1563,10 @@ impl Classifier for FlatTreeClassifier {
     fn worst_case_memory_accesses(&self) -> Option<u64> {
         Some(self.worst_case_accesses)
     }
+
+    fn arena_stats(&self) -> Option<ArenaStats> {
+        Some(self.flat.arena_stats())
+    }
 }
 
 impl HiCutsClassifier {

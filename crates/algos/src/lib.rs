@@ -127,6 +127,14 @@ pub trait Classifier {
     fn worst_case_memory_accesses(&self) -> Option<u64> {
         None
     }
+
+    /// Arena layout statistics when the structure is a flattened arena
+    /// (`flat::FlatTreeClassifier` overrides this); `None` for pointer
+    /// trees and the other structures.  The multi-tenant serving layer
+    /// folds this into its per-tenant memory reports.
+    fn arena_stats(&self) -> Option<pclass_types::ArenaStats> {
+        None
+    }
 }
 
 /// Shared handles classify like what they point at — including unsized
@@ -157,5 +165,9 @@ impl<T: Classifier + ?Sized> Classifier for std::sync::Arc<T> {
 
     fn worst_case_memory_accesses(&self) -> Option<u64> {
         (**self).worst_case_memory_accesses()
+    }
+
+    fn arena_stats(&self) -> Option<pclass_types::ArenaStats> {
+        (**self).arena_stats()
     }
 }

@@ -43,32 +43,52 @@
 //!
 //! `--tenants` additionally runs the multi-tenant axis
 //! (`pclass_bench::scenario::tenant_scenarios`): 1/4/16 tenants with
-//! uniform or skewed ruleset sizes, each tenant a `LiveClassifier` behind
-//! one `TenantRouter`, served as one proportional-fair interleaved tagged
+//! uniform or skewed ruleset sizes, each tenant declared by a
+//! `TenantSpec` (scheduling weight, cache share) seeded from the serving
+//! roster's per-classifier `spec` hook, each a `LiveClassifier` behind
+//! one `TenantRouter`, served as one weighted-fair interleaved tagged
 //! trace on the scenario's worker count.  Every tenant cell is verified
 //! packet-for-packet *per tenant* against linear-search ground truth and
 //! records, next to the router's aggregate Mpps, the throughput of serving
 //! the same rulesets solo-sequentially (one tenant at a time, same
 //! workers) — the `router_vs_solo` ratio is the cost of sharing the
-//! worker pool — plus per-tenant batch-latency percentiles and a Jain
-//! fairness index.  The churn+cache isolation cell additionally churns
-//! tenant 0's ruleset *mid-measurement* (a scripted burst stream racing
-//! the serving passes) behind per-tenant hot caches, then hard-fails
-//! unless tenant 0 classifies packet-for-packet like linear search over
-//! its post-churn rules while every neighbour still matches its original
-//! ground truth — churn isolation and generation-based cache
-//! invalidation, measured on every PR.
+//! worker pool — plus per-tenant batch-latency percentiles, SLO-relative
+//! shares, memory accounting, and rate-based plus weighted Jain fairness
+//! indices.  The policy cells gate the tenant API's behaviour on every
+//! PR: the `+weighted` cell declares a weight-4 big tenant among fifteen
+//! weight-1 neighbours, offers load in weight proportion, and hard-fails
+//! unless every tenant's SLO-relative throughput lands within ±10 % and
+//! the weighted Jain index reaches 0.95; the `+admission` cell evicts
+//! and readmits the smallest tenant mid-trace (a progress-paced
+//! controller racing the serving loop) and hard-fails unless the churn
+//! phase sustains ≥ 0.8× the static phase with every surviving tenant
+//! still packet-for-packet correct and the readmitted tenant verified
+//! against linear search; the `+churn-sustained` cell streams
+//! progress-paced single-rule updates into tenant 0's `live(t)` handle
+//! for the whole measured window.  The churn+cache isolation cell
+//! additionally churns tenant 0's ruleset *mid-measurement* (a scripted
+//! burst stream racing the serving passes) behind per-tenant hot caches,
+//! then hard-fails unless tenant 0 classifies packet-for-packet like
+//! linear search over its post-churn rules while every neighbour still
+//! matches its original ground truth — churn isolation and
+//! generation-based cache invalidation, measured on every PR.
 //!
-//! Results land in `BENCH_throughput.json` (schema `pclass-throughput/v6`,
+//! Results land in `BENCH_throughput.json` (schema `pclass-throughput/v7`,
 //! documented in `docs/SCHEMA.md` and the README's "Scenario matrix"
 //! section): every run, churn, and tenant record carries its `profile`
 //! tag, and the header records the measuring host (logical CPU count,
 //! rustc version) so `--check` can flag cross-host comparisons.  Each
 //! `builds` record carries the memory footprint of one classifier build;
 //! the flat-arena variants additionally record their arena layout
-//! statistics; cached cells carry `cache` hit/miss/eviction summaries
-//! (the 5-part cell key is unchanged from v5 — cached cells are new
-//! *cells*, distinguished by profile tag, not a new key part).
+//! statistics; cached cells carry `cache` hit/miss/eviction summaries.
+//! Tenant cells additionally record their declared `weights`, a
+//! router-wide `memory` record (budget, bytes in use, cache slots
+//! granted) with per-tenant memory reports in each slice, and — on the
+//! admission cell — an `admission` record (evict/readmit cycles, the
+//! router's lifetime admission counters, the churn-vs-static throughput
+//! ratio, and the packets that arrived under a retired handle).  The
+//! 5-part cell key is unchanged from v5 — policy cells are new *cells*,
+//! distinguished by profile tag, not a new key part.
 //!
 //! Every quiescent cell is measured as the best of seven aggregates of
 //! back-to-back engine runs, after one warmup pass (cold arena, page
@@ -97,7 +117,8 @@
 //!
 //! Exit status: 1 if any classifier disagrees with linear search, any
 //! churn cell fails its post-churn verification, or any tenant cell fails
-//! its per-tenant verification; 2 if the regression check fails; 3 if the
+//! its per-tenant verification, its weighted-fairness check, or its
+//! admission-throughput floor; 2 if the regression check fails; 3 if the
 //! baseline cannot be read or shares no cells with the fresh run.
 
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
@@ -107,14 +128,13 @@ use pclass_algos::{FlatSettings, FlatTreeClassifier, HotCacheConfig, LaneWidth};
 use pclass_bench::check::{self, HostInfo, RunCell};
 use pclass_bench::churn::{self, ChurnProfile};
 use pclass_bench::scenario::{self, Scenario};
-use pclass_bench::{serving_roster_lanes, WORKLOAD_SEED};
+use pclass_bench::{default_tenant_spec, roster_entries, serving_roster_lanes, WORKLOAD_SEED};
 use pclass_classbench::SeedStyle;
-use pclass_engine::{
-    Engine, EngineConfig, TaggedTrace, TenantId, TenantRun, ThroughputReport, WorkerReport,
-};
-use pclass_types::{ArenaStats, CacheStats, FairnessSummary, RuleSet, Trace};
+use pclass_engine::{Engine, EngineConfig, TenantId, TenantRun, ThroughputReport, WorkerReport};
+use pclass_types::{ArenaStats, CacheStats, FairnessSummary, MemoryReport, RuleSet, Trace};
 use serde::json;
 use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Hot-flow cache accounting of one cached cell (schema v6): the
@@ -203,26 +223,67 @@ struct ChurnRecord {
     verified: bool,
 }
 
-/// One tenant's slice of a multi-tenant cell: its ruleset, traffic share,
-/// busy-time throughput, and batch-latency percentiles.
+/// One tenant's slice of a multi-tenant cell (schema v7): its handle
+/// (`t<slot>@e<epoch>`), declared scheduling weight, ruleset, traffic
+/// share, busy-time throughput, SLO-relative share (1.0 = exactly the
+/// weighted fair share), batch-latency percentiles, and memory
+/// accounting (classifier bytes, cache-slice bytes, per-tenant budget).
 #[derive(Debug, Clone, Serialize)]
 struct TenantSliceRecord {
-    tenant: TenantId,
+    tenant: String,
     ruleset: String,
     rules: usize,
+    weight: u32,
     pkts: u64,
     mpps: f64,
+    slo_rel: f64,
     p50_ns: u64,
     p95_ns: u64,
     p99_ns: u64,
+    memory: MemoryReport,
     cache: Option<CacheSummary>,
+}
+
+/// Router-wide memory accounting of one tenant cell (schema v7): the
+/// configured budget (if any), the bytes currently charged against it
+/// (classifiers plus cache slices, including evicted tenants' slices
+/// kept allocated for recycling), and the hot-cache slots granted across
+/// the live roster.
+#[derive(Debug, Clone, Serialize)]
+struct MemoryRecord {
+    budget_bytes: Option<usize>,
+    in_use_bytes: usize,
+    cache_slots: usize,
+}
+
+/// The admission cell's churn-phase summary (schema v7): evict/readmit
+/// cycles performed mid-trace (totalled across the measured phases), the
+/// router's lifetime admission counters (construction admissions
+/// included), the static reference throughput the churn phases are gated
+/// against (the best of [`TENANT_AGGREGATES`] like-for-like
+/// progress-paced windows with no roster operations, measured just
+/// before them), the best churn phase's ratio against it, and that
+/// phase's packets that arrived under a retired handle while their
+/// tenant was away (decided `NoMatch`, never served by the slot's next
+/// occupant).
+#[derive(Debug, Clone, Serialize)]
+struct AdmissionRecord {
+    cycles: u64,
+    admitted: u64,
+    evicted: u64,
+    static_mpps: f64,
+    vs_static: f64,
+    unroutable: u64,
 }
 
 /// One multi-tenant cell: N per-tenant classifiers behind one
 /// `TenantRouter` serving an interleaved tagged trace.  `ruleset` is the
 /// mix name (e.g. `acl1_10000+15x500`), `solo_mpps` the throughput of
 /// serving the same rulesets one tenant at a time on the same worker
-/// count, and `router_vs_solo` their ratio.
+/// count, and `router_vs_solo` their ratio.  `weights` are the declared
+/// per-tenant scheduling weights in slot order; `admission` is present
+/// only on the admission cell, whose headline `mpps` is the churn-phase
+/// figure.
 #[derive(Debug, Clone, Serialize)]
 struct TenantCellRecord {
     classifier: String,
@@ -237,9 +298,12 @@ struct TenantCellRecord {
     mpps: f64,
     solo_mpps: f64,
     router_vs_solo: f64,
+    weights: Vec<u32>,
     fairness: FairnessSummary,
     per_tenant: Vec<TenantSliceRecord>,
+    memory: MemoryRecord,
     cache: Option<CacheSummary>,
+    admission: Option<AdmissionRecord>,
     verified: bool,
 }
 
@@ -491,7 +555,7 @@ fn main() {
     };
 
     let file = BenchFile {
-        schema: "pclass-throughput/v6".to_string(),
+        schema: "pclass-throughput/v7".to_string(),
         seed: WORKLOAD_SEED,
         quick,
         host: HostInfo::current(),
@@ -739,19 +803,77 @@ fn churn_sweep(
 }
 
 /// Measured aggregates per tenant cell; fewer than the quiescent
-/// [`AGGREGATES`] because every aggregate measures the router *and* the
+/// [`AGGREGATES`] because every cell measures the router *and* the
 /// solo-sequential baseline over the same number of trace passes.
 const TENANT_AGGREGATES: usize = 3;
 
+/// Evict/readmit cycles the admission cell's controller performs against
+/// the last (smallest) tenant, per churn phase, while the serving loop
+/// races it ([`TENANT_AGGREGATES`] phases are measured, best kept).
+const ADMISSION_CYCLES: usize = 3;
+
+/// The admission cell's acceptance floor: the best churn phase (tenants
+/// coming and going mid-trace) must sustain at least this fraction of the
+/// best like-for-like static window's throughput.
+const ADMISSION_VS_STATIC_FLOOR: f64 = 0.8;
+
+/// Weighted-fairness hard check: every served tenant's SLO-relative
+/// throughput must land within this tolerance of 1.0 …
+const SLO_REL_TOLERANCE: f64 = 0.10;
+
+/// … and the weighted Jain index must reach this floor.
+const WEIGHTED_JAIN_FLOOR: f64 = 0.95;
+
+/// What one tenant cell's measurement phase produced: the accumulated
+/// packet/wall totals behind the headline Mpps, and the run whose
+/// per-tenant reports and fairness indices the record carries (the best
+/// static pass, or the post-churn verification run on the admission and
+/// sustained cells).
+struct TenantCellMeasure {
+    pkts: u64,
+    wall_ns: u64,
+    mpps: f64,
+    run: TenantRun,
+}
+
 /// Runs every tenant scenario over the flat-arena serving roster: one
-/// `FlatTreeClassifier` per tenant behind a shared [`pclass_engine::TenantRouter`],
-/// verified packet-for-packet *per tenant* against linear-search ground
-/// truth on the warmup pass, then measured as the best of
-/// [`TENANT_AGGREGATES`] calibrated wall-clock windows.  Each aggregate
-/// also serves the same rulesets solo-sequentially (one tenant at a time,
-/// same worker count) so the record carries the `router_vs_solo` ratio —
-/// how much aggregate throughput the shared worker pool costs relative to
-/// giving every tenant the machine to itself.
+/// `FlatTreeClassifier` per tenant behind a shared
+/// [`pclass_engine::TenantRouter`], declared through
+/// [`pclass_engine::TenantSpec`]s seeded by the serving roster's
+/// per-classifier `spec` hook (see [`roster_entries`]), verified
+/// packet-for-packet *per tenant* against linear-search ground truth on
+/// the warmup pass, then measured as the best of [`TENANT_AGGREGATES`]
+/// calibrated wall-clock windows.  Each cell also serves the same
+/// rulesets solo-sequentially (one tenant at a time, same worker count)
+/// so the record carries the `router_vs_solo` ratio — how much aggregate
+/// throughput the shared worker pool costs relative to giving every
+/// tenant the machine to itself.  The policy cells layer on top:
+///
+/// * `+weighted` declares the mix's non-uniform scheduling weights and
+///   offers load in weight proportion; the cell hard-fails unless every
+///   served tenant's SLO-relative throughput lands within
+///   [`SLO_REL_TOLERANCE`] of 1.0 and the weighted Jain index reaches
+///   [`WEIGHTED_JAIN_FLOOR`].
+/// * `+admission` measures churn phases after the static one: per phase,
+///   a controller evicts and readmits the last tenant
+///   [`ADMISSION_CYCLES`] times, paced by the router's progress counter,
+///   while a serving thread keeps passing over the tagged trace
+///   (replacement classifiers are pre-built off the measured windows, so
+///   the gated figure is the control plane's cost, not construction's).
+///   Both sides of the gate are best-of-[`TENANT_AGGREGATES`], measured
+///   as interleaved A/B pairs (static window, then churn phase) so both
+///   sides sample the same host-noise spells: the best churn phase
+///   against the best like-for-like static window.  The
+///   recorded `mpps` is the best churn phase; the cell hard-fails unless
+///   it sustains [`ADMISSION_VS_STATIC_FLOOR`] of the static reference,
+///   every surviving tenant stays bit-identical to its ground truth, and
+///   the readmitted tenant verifies against linear search over its live
+///   rules.
+/// * `+churn-sustained` applies a progress-paced single-update stream to
+///   tenant 0 through `live(t)` for the whole measured window (the
+///   tenant analogue of [`ChurnProfile::Sustained`]), then verifies
+///   tenant 0 against linear search over its post-churn rules and every
+///   neighbour against its untouched ground truth.
 fn tenant_sweep(
     quick: bool,
     packets: usize,
@@ -781,58 +903,80 @@ fn tenant_sweep(
 
     for s in scenario::tenant_scenarios(quick) {
         let workloads = s.workloads(packets);
+        let weights = s.weights();
         let mix = s.mix.mix_name();
         let profile = s.profile_tag();
         let total_rules: usize = workloads.iter().map(|w| w.ruleset.len()).sum();
         println!(
-            "== tenants: {} ({} tenants, {} rules total, {} workers) ==",
+            "== tenants: {} ({} tenants, {} rules total, {} workers, {}) ==",
             mix,
             workloads.len(),
             total_rules,
-            s.workers
+            s.workers,
+            profile
         );
         let truths: Vec<_> = workloads
             .iter()
             .map(|w| w.trace.ground_truth(&w.ruleset))
             .collect();
         let traces: Vec<Trace> = workloads.iter().map(|w| w.trace.clone()).collect();
-        let tagged = TaggedTrace::interleave(format!("{mix}_tagged"), &traces);
+        let offered: usize = traces.iter().map(|t| t.len()).sum();
         println!(
             "{:<14} {:>7} | {:>10} {:>10} {:>8} {:>7}",
             "classifier", "workers", "Mpps", "solo", "vs solo", "jain"
         );
         for (name, build) in roster {
-            // Router-wide entry budget scaled to the offered load, split
-            // equally per tenant by the router (see `TenantRouter`).
-            let geometry = HotCacheConfig::new(
-                tagged.len().next_power_of_two(),
-                HotCacheConfig::DEFAULT_ASSOC,
-            );
-            let per_tenant_geometry =
-                HotCacheConfig::new(geometry.capacity / workloads.len(), geometry.assoc);
+            // The roster is declared spec-first: the serving roster's
+            // per-classifier `spec` hook seeds each tenant's `TenantSpec`
+            // and the cell layers its scheduling weight on top (the
+            // cache share defaults to the weight, so weighted cells also
+            // slice the cache budget in weight proportion).
+            let spec_of = roster_entries()
+                .into_iter()
+                .find(|e| e.name == name)
+                .map(|e| e.spec)
+                .unwrap_or(default_tenant_spec);
+            // Router-wide entry budget scaled to the offered load, sliced
+            // across the roster by cache share (see `TenantRouter`).
+            let geometry =
+                HotCacheConfig::new(offered.next_power_of_two(), HotCacheConfig::DEFAULT_ASSOC);
+            // The progress counter (packets served, bumped per sub-batch)
+            // paces the admission and sustained-churn controllers against
+            // actual serving progress; attaching it to every cell costs
+            // one relaxed fetch_add per sub-batch.
+            let progress = Arc::new(AtomicU64::new(0));
             let mut config = EngineConfig::new()
                 .workers(s.workers)
-                .lane_width(lane_width);
+                .lane_width(lane_width)
+                .progress(Arc::clone(&progress));
             if s.cache {
                 config = config.hot_cache(geometry);
             }
-            let router = config.tenant_router(
-                workloads
-                    .iter()
-                    .map(|w| (w.name.clone(), build(&w.ruleset))),
-            );
+            let router =
+                config.tenant_router(workloads.iter().zip(&weights).map(|(w, &weight)| {
+                    (spec_of(w.name.clone()).weight(weight), build(&w.ruleset))
+                }));
+            let ids = router.tenant_ids();
+            let parts: Vec<(TenantId, &Trace)> =
+                ids.iter().map(|&id| (id, &traces[id.slot()])).collect();
+            // The router interleaves by roster weight, so weighted cells
+            // drain their weight-proportional traces together and every
+            // tenant's offered share equals its weight share.
+            let tagged = router.interleave(format!("{mix}_tagged"), &parts);
             // The warmup pass carries the per-tenant packet-for-packet
             // gate — the router is deterministic, so one projection per
             // tenant covers every subsequent pass of this cell.  Cached
             // cells verify a *second* (warm) pass too: it answers from
             // the per-tenant caches, a path the cold pass never takes.
             let warmup = router.classify_tagged(&tagged);
-            let mut verified = (0..workloads.len())
-                .all(|t| tagged.tenant_results(t as TenantId, &warmup.results) == truths[t]);
+            let mut verified = ids
+                .iter()
+                .all(|&id| tagged.tenant_results(id, &warmup.results) == truths[id.slot()]);
             if verified && s.cache {
                 let warm = router.classify_tagged(&tagged);
-                verified = (0..workloads.len())
-                    .all(|t| tagged.tenant_results(t as TenantId, &warm.results) == truths[t]);
+                verified = ids
+                    .iter()
+                    .all(|&id| tagged.tenant_results(id, &warm.results) == truths[id.slot()]);
             }
             if !verified {
                 failures += 1;
@@ -845,33 +989,32 @@ fn tenant_sweep(
             }
             let passes =
                 (TARGET_CELL_WALL_NS / warmup.report.wall_ns.max(1)).clamp(1, MAX_CELL_PASSES);
-            // The churn isolation cell applies a scripted burst stream to
-            // tenant 0 *while* the aggregates below measure: the updater
-            // thread races the serving passes, every burst publishing a
-            // new snapshot generation (which also retires tenant 0's
-            // cached entries).  The stream is finite and deterministic,
-            // so the post-churn ruleset is exact regardless of timing.
-            let updates = s
-                .churn
-                .then(|| ChurnProfile::Burst1.stream(&workloads[0].ruleset));
-            // Best (highest-Mpps) aggregate for the router and the solo
-            // baseline independently: both sides keep their own best
-            // window, so one scheduler burst cannot skew the ratio both
-            // ways at once.
-            let (best, best_solo) = std::thread::scope(|scope| {
-                let updater = updates.as_ref().map(|stream| {
-                    let live0 = router.live(0);
-                    scope.spawn(move || {
-                        for burst in stream.chunks(4) {
-                            live0
-                                .apply_batch(burst)
-                                .expect("scripted tenant-0 burst applies");
-                            std::thread::yield_now();
-                        }
-                    })
-                });
+
+            // Solo-sequential baseline, measured quiescent *before* any
+            // churn phase mutates tenant rulesets: best of
+            // [`TENANT_AGGREGATES`] aggregates of `passes` sweeps, one
+            // tenant at a time on the same worker pool.
+            let mut best_solo = 0.0f64;
+            for _ in 0..TENANT_AGGREGATES {
+                let mut solo_pkts = 0u64;
+                let mut solo_wall_ns = 0u64;
+                for _ in 0..passes {
+                    for &id in &ids {
+                        let run = router.classify_solo(id, &traces[id.slot()]);
+                        solo_pkts += run.report.pkts;
+                        solo_wall_ns += run.report.wall_ns;
+                    }
+                }
+                if solo_wall_ns > 0 {
+                    best_solo = best_solo.max(solo_pkts as f64 * 1e3 / solo_wall_ns as f64);
+                }
+            }
+
+            // Best (highest-Mpps) of [`TENANT_AGGREGATES`] aggregates of
+            // `passes` router passes — the static cells' measurement, and
+            // the admission cell's static phase.
+            let measure_router_best = || {
                 let mut best: Option<(u64, u64, f64, TenantRun)> = None;
-                let mut best_solo = 0.0f64;
                 for _ in 0..TENANT_AGGREGATES {
                     let mut pkts = 0u64;
                     let mut wall_ns = 0u64;
@@ -895,86 +1038,433 @@ fn tenant_sweep(
                     if best.as_ref().is_none_or(|b| mpps > b.2) {
                         best = Some((pkts, wall_ns, mpps, fastest.expect("at least one pass")));
                     }
-                    let mut solo_pkts = 0u64;
-                    let mut solo_wall_ns = 0u64;
-                    for _ in 0..passes {
-                        for (t, trace) in traces.iter().enumerate() {
-                            let run = router.classify_solo(t as TenantId, trace);
-                            solo_pkts += run.report.pkts;
-                            solo_wall_ns += run.report.wall_ns;
+                }
+                best.expect("at least one aggregate measured")
+            };
+
+            // A serve-until-stopped loop for the phases where a
+            // controller mutates the roster or a ruleset mid-measurement:
+            // accumulates packets, wall time and unroutable counts per
+            // pass, and checks the stop flag at pass boundaries (so at
+            // most one drain pass lands after the paced window closes).
+            let serve_until = |stop: &AtomicBool| {
+                let mut pkts = 0u64;
+                let mut wall_ns = 0u64;
+                let mut unroutable = 0u64;
+                loop {
+                    let run = router.classify_tagged(&tagged);
+                    pkts += run.report.pkts;
+                    wall_ns += run.report.wall_ns;
+                    unroutable += run.unroutable;
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                (pkts, wall_ns, unroutable)
+            };
+
+            let mut admission_record: Option<AdmissionRecord> = None;
+            let measure = if s.sustained {
+                // A progress-paced stream of single-rule updates lands on
+                // tenant 0 through `live(t)` while the serving loop keeps
+                // passing over the tagged trace — sustained churn under
+                // multi-tenant load.  Burst k of n lands once k/n of the
+                // window's packets has actually been served, however fast
+                // the host is.
+                let updates = ChurnProfile::Sustained.stream(&workloads[0].ruleset);
+                let bursts: Vec<_> = updates.chunks(1).collect();
+                let live0 = router.live(ids[0]);
+                let window = passes.max(4) * tagged.len() as u64;
+                let stop = AtomicBool::new(false);
+                let (t_pkts, t_wall, _) = std::thread::scope(|scope| {
+                    let server = scope.spawn(|| serve_until(&stop));
+                    let base = progress.load(Ordering::Relaxed);
+                    'stream: for (k, burst) in bursts.iter().enumerate() {
+                        let threshold = base + window * k as u64 / bursts.len() as u64;
+                        while progress.load(Ordering::Relaxed) < threshold {
+                            // The serving loop only exits once `stop` is
+                            // set, so an early finish is a panic — abort
+                            // the stream and let the join surface it.
+                            if server.is_finished() {
+                                break 'stream;
+                            }
+                            std::thread::sleep(std::time::Duration::from_micros(20));
                         }
+                        live0
+                            .apply_batch(burst)
+                            .expect("scripted sustained burst applies");
                     }
-                    if solo_wall_ns > 0 {
-                        best_solo = best_solo.max(solo_pkts as f64 * 1e3 / solo_wall_ns as f64);
+                    // Let the serving side finish the paced window, so
+                    // the figure is dominated by passes that actually
+                    // overlapped the stream.
+                    while progress.load(Ordering::Relaxed) < base + window && !server.is_finished()
+                    {
+                        std::thread::sleep(std::time::Duration::from_micros(20));
                     }
-                }
-                if let Some(handle) = updater {
-                    handle.join().expect("tenant churn updater panicked");
-                }
-                (best, best_solo)
-            });
-            if s.churn {
-                // Quiescent again: tenant 0 must now serve exactly what
-                // linear search over its post-churn rules decides, while
-                // every neighbour still matches its untouched ground
-                // truth — churn isolation, verified packet for packet.
+                    stop.store(true, Ordering::Release);
+                    server.join().expect("tenant serving loop panicked")
+                });
+                // Quiescent again: tenant 0 must serve exactly what
+                // linear search over its post-churn rules decides, every
+                // neighbour its untouched ground truth — churn isolation
+                // under sustained load, verified packet for packet.
                 let final_run = router.classify_tagged(&tagged);
-                let final_rules = router.live(0).snapshot().live_rules();
+                let final_rules = router.live(ids[0]).snapshot().live_rules();
                 let t0_ok = tagged
-                    .tenant_headers(0)
+                    .tenant_headers(ids[0])
                     .iter()
-                    .zip(tagged.tenant_results(0, &final_run.results))
+                    .zip(tagged.tenant_results(ids[0], &final_run.results))
                     .all(|(header, got)| got == classify_live_linear(&final_rules, header));
-                let others_ok = (1..workloads.len())
-                    .all(|t| tagged.tenant_results(t as TenantId, &final_run.results) == truths[t]);
-                verified = t0_ok && others_ok;
-                if !verified {
+                let others_ok = ids[1..]
+                    .iter()
+                    .all(|&id| tagged.tenant_results(id, &final_run.results) == truths[id.slot()]);
+                if !(t0_ok && others_ok) {
+                    verified = false;
                     failures += 1;
                     eprintln!(
-                        "TENANT CHURN MISMATCH: {name} on {mix} — churn on tenant 0 leaked \
-                         into the serving path (t0 ok: {t0_ok}, neighbours ok: {others_ok})"
+                        "TENANT SUSTAINED-CHURN MISMATCH: {name} on {mix} — the paced \
+                         stream leaked into the serving path (t0 ok: {t0_ok}, neighbours \
+                         ok: {others_ok})"
+                    );
+                }
+                let t_mpps = if t_wall == 0 {
+                    0.0
+                } else {
+                    t_pkts as f64 * 1e3 / t_wall as f64
+                };
+                TenantCellMeasure {
+                    pkts: t_pkts,
+                    wall_ns: t_wall,
+                    mpps: t_mpps,
+                    run: final_run,
+                }
+            } else {
+                // Static measurement — with the scripted tenant-0 burst
+                // stream racing the aggregates on the churn isolation
+                // cell: every burst publishes a new snapshot generation
+                // (which also retires tenant 0's cached entries), and the
+                // stream is finite and deterministic, so the post-churn
+                // ruleset is exact regardless of timing.
+                let (b_pkts, b_wall, b_mpps, fastest) = std::thread::scope(|scope| {
+                    let updater = s.churn.then(|| {
+                        let live0 = router.live(ids[0]);
+                        let stream = ChurnProfile::Burst1.stream(&workloads[0].ruleset);
+                        scope.spawn(move || {
+                            for burst in stream.chunks(4) {
+                                live0
+                                    .apply_batch(burst)
+                                    .expect("scripted tenant-0 burst applies");
+                                std::thread::yield_now();
+                            }
+                        })
+                    });
+                    let best = measure_router_best();
+                    if let Some(handle) = updater {
+                        handle.join().expect("tenant churn updater panicked");
+                    }
+                    best
+                });
+                if s.churn {
+                    // Quiescent again: tenant 0 must now serve exactly
+                    // what linear search over its post-churn rules
+                    // decides, while every neighbour still matches its
+                    // untouched ground truth — churn isolation, verified
+                    // packet for packet.
+                    let final_run = router.classify_tagged(&tagged);
+                    let final_rules = router.live(ids[0]).snapshot().live_rules();
+                    let t0_ok = tagged
+                        .tenant_headers(ids[0])
+                        .iter()
+                        .zip(tagged.tenant_results(ids[0], &final_run.results))
+                        .all(|(header, got)| got == classify_live_linear(&final_rules, header));
+                    let others_ok = ids[1..].iter().all(|&id| {
+                        tagged.tenant_results(id, &final_run.results) == truths[id.slot()]
+                    });
+                    if !(t0_ok && others_ok) {
+                        verified = false;
+                        failures += 1;
+                        eprintln!(
+                            "TENANT CHURN MISMATCH: {name} on {mix} — churn on tenant 0 \
+                             leaked into the serving path (t0 ok: {t0_ok}, neighbours ok: \
+                             {others_ok})"
+                        );
+                    }
+                }
+                if s.admission {
+                    // Churn phase: evict and readmit the last (smallest)
+                    // tenant while the serving loop keeps passing over
+                    // the tagged trace, the operations spread over the
+                    // window at progress-paced thresholds.  The
+                    // readmitted tenant comes back under a fresh epoch,
+                    // so the old handle's packets are decided `NoMatch`
+                    // (counted `unroutable`) rather than served by the
+                    // slot's next occupant — the documented eviction
+                    // semantics, measured under load.
+                    let window = passes.max(2) * tagged.len() as u64;
+                    // The vs-static gate measures [`TENANT_AGGREGATES`]
+                    // *interleaved A/B pairs* — a static progress-paced
+                    // window through the same serving loop, then a churn
+                    // phase, alternating — and takes the best of each
+                    // side.  Interleaving makes both sides sample the
+                    // same host-noise spells (the methodology the lane
+                    // walk's A/B comparison established): measuring all
+                    // static windows first would let one contended spell
+                    // land entirely on the churn half and read as a
+                    // phantom admission cost.
+                    let paced_window = |stop: &AtomicBool| {
+                        std::thread::scope(|scope| {
+                            let server = scope.spawn(|| serve_until(stop));
+                            let base = progress.load(Ordering::Relaxed);
+                            while progress.load(Ordering::Relaxed) < base + window
+                                && !server.is_finished()
+                            {
+                                std::thread::sleep(std::time::Duration::from_micros(20));
+                            }
+                            stop.store(true, Ordering::Release);
+                            server.join().expect("tenant serving loop panicked")
+                        })
+                    };
+                    // Replacement classifiers are pre-built outside the
+                    // measured windows: the gated figure is the cost of
+                    // the admission/eviction control plane racing the data
+                    // plane, not of classifier construction (which a real
+                    // control plane would also do off the serving path).
+                    let victim_slot = ids.last().expect("at least one tenant").slot();
+                    let mut replacements: Vec<FlatTreeClassifier> = (0..TENANT_AGGREGATES
+                        * ADMISSION_CYCLES)
+                        .map(|_| build(&workloads[victim_slot].ruleset))
+                        .collect();
+                    // Each churn phase performs [`ADMISSION_CYCLES`]
+                    // evict/readmit cycles; the readmitted handle carries
+                    // across phases, so `current` after the last phase is
+                    // the tenant the quiescent verification below judges.
+                    let mut current = *ids.last().expect("at least one tenant");
+                    let mut total_cycles = 0u64;
+                    let mut static_ref_mpps = 0.0f64;
+                    let mut best_phase: Option<(u64, u64, u64, f64)> = None;
+                    for _ in 0..TENANT_AGGREGATES {
+                        let (s_pkts, s_wall, _) = paced_window(&AtomicBool::new(false));
+                        if s_wall > 0 {
+                            static_ref_mpps =
+                                static_ref_mpps.max(s_pkts as f64 * 1e3 / s_wall as f64);
+                        }
+                        let stop = AtomicBool::new(false);
+                        let (c_pkts, c_wall, c_unroutable) = std::thread::scope(|scope| {
+                            let server = scope.spawn(|| serve_until(&stop));
+                            let base = progress.load(Ordering::Relaxed);
+                            let ops = (ADMISSION_CYCLES * 2) as u64;
+                            'ops: for k in 0..ops {
+                                let threshold = base + window * (k + 1) / (ops + 1);
+                                while progress.load(Ordering::Relaxed) < threshold {
+                                    if server.is_finished() {
+                                        break 'ops;
+                                    }
+                                    std::thread::sleep(std::time::Duration::from_micros(20));
+                                }
+                                if k % 2 == 0 {
+                                    router
+                                        .evict(current)
+                                        .expect("admission cell evicts a live tenant");
+                                } else {
+                                    let slot = current.slot();
+                                    let spec =
+                                        spec_of(workloads[slot].name.clone()).weight(weights[slot]);
+                                    current = router
+                                        .admit(
+                                            spec,
+                                            replacements
+                                                .pop()
+                                                .expect("one pre-built classifier per cycle"),
+                                        )
+                                        .expect("admission cell readmits within budget");
+                                    total_cycles += 1;
+                                }
+                            }
+                            while progress.load(Ordering::Relaxed) < base + window
+                                && !server.is_finished()
+                            {
+                                std::thread::sleep(std::time::Duration::from_micros(20));
+                            }
+                            stop.store(true, Ordering::Release);
+                            server.join().expect("tenant serving loop panicked")
+                        });
+                        let c_mpps = if c_wall == 0 {
+                            0.0
+                        } else {
+                            c_pkts as f64 * 1e3 / c_wall as f64
+                        };
+                        if best_phase.is_none_or(|(_, _, _, m)| c_mpps > m) {
+                            best_phase = Some((c_pkts, c_wall, c_unroutable, c_mpps));
+                        }
+                    }
+                    let (c_pkts, c_wall, c_unroutable, c_mpps) =
+                        best_phase.expect("at least one churn phase measured");
+                    let (cycles, readmitted) = (total_cycles, current);
+                    // Quiescent verification on a fresh interleave over
+                    // the *current* handles: survivors must be
+                    // bit-identical to their ground truth, the readmitted
+                    // tenant verified against linear search over its
+                    // freshly built rules.
+                    let final_ids = router.tenant_ids();
+                    let final_parts: Vec<(TenantId, &Trace)> = final_ids
+                        .iter()
+                        .map(|&id| (id, &traces[id.slot()]))
+                        .collect();
+                    let final_tagged =
+                        router.interleave(format!("{mix}_tagged_final"), &final_parts);
+                    let final_run = router.classify_tagged(&final_tagged);
+                    let survivors_ok =
+                        final_ids.iter().filter(|&&id| id != readmitted).all(|&id| {
+                            final_tagged.tenant_results(id, &final_run.results) == truths[id.slot()]
+                        });
+                    let readmitted_rules = router.live(readmitted).snapshot().live_rules();
+                    let readmitted_ok = final_tagged
+                        .tenant_headers(readmitted)
+                        .iter()
+                        .zip(final_tagged.tenant_results(readmitted, &final_run.results))
+                        .all(|(header, got)| {
+                            got == classify_live_linear(&readmitted_rules, header)
+                        });
+                    let vs_static = if static_ref_mpps == 0.0 {
+                        0.0
+                    } else {
+                        c_mpps / static_ref_mpps
+                    };
+                    if !(survivors_ok
+                        && readmitted_ok
+                        && cycles >= 1
+                        && vs_static >= ADMISSION_VS_STATIC_FLOOR)
+                    {
+                        verified = false;
+                        failures += 1;
+                        eprintln!(
+                            "TENANT ADMISSION FAILURE: {name} on {mix} — survivors ok: \
+                             {survivors_ok}, readmitted ok: {readmitted_ok}, {cycles} \
+                             cycles, vs static x{vs_static:.2} (floor \
+                             {ADMISSION_VS_STATIC_FLOOR})"
+                        );
+                    }
+                    let (admitted, evicted) = router.admission_counts();
+                    admission_record = Some(AdmissionRecord {
+                        cycles,
+                        admitted,
+                        evicted,
+                        static_mpps: static_ref_mpps,
+                        vs_static,
+                        unroutable: c_unroutable,
+                    });
+                    TenantCellMeasure {
+                        pkts: c_pkts,
+                        wall_ns: c_wall,
+                        mpps: c_mpps,
+                        run: final_run,
+                    }
+                } else {
+                    TenantCellMeasure {
+                        pkts: b_pkts,
+                        wall_ns: b_wall,
+                        mpps: b_mpps,
+                        run: fastest,
+                    }
+                }
+            };
+
+            // The weighted-fairness acceptance bar, hard-checked on the
+            // run the record carries (a complete pass over the
+            // weight-proportional trace, so SLO-relative shares are
+            // exact, not sampling noise).
+            if s.weighted && verified {
+                let slo_ok = measure
+                    .run
+                    .tenants
+                    .iter()
+                    .filter(|t| t.pkts > 0)
+                    .all(|t| (t.slo_rel - 1.0).abs() <= SLO_REL_TOLERANCE);
+                let weighted_jain = measure.run.fairness.weighted_jain;
+                if !slo_ok || weighted_jain < WEIGHTED_JAIN_FLOOR {
+                    verified = false;
+                    failures += 1;
+                    eprintln!(
+                        "TENANT FAIRNESS MISS: {name} on {mix} — SLO-relative shares \
+                         within ±{:.0}%: {slo_ok}, weighted Jain {weighted_jain:.3} \
+                         (floor {WEIGHTED_JAIN_FLOOR})",
+                        SLO_REL_TOLERANCE * 100.0
                     );
                 }
             }
-            let (pkts, wall_ns, mpps, fastest) = best.expect("at least one aggregate measured");
+
             let router_vs_solo = if best_solo == 0.0 {
                 0.0
             } else {
-                mpps / best_solo
+                measure.mpps / best_solo
             };
             println!(
                 "{:<14} {:>7} | {:>10.3} {:>10.3} {:>8.2} {:>7.3}",
-                name, s.workers, mpps, best_solo, router_vs_solo, fastest.fairness.jain_index
+                name,
+                s.workers,
+                measure.mpps,
+                best_solo,
+                router_vs_solo,
+                measure.run.fairness.jain_index
             );
-            let per_tenant = fastest
+            if let Some(adm) = &admission_record {
+                println!(
+                    "   admission: {} evict/readmit cycles ({} admitted, {} evicted), \
+                     static {:.3} Mpps, vs static x{:.2}, {} unroutable",
+                    adm.cycles,
+                    adm.admitted,
+                    adm.evicted,
+                    adm.static_mpps,
+                    adm.vs_static,
+                    adm.unroutable
+                );
+            }
+            let total_shares: usize = weights.iter().map(|&w| w as usize).sum();
+            let per_tenant: Vec<TenantSliceRecord> = measure
+                .run
                 .tenants
                 .iter()
                 .map(|t| TenantSliceRecord {
-                    tenant: t.tenant,
+                    tenant: t.tenant.to_string(),
                     ruleset: t.name.clone(),
-                    rules: workloads[t.tenant as usize].ruleset.len(),
+                    rules: workloads[t.tenant.slot()].ruleset.len(),
+                    weight: t.weight,
                     pkts: t.pkts,
                     mpps: t.mpps,
+                    slo_rel: t.slo_rel,
                     p50_ns: t.batch_latency.p50_ns,
                     p95_ns: t.batch_latency.p95_ns,
                     p99_ns: t.batch_latency.p99_ns,
-                    cache: t
-                        .cache
-                        .map(|stats| CacheSummary::new(per_tenant_geometry, stats)),
+                    memory: router.memory_report(t.tenant),
+                    cache: t.cache.map(|stats| {
+                        // The slice's *configured* share of the
+                        // router-wide entry budget (the cache itself
+                        // rounds its set count to a power of two).
+                        let slice = HotCacheConfig::new(
+                            geometry.capacity * t.weight as usize / total_shares.max(1),
+                            geometry.assoc,
+                        );
+                        CacheSummary::new(slice, stats)
+                    }),
                 })
                 .collect();
             // Cell-level cache accounting is cumulative over the whole
-            // cell (warmup + every measured pass), merged across tenants
-            // against the router-wide geometry budget.
+            // cell (warmup + every measured pass), merged across the live
+            // roster against the router-wide geometry budget.
             let cache = s.cache.then(|| {
                 let mut total = CacheStats::default();
-                for t in 0..workloads.len() {
-                    if let Some(stats) = router.cache_stats(t as TenantId) {
+                for &id in &router.tenant_ids() {
+                    if let Some(stats) = router.cache_stats(id) {
                         total.merge(&stats);
                     }
                 }
                 CacheSummary::new(geometry, total)
             });
+            let memory = MemoryRecord {
+                budget_bytes: router.memory_budget(),
+                in_use_bytes: router.memory_in_use(),
+                cache_slots: router.cache_slot_total(),
+            };
             records.push(TenantCellRecord {
                 classifier: name.to_string(),
                 ruleset: mix.clone(),
@@ -983,14 +1473,17 @@ fn tenant_sweep(
                 workers: s.workers,
                 batch: router.batch_size(),
                 profile: profile.clone(),
-                packets: pkts,
-                wall_ns,
-                mpps,
+                packets: measure.pkts,
+                wall_ns: measure.wall_ns,
+                mpps: measure.mpps,
                 solo_mpps: best_solo,
                 router_vs_solo,
-                fairness: fastest.fairness,
+                weights: weights.clone(),
+                fairness: measure.run.fairness,
                 per_tenant,
+                memory,
                 cache,
+                admission: admission_record,
                 verified,
             });
         }

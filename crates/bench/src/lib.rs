@@ -61,7 +61,7 @@ use pclass_core::builder::{BuildConfig, CutAlgorithm, SpeedMode};
 use pclass_core::hw::{Accelerator, AcceleratorClassifier, ClassificationReport};
 use pclass_core::program::{HardwareProgram, ProgramStats};
 use pclass_energy::sa1100::Sa1100Model;
-use pclass_engine::{EngineConfig, SharedClassifier};
+use pclass_engine::{EngineConfig, SharedClassifier, TenantSpec};
 use pclass_tcam::TcamClassifier;
 use pclass_types::{ArenaStats, RuleSet, Trace};
 use std::sync::Arc;
@@ -323,6 +323,18 @@ pub struct RosterEntry {
     /// narrower scope excludes the entry *a priori* (without attempting
     /// the build).  `None` for entries that serve in every scope.
     pub scope_skip: Option<fn(&RuleSet) -> String>,
+    /// Starts the [`TenantSpec`] used when this classifier serves a
+    /// tenant of a `TenantRouter` cell — the tenant matrix and the
+    /// serving roster share one declaration style, so a classifier with
+    /// special tenant policy (a tighter memory budget, a different cache
+    /// share) declares it here instead of inside the harness.
+    pub spec: fn(String) -> TenantSpec,
+}
+
+/// The default [`RosterEntry::spec`] hook: a plain spec with the builder
+/// defaults (weight 1, no memory budget, cache share = weight).
+pub fn default_tenant_spec(name: String) -> TenantSpec {
+    TenantSpec::new(name)
 }
 
 fn build_linear(ctx: &mut RosterCtx) -> RosterBuildResult {
@@ -416,54 +428,63 @@ pub fn roster_entries() -> [RosterEntry; 9] {
             scope: RosterScope::Software,
             build: build_linear,
             scope_skip: None,
+            spec: default_tenant_spec,
         },
         RosterEntry {
             name: "hicuts",
             scope: RosterScope::Software,
             build: build_hicuts,
             scope_skip: None,
+            spec: default_tenant_spec,
         },
         RosterEntry {
             name: "hicuts-flat",
             scope: RosterScope::Software,
             build: build_hicuts_flat,
             scope_skip: None,
+            spec: default_tenant_spec,
         },
         RosterEntry {
             name: "hypercuts",
             scope: RosterScope::Software,
             build: build_hypercuts,
             scope_skip: None,
+            spec: default_tenant_spec,
         },
         RosterEntry {
             name: "hypercuts-flat",
             scope: RosterScope::Software,
             build: build_hypercuts_flat,
             scope_skip: None,
+            spec: default_tenant_spec,
         },
         RosterEntry {
             name: "rfc",
             scope: RosterScope::Full,
             build: build_rfc,
             scope_skip: Some(rfc_scope_skip),
+            spec: default_tenant_spec,
         },
         RosterEntry {
             name: "tcam",
             scope: RosterScope::Full,
             build: build_tcam,
             scope_skip: Some(hardware_scope_skip),
+            spec: default_tenant_spec,
         },
         RosterEntry {
             name: "hw-hicuts",
             scope: RosterScope::Full,
             build: build_hw_hicuts,
             scope_skip: Some(hardware_scope_skip),
+            spec: default_tenant_spec,
         },
         RosterEntry {
             name: "hw-hypercuts",
             scope: RosterScope::Full,
             build: build_hw_hypercuts,
             scope_skip: Some(hardware_scope_skip),
+            spec: default_tenant_spec,
         },
     ]
 }
@@ -658,6 +679,20 @@ mod tests {
                     entry.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn roster_entries_start_tenant_specs_named_after_the_tenant() {
+        for entry in roster_entries() {
+            let spec = (entry.spec)(format!("{}_t0", entry.name));
+            assert_eq!(spec.name(), format!("{}_t0", entry.name));
+            // Every current entry uses the builder defaults; an entry
+            // that tightens its policy changes this hook, not the
+            // harness.
+            assert_eq!(spec.weight_value(), 1);
+            assert_eq!(spec.cache_share_value(), 1);
+            assert!(spec.memory_budget_bytes().is_none());
         }
     }
 

@@ -340,6 +340,19 @@ impl TenantMix {
             TenantMix::Skew16 => "acl1_10000+15x500".to_string(),
         }
     }
+
+    /// Per-tenant scheduling weights of the *weighted* variant of the mix,
+    /// in tenant order: the big tenant of a skewed mix carries weight 4,
+    /// everyone else weight 1 (uniform mixes are all 1 — their weighted
+    /// variant is the unweighted cell).  Used when
+    /// [`TenantScenario::weighted`] is set.
+    pub fn weights(self) -> Vec<u32> {
+        let mut weights = vec![1u32; self.tenants()];
+        if matches!(self, TenantMix::Skew4 | TenantMix::Skew16) {
+            weights[0] = 4;
+        }
+        weights
+    }
 }
 
 /// One tenant's workload inside a tenant cell: an isolated ruleset (its
@@ -367,22 +380,49 @@ pub struct TenantScenario {
     /// measured, not just unit-tested.
     pub churn: bool,
     /// Whether the router serves through per-tenant hot-flow caches
-    /// (the configured capacity is split evenly across the roster).
+    /// (the configured capacity is sliced across the roster by cache
+    /// share).
     pub cache: bool,
+    /// Whether the roster declares the mix's non-uniform scheduling
+    /// weights ([`TenantMix::weights`]) and offers load in weight
+    /// proportion — the weighted-fairness cells, hard-checked against
+    /// SLO-relative shares and the weighted Jain index.
+    pub weighted: bool,
+    /// Whether the cell exercises runtime admission/eviction mid-trace:
+    /// after the static measurement, a controller thread evicts and
+    /// readmits the last small tenant while the router keeps serving,
+    /// and the cell records churn-phase throughput against the static
+    /// phase.
+    pub admission: bool,
+    /// Whether tenant 0 receives a *sustained*, progress-paced update
+    /// stream through `live(t)` while the router serves (the tenant
+    /// analogue of [`ChurnProfile::Sustained`]), instead of the
+    /// between-pass burst of [`TenantScenario::churn`].
+    pub sustained: bool,
     /// Whether the cell is part of the quick (per-PR CI) subset.
     pub quick: bool,
 }
 
 impl TenantScenario {
-    /// The profile tag recorded in schema-v6 tenant cells, e.g.
-    /// `uniform+tenants-skew16` or `uniform+tenants-uni4+churn+cache` —
-    /// distinct per cell, so the regression gate keys tenant cells
-    /// like-for-like (the `churn` token also selects the gate's wider
-    /// churn tolerance).
+    /// The profile tag recorded in schema-v7 tenant cells, e.g.
+    /// `uniform+tenants-skew16+weighted` or
+    /// `uniform+tenants-uni4+churn+cache` — distinct per cell, so the
+    /// regression gate keys tenant cells like-for-like (a `churn` token —
+    /// including the `churn-sustained` form — also selects the gate's
+    /// wider churn tolerance).
     pub fn profile_tag(&self) -> String {
         let mut tag = format!("uniform+tenants-{}", self.mix.tag());
+        if self.weighted {
+            tag.push_str("+weighted");
+        }
+        if self.admission {
+            tag.push_str("+admission");
+        }
         if self.churn {
             tag.push_str("+churn");
+        }
+        if self.sustained {
+            tag.push_str("+churn-sustained");
         }
         if self.cache {
             tag.push_str("+cache");
@@ -390,18 +430,36 @@ impl TenantScenario {
         tag
     }
 
-    /// Builds the per-tenant workloads, splitting a total packet budget
-    /// evenly across tenants (at least 256 packets each so every tenant's
-    /// percentiles rest on real samples).  Deterministic: each tenant's
+    /// The per-tenant scheduling weights this cell declares on its
+    /// [`pclass_engine::TenantSpec`]s: the mix's weights when
+    /// [`TenantScenario::weighted`], all-1 otherwise.
+    pub fn weights(&self) -> Vec<u32> {
+        if self.weighted {
+            self.mix.weights()
+        } else {
+            vec![1; self.mix.tenants()]
+        }
+    }
+
+    /// Builds the per-tenant workloads.  Unweighted cells split a total
+    /// packet budget evenly across tenants; weighted cells split it in
+    /// *weight proportion* (each tenant offers `weight × unit` packets),
+    /// so the weighted-fair interleave drains every trace together and
+    /// each tenant's offered share equals its weight share exactly.  The
+    /// floor of 256 packets per weight unit keeps every tenant's
+    /// percentiles resting on real samples.  Deterministic: each tenant's
     /// ruleset and trace are derived from [`crate::WORKLOAD_SEED`] salted
     /// with the tenant id.
     pub fn workloads(&self, packet_budget: usize) -> Vec<TenantWorkload> {
         let sizes = self.mix.sizes();
-        let per_tenant = (packet_budget / sizes.len()).max(256);
+        let weights = self.weights();
+        let weight_total: usize = weights.iter().map(|&w| w as usize).sum();
+        let unit = (packet_budget / weight_total).max(256);
         sizes
             .iter()
+            .zip(&weights)
             .enumerate()
-            .map(|(t, &size)| {
+            .map(|(t, (&size, &weight))| {
                 let name = format!("acl1_{size}#t{t}");
                 let ruleset = pclass_classbench::ClassBenchGenerator::new(
                     SeedStyle::Acl,
@@ -411,7 +469,7 @@ impl TenantScenario {
                 .truncated(size, name.clone());
                 let trace =
                     TraceGenerator::new(&ruleset, crate::WORKLOAD_SEED ^ (0xBEEF_0000 + t as u64))
-                        .generate_named(per_tenant, format!("{name}_trace"));
+                        .generate_named(unit * weight as usize, format!("{name}_trace"));
                 TenantWorkload {
                     name,
                     ruleset,
@@ -425,16 +483,24 @@ impl TenantScenario {
 /// **The** tenant-cell matrix, the single declarative list both sweep
 /// modes derive from (mirroring [`matrix`]).  Quick keeps the degenerate
 /// 1-tenant cell (router = live-engine guard), the uniform 4-tenant cell,
-/// the 16-tenant mixed-size acceptance cell and the churn+cache isolation
+/// the 16-tenant mixed-size acceptance cell, the churn+cache isolation
 /// cell (tenant 0 churns mid-trace behind per-tenant caches, so both
 /// churn isolation and generation-based cache invalidation are measured
-/// on every PR); the remaining mixes run weekly.
+/// on every PR), and the three policy cells: the **weighted** skew16
+/// fairness cell (weight-4 big tenant, SLO-relative shares hard-checked),
+/// the weighted **admission** cell (mid-trace evict/readmit while the
+/// router serves, gated against the static phase), and the **sustained**
+/// churn-under-load cell (a progress-paced update stream through
+/// `live(t)` during measurement); the remaining mixes run weekly.
 pub fn tenant_matrix() -> Vec<TenantScenario> {
     let steady = |mix, workers, quick| TenantScenario {
         mix,
         workers,
         churn: false,
         cache: false,
+        weighted: false,
+        admission: false,
+        sustained: false,
         quick,
     };
     vec![
@@ -444,11 +510,22 @@ pub fn tenant_matrix() -> Vec<TenantScenario> {
         steady(TenantMix::Uni16, 4, false),
         steady(TenantMix::Skew16, 4, true),
         TenantScenario {
-            mix: TenantMix::Uni4,
-            workers: 4,
             churn: true,
             cache: true,
-            quick: true,
+            ..steady(TenantMix::Uni4, 4, true)
+        },
+        TenantScenario {
+            weighted: true,
+            ..steady(TenantMix::Skew16, 4, true)
+        },
+        TenantScenario {
+            weighted: true,
+            admission: true,
+            ..steady(TenantMix::Skew16, 4, true)
+        },
+        TenantScenario {
+            sustained: true,
+            ..steady(TenantMix::Uni4, 4, true)
         },
     ]
 }
@@ -605,11 +682,13 @@ mod tests {
                 "quick tenant cell {s:?} missing from the full matrix"
             );
         }
-        // One quiescent uncached cell per mix, plus the churn+cache
-        // isolation cell.
-        assert_eq!(full.len(), TenantMix::ALL.len() + 1);
+        // One quiescent uncached unweighted cell per mix, plus the
+        // churn+cache isolation cell and the three policy cells.
+        assert_eq!(full.len(), TenantMix::ALL.len() + 4);
         assert_eq!(
-            full.iter().filter(|s| !s.churn && !s.cache).count(),
+            full.iter()
+                .filter(|s| !s.churn && !s.cache && !s.weighted && !s.admission && !s.sustained)
+                .count(),
             TenantMix::ALL.len()
         );
         // The 16-tenant mixed-size acceptance cell is CI-gated.
@@ -627,10 +706,76 @@ mod tests {
             .expect("quick must include the churn+cache isolation cell");
         assert_eq!(isolation.profile_tag(), "uniform+tenants-uni4+churn+cache");
         assert!(isolation.profile_tag().contains("churn"));
+        // The three policy cells are CI-gated too, with the promised tags.
+        let quick = tenant_scenarios(true);
+        let weighted = quick
+            .iter()
+            .find(|s| s.weighted && !s.admission)
+            .expect("quick must include the weighted fairness cell");
+        assert_eq!(weighted.mix, TenantMix::Skew16);
+        assert_eq!(weighted.profile_tag(), "uniform+tenants-skew16+weighted");
+        let admission = quick
+            .iter()
+            .find(|s| s.admission)
+            .expect("quick must include the admission cell");
+        assert!(admission.weighted, "admission runs under the weighted mix");
+        assert_eq!(
+            admission.profile_tag(),
+            "uniform+tenants-skew16+weighted+admission"
+        );
+        let sustained = quick
+            .iter()
+            .find(|s| s.sustained)
+            .expect("quick must include the sustained churn-under-load cell");
+        assert!(
+            !sustained.churn,
+            "sustained replaces the between-pass burst"
+        );
+        assert_eq!(
+            sustained.profile_tag(),
+            "uniform+tenants-uni4+churn-sustained"
+        );
+        // Both churn-style tags carry the `churn` token the gate's wider
+        // tolerance keys on.
+        assert!(sustained.profile_tag().contains("churn"));
         // Tags are the gate's key: all distinct.
         let tags: std::collections::HashSet<String> =
             full.iter().map(|s| s.profile_tag()).collect();
         assert_eq!(tags.len(), full.len());
+    }
+
+    #[test]
+    fn weighted_cells_offer_load_in_weight_proportion() {
+        let cell = TenantScenario {
+            mix: TenantMix::Skew16,
+            workers: 4,
+            churn: false,
+            cache: false,
+            weighted: true,
+            admission: false,
+            sustained: false,
+            quick: true,
+        };
+        assert_eq!(cell.weights()[0], 4);
+        assert!(cell.weights()[1..].iter().all(|&w| w == 1));
+        let workloads = cell.workloads(4_000);
+        // Σ weights = 19, budget 4 000 → unit 256 (the floor): the big
+        // tenant offers 4 units, every small tenant 1.
+        assert_eq!(workloads[0].trace.len(), 4 * 256);
+        assert!(workloads[1..].iter().all(|w| w.trace.len() == 256));
+        // The unweighted twin stays evenly split.
+        let unweighted = TenantScenario {
+            weighted: false,
+            ..cell
+        };
+        assert!(unweighted.weights().iter().all(|&w| w == 1));
+        assert!(unweighted
+            .workloads(4_000)
+            .iter()
+            .all(|w| w.trace.len() == 256));
+        // Uniform mixes have no weighted variant distinct from all-1.
+        assert!(TenantMix::Uni4.weights().iter().all(|&w| w == 1));
+        assert_eq!(TenantMix::Skew4.weights(), vec![4, 1, 1, 1]);
     }
 
     #[test]
@@ -640,6 +785,9 @@ mod tests {
             workers: 4,
             churn: false,
             cache: false,
+            weighted: false,
+            admission: false,
+            sustained: false,
             quick: true,
         };
         let workloads = cell.workloads(4_000);

@@ -27,7 +27,11 @@
 //! * the **hot cache** ([`EngineConfig::hot_cache`]) puts an exact-match
 //!   flow cache in front of the classifier: per worker shard on [`Engine`]
 //!   and [`LiveEngine`], per tenant on [`TenantRouter`] (where the entry
-//!   budget is split evenly across the roster);
+//!   budget is sliced across the roster by each tenant's
+//!   [`TenantSpec::cache_share`]);
+//! * the **memory budget** ([`EngineConfig::memory_budget`]) bounds the
+//!   [`TenantRouter`] roster's total classifier + cache bytes — admission
+//!   checks against it;
 //! * the **lane width** is not consumed by the engines themselves (it
 //!   tunes the flat-arena classifiers, not the sharding loop); it rides on
 //!   the config so one value can be plumbed from a CLI flag through roster
@@ -59,7 +63,7 @@
 //! ```
 
 use crate::live::{LiveClassifier, LiveEngine};
-use crate::tenant::TenantRouter;
+use crate::tenant::{TenantRouter, TenantSpec};
 use crate::{Engine, SharedClassifier, DEFAULT_BATCH_SIZE};
 use pclass_algos::{Classifier, HotCacheConfig, LaneWidth};
 use std::sync::atomic::AtomicU64;
@@ -77,6 +81,7 @@ pub struct EngineConfig {
     progress: Option<Arc<AtomicU64>>,
     lanes: Option<LaneWidth>,
     hot_cache: Option<HotCacheConfig>,
+    memory_budget: Option<usize>,
 }
 
 impl EngineConfig {
@@ -180,6 +185,26 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the router-wide memory budget in bytes, consumed by
+    /// [`TenantRouter`] admission: a tenant whose classifier plus cache
+    /// slice would push the roster's total past the budget is rejected
+    /// with [`crate::AdmissionError::RouterOverBudget`].  The
+    /// single-tenant front ends do not consume it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget was already set.
+    pub fn memory_budget(mut self, bytes: usize) -> EngineConfig {
+        assert!(
+            self.memory_budget.is_none(),
+            "EngineConfig::memory_budget set twice — a memory budget is \
+             already configured; a second value would silently override the \
+             first subsystem's choice"
+        );
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Number of worker shards.
     pub fn worker_count(&self) -> usize {
         self.workers.unwrap_or(1)
@@ -203,6 +228,11 @@ impl EngineConfig {
     /// The hot-flow cache geometry, if one is configured.
     pub fn hot_cache_config(&self) -> Option<HotCacheConfig> {
         self.hot_cache
+    }
+
+    /// The router-wide memory budget in bytes, if one is configured.
+    pub fn memory_budget_bytes(&self) -> Option<usize> {
+        self.memory_budget
     }
 
     /// Builds a fixed [`Engine`] whose worker shards all share one
@@ -229,14 +259,24 @@ impl EngineConfig {
         LiveEngine::from_config(self, live)
     }
 
-    /// Builds a [`TenantRouter`] over `(tenant name, classifier)` pairs —
-    /// tenant ids are assigned in iteration order, each classifier is
-    /// wrapped in its own [`LiveClassifier`] (per-tenant churn isolation),
-    /// and tagged traffic is served on this config's shared worker pool;
-    /// inherits the progress hook.
+    /// Builds a [`TenantRouter`] over `(spec, classifier)` pairs — every
+    /// tenant is declared through a [`TenantSpec`] (name, scheduling
+    /// weight, memory budget, cache share), admitted in iteration order
+    /// (handles come back from [`TenantRouter::tenant_ids`] in the same
+    /// order), each classifier is wrapped in its own [`LiveClassifier`]
+    /// (per-tenant churn isolation), and tagged traffic is served on this
+    /// config's shared worker pool; inherits the progress hook, the hot
+    /// cache (sliced over the roster by cache share) and the router-wide
+    /// [`EngineConfig::memory_budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the roster is empty or any declared tenant fails
+    /// admission (runtime [`TenantRouter::admit`] returns the error
+    /// instead).
     pub fn tenant_router<C: Classifier + Clone + Send + Sync>(
         &self,
-        tenants: impl IntoIterator<Item = (String, C)>,
+        tenants: impl IntoIterator<Item = (TenantSpec, C)>,
     ) -> TenantRouter<C> {
         TenantRouter::from_config(self, tenants)
     }
@@ -263,6 +303,7 @@ mod tests {
         assert!(config.progress_counter().is_none());
         assert_eq!(config.lanes(), LaneWidth::default());
         assert!(config.hot_cache_config().is_none());
+        assert!(config.memory_budget_bytes().is_none());
         assert_eq!(EngineConfig::default().batch(), config.batch());
     }
 
@@ -289,7 +330,8 @@ mod tests {
         assert_eq!(live_engine.workers(), 3);
         assert_eq!(live_engine.classify_trace(&trace).results, truth);
 
-        let router = config.tenant_router([("t0".to_string(), LinearClassifier::new(rs.clone()))]);
+        let router =
+            config.tenant_router([(TenantSpec::new("t0"), LinearClassifier::new(rs.clone()))]);
         assert_eq!(router.workers(), 3);
         assert_eq!(router.batch_size(), 64);
         assert_eq!(router.tenant_count(), 1);
@@ -361,6 +403,25 @@ mod tests {
         let _ = EngineConfig::new()
             .hot_cache(HotCacheConfig::default())
             .hot_cache(HotCacheConfig::new(64, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory_budget set twice")]
+    fn double_set_memory_budget_is_rejected() {
+        let _ = EngineConfig::new()
+            .memory_budget(1 << 20)
+            .memory_budget(1 << 21);
+    }
+
+    #[test]
+    fn memory_budget_rides_the_config_into_the_router() {
+        let (rs, _) = workload(40, 0);
+        let config = EngineConfig::new().memory_budget(64 << 20);
+        assert_eq!(config.memory_budget_bytes(), Some(64 << 20));
+        let router =
+            config.tenant_router([(TenantSpec::new("t0"), LinearClassifier::new(rs.clone()))]);
+        assert_eq!(router.memory_budget(), Some(64 << 20));
+        assert!(router.memory_in_use() > 0);
     }
 
     #[test]

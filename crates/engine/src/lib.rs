@@ -65,7 +65,10 @@ pub mod tenant;
 
 pub use config::EngineConfig;
 pub use live::{LiveClassifier, LiveEngine};
-pub use tenant::{TaggedPacket, TaggedTrace, TenantId, TenantReport, TenantRouter, TenantRun};
+pub use tenant::{
+    AdmissionError, TaggedPacket, TaggedTrace, TenantId, TenantReport, TenantRouter, TenantRun,
+    TenantSpec, UnknownTenant,
+};
 
 use pclass_algos::Classifier;
 use pclass_types::{MatchResult, PacketHeader, Trace};

@@ -1,23 +1,55 @@
-//! Multi-tenant serving: many isolated rulesets on one shared worker pool.
+//! Multi-tenant serving: many isolated rulesets on one shared worker pool,
+//! governed by a declarative per-tenant policy layer.
 //!
 //! The serving stack so far is one process = one ruleset, but the
 //! deployment shape the paper's low-power classification setting targets —
 //! per-customer ACLs, per-VPC firewalls — serves many *isolated* tenants
 //! on shared cores.  [`TenantRouter`] is that front end:
 //!
-//! * it holds a roster of N [`LiveClassifier`]s (tenant id → live
-//!   classifier), so **churn is isolated per tenant**: one tenant's
-//!   [`LiveClassifier::apply_batch`] touches only its own writer copy and
-//!   snapshot slot and never blocks another tenant's readers;
+//! * every tenant is declared through a [`TenantSpec`] (name, scheduling
+//!   **weight**, per-tenant **memory budget**, hot-cache **slice share**),
+//!   the only construction path — there is no positional roster API;
+//! * the roster itself is **epoch-swapped**: [`TenantRouter::admit`] and
+//!   [`TenantRouter::evict`] publish a new roster snapshot the same way a
+//!   [`LiveClassifier`] publishes a new generation, so serving workers
+//!   never block on lifecycle changes — they pick the new roster up at the
+//!   next sub-batch boundary;
+//! * each tenant holds its own [`LiveClassifier`], so **churn is isolated
+//!   per tenant**: one tenant's [`LiveClassifier::apply_batch`] touches
+//!   only its own writer copy and snapshot slot and never blocks another
+//!   tenant's readers;
 //! * tagged traffic ([`TaggedTrace`]) is served on a **shared worker
 //!   pool** with cross-tenant batching: each worker takes a sub-batch of
-//!   the interleaved stream, groups it by tenant, and classifies each
-//!   tenant group against **one snapshot per (tenant, sub-batch)** —
-//!   reusing the epoch-swap machinery, so a 500-rule tenant coalesces
-//!   into the same sub-batch as its neighbours instead of wasting a core;
+//!   the interleaved stream, groups it by tenant, serves the groups in
+//!   **descending weight order**, and classifies each group against one
+//!   snapshot per (tenant, sub-batch);
 //! * every run returns **per-tenant accounting** ([`TenantReport`]:
-//!   packets, busy-time mpps, p50/p95/p99 batch-latency percentiles) plus
-//!   a [`FairnessSummary`] over the per-tenant rates.
+//!   packets, busy-time mpps, SLO-relative throughput, p50/p95/p99
+//!   batch-latency percentiles) plus a [`FairnessSummary`] carrying both
+//!   the rate-based and the **weighted** Jain index.
+//!
+//! # Handles and stale-hit safety
+//!
+//! A [`TenantId`] is an opaque handle `(slot, admission epoch)` minted by
+//! `admit`/construction.  Eviction retires the epoch: packets tagged with
+//! a retired handle are counted as *unroutable*
+//! ([`TenantRun::unroutable`]) and decided [`MatchResult::NoMatch`],
+//! never silently served by the slot's next occupant.  Hot-cache probe
+//! tags fold the admission epoch in next to the classifier generation, so
+//! even though an evicted tenant's cache slice is **recycled** to a later
+//! admission (admission on the datapath must not allocate megabytes), its
+//! physically present entries are structurally unreachable — a stale hit
+//! across eviction generations is impossible by construction, which the
+//! workspace negative tests pin.
+//!
+//! # Memory budgeting
+//!
+//! Admission charges each tenant's classifier bytes plus its cache-slice
+//! bytes into a [`MemoryReport`].  A spec-level budget
+//! ([`TenantSpec::memory_budget`]) bounds one tenant; a router-wide
+//! budget ([`crate::EngineConfig::memory_budget`]) bounds the roster —
+//! [`TenantRouter::admit`] rejects (it does not panic) when either would
+//! be exceeded.
 //!
 //! Construction goes through [`crate::EngineConfig::tenant_router`], the
 //! same builder the single-tenant engines use.
@@ -26,21 +58,230 @@
 //! classifier decides — a router with one tenant produces exactly the
 //! output of a [`crate::LiveEngine`] over that classifier, and under
 //! interleaved cross-tenant traffic each tenant's result subsequence
-//! equals its solo run.  The workspace property tests enforce both.
+//! equals its solo run.  The workspace property tests enforce both, plus
+//! that a mid-trace evict/admit cycle leaves surviving tenants
+//! bit-identical.
 
 use crate::live::LiveClassifier;
 use crate::{EngineConfig, EngineRun, ThroughputReport, WorkerReport};
 use pclass_algos::{Classifier, HotCache, HotCacheConfig};
 use pclass_types::{
-    shard_slices, CacheStats, FairnessSummary, LatencyPercentiles, MatchResult, PacketHeader, Trace,
+    shard_slices, CacheStats, FairnessSummary, LatencyPercentiles, MatchResult, MemoryReport,
+    PacketHeader, Trace,
 };
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-/// Identifies a tenant within one [`TenantRouter`] (dense, assigned in
-/// roster order starting at 0).
-pub type TenantId = u32;
+/// An opaque handle to one tenant of a [`TenantRouter`]: the roster slot
+/// plus the admission epoch that minted it.  Handles are returned by
+/// [`TenantRouter::admit`] (and [`TenantRouter::tenant_ids`] after
+/// construction); eviction retires the epoch, so a handle can never
+/// alias the slot's next occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId {
+    slot: u32,
+    epoch: u32,
+}
+
+impl TenantId {
+    /// Fabricates a handle from raw parts — useful in tests; a fabricated
+    /// handle routes nowhere unless it matches a live `(slot, epoch)`
+    /// pair (epochs start at 1, so `epoch: 0` never resolves).
+    pub fn new(slot: u32, epoch: u32) -> TenantId {
+        TenantId { slot, epoch }
+    }
+
+    /// The roster slot this handle addresses.
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+
+    /// The admission epoch that minted this handle (1-based; each
+    /// successful `admit` — including construction — takes the next one).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}@e{}", self.slot, self.epoch)
+    }
+}
+
+/// Declares one tenant: the only way to put a tenant on a
+/// [`TenantRouter`] roster (construction takes `(TenantSpec, classifier)`
+/// pairs, [`TenantRouter::admit`] takes one of each at runtime).
+///
+/// A take-self builder in the [`EngineConfig`] style: unset knobs resolve
+/// to their defaults at read time, and every setter **panics on a
+/// double-set** — two subsystems configuring the same knob on one spec is
+/// a wiring bug that last-wins semantics would hide.
+///
+/// Defaults: weight 1, no per-tenant memory budget, cache share equal to
+/// the weight.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    name: String,
+    weight: Option<u32>,
+    memory_budget: Option<usize>,
+    cache_share: Option<u32>,
+}
+
+impl TenantSpec {
+    /// Starts a spec for a named tenant.
+    pub fn new(name: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            weight: None,
+            memory_budget: None,
+            cache_share: None,
+        }
+    }
+
+    /// Sets the tenant's scheduling weight (clamped to at least 1): the
+    /// weighted-fair interleave offers this tenant `weight / Σ weights`
+    /// of the stream, and sub-batch service visits heavier tenants first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight was already set.
+    pub fn weight(mut self, weight: u32) -> TenantSpec {
+        assert!(
+            self.weight.is_none(),
+            "TenantSpec::weight set twice — the scheduling weight is already \
+             configured; a second value would silently override the first \
+             subsystem's choice"
+        );
+        self.weight = Some(weight.max(1));
+        self
+    }
+
+    /// Sets the tenant's memory budget in bytes: admission fails with
+    /// [`AdmissionError::TenantOverBudget`] when the classifier plus the
+    /// tenant's cache slice would exceed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget was already set.
+    pub fn memory_budget(mut self, bytes: usize) -> TenantSpec {
+        assert!(
+            self.memory_budget.is_none(),
+            "TenantSpec::memory_budget set twice — a memory budget is already \
+             configured; a second value would silently override the first \
+             subsystem's choice"
+        );
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the tenant's share of the router-wide hot-cache entry budget
+    /// (relative to the other tenants' shares; 0 means no cache slice).
+    /// When unset, the cache share follows the scheduling weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share was already set.
+    pub fn cache_share(mut self, share: u32) -> TenantSpec {
+        assert!(
+            self.cache_share.is_none(),
+            "TenantSpec::cache_share set twice — a cache share is already \
+             configured; a second value would silently override the first \
+             subsystem's choice"
+        );
+        self.cache_share = Some(share);
+        self
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scheduling weight this spec resolves to (default 1).
+    pub fn weight_value(&self) -> u32 {
+        self.weight.unwrap_or(1)
+    }
+
+    /// The per-tenant memory budget, if one was declared.
+    pub fn memory_budget_bytes(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// The cache share this spec resolves to (default: the weight).
+    pub fn cache_share_value(&self) -> u32 {
+        self.cache_share.unwrap_or_else(|| self.weight_value())
+    }
+}
+
+/// Why [`TenantRouter::admit`] (or roster construction, which panics with
+/// the same message) refused a tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The tenant's classifier plus cache slice exceeds its own
+    /// [`TenantSpec::memory_budget`].
+    TenantOverBudget {
+        /// The refused tenant's name.
+        name: String,
+        /// Bytes the tenant needs (classifier + cache slice).
+        needs: usize,
+        /// The spec's budget.
+        budget: usize,
+    },
+    /// Admitting the tenant would push the roster past the router-wide
+    /// [`crate::EngineConfig::memory_budget`].
+    RouterOverBudget {
+        /// The refused tenant's name.
+        name: String,
+        /// Bytes the tenant needs (classifier + cache slice).
+        needs: usize,
+        /// Bytes already in use (live tenants plus recycled cache slices).
+        in_use: usize,
+        /// The router-wide budget.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::TenantOverBudget {
+                name,
+                needs,
+                budget,
+            } => write!(
+                f,
+                "tenant {name} needs {needs} bytes, over its {budget}-byte budget"
+            ),
+            AdmissionError::RouterOverBudget {
+                name,
+                needs,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "tenant {name} needs {needs} bytes, but {in_use} of the \
+                 router's {budget}-byte budget are in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// The handle passed to [`TenantRouter::evict`] does not resolve to a
+/// live tenant (never admitted, or already evicted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownTenant(pub TenantId);
+
+impl std::fmt::Display for UnknownTenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown or evicted tenant {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownTenant {}
 
 /// One packet of tagged traffic: the header plus the tenant whose ruleset
 /// must classify it.
@@ -69,20 +310,60 @@ impl TaggedTrace {
         }
     }
 
-    /// Deterministically interleaves one per-tenant trace per tenant id
-    /// (index in `traces` = tenant id) into a single proportional-fair
-    /// tagged stream: at every step the next packet comes from the tenant
-    /// whose emitted share of its own trace is furthest behind, ties going
-    /// to the lowest tenant id.  Per-tenant packet order is preserved, so
-    /// [`TaggedTrace::tenant_headers`] reproduces each input trace exactly.
-    pub fn interleave(name: impl Into<String>, traces: &[Trace]) -> TaggedTrace {
-        let lens: Vec<u128> = traces.iter().map(|t| t.len() as u128).collect();
-        let total: usize = traces.iter().map(|t| t.len()).sum();
-        let mut next = vec![0usize; traces.len()];
+    /// Deterministically interleaves one trace per tenant handle into a
+    /// single proportional-fair tagged stream: at every step the next
+    /// packet comes from the tenant whose emitted share *of its own
+    /// trace* is furthest behind, ties going to the earliest part — so
+    /// every prefix carries each tenant in proportion to its offered
+    /// load, and all traces finish together.  Per-tenant packet order is
+    /// preserved: [`TaggedTrace::tenant_headers`] reproduces each input
+    /// trace exactly.
+    pub fn interleave(name: impl Into<String>, parts: &[(TenantId, &Trace)]) -> TaggedTrace {
+        let shares: Vec<u128> = parts.iter().map(|(_, t)| t.len() as u128).collect();
+        TaggedTrace::interleave_by(name, parts, &shares)
+    }
+
+    /// Weighted-fair interleave: the next packet comes from the tenant
+    /// whose emitted *weight-normalised* count is furthest behind, so
+    /// every prefix offers each tenant `weight / Σ weights` of the stream
+    /// while its trace lasts (classic weighted round-robin; exhausted
+    /// tenants drop out and the rest continue in weight ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match `parts` or contains a zero.
+    pub fn interleave_weighted(
+        name: impl Into<String>,
+        parts: &[(TenantId, &Trace)],
+        weights: &[u32],
+    ) -> TaggedTrace {
+        assert_eq!(
+            parts.len(),
+            weights.len(),
+            "one weight per interleaved trace"
+        );
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "interleave weights must be positive"
+        );
+        let shares: Vec<u128> = weights.iter().map(|&w| w as u128).collect();
+        TaggedTrace::interleave_by(name, parts, &shares)
+    }
+
+    /// The shared deficit scheduler behind both interleaves: pick the
+    /// part minimising `(emitted + 1) / share`, compared by
+    /// cross-multiplication to stay exact, ties to the earliest part.
+    fn interleave_by(
+        name: impl Into<String>,
+        parts: &[(TenantId, &Trace)],
+        shares: &[u128],
+    ) -> TaggedTrace {
+        let total: usize = parts.iter().map(|(_, t)| t.len()).sum();
+        let mut next = vec![0usize; parts.len()];
         let mut entries = Vec::with_capacity(total);
         for _ in 0..total {
             let mut best: Option<usize> = None;
-            for (t, trace) in traces.iter().enumerate() {
+            for (t, (_, trace)) in parts.iter().enumerate() {
                 if next[t] >= trace.len() {
                     continue;
                 }
@@ -90,10 +371,9 @@ impl TaggedTrace {
                     None => t,
                     Some(b) => {
                         // t is further behind than b iff
-                        // (next[t]+1)/lens[t] < (next[b]+1)/lens[b],
-                        // compared by cross-multiplication to stay exact.
-                        let t_share = (next[t] as u128 + 1) * lens[b];
-                        let b_share = (next[b] as u128 + 1) * lens[t];
+                        // (next[t]+1)/shares[t] < (next[b]+1)/shares[b].
+                        let t_share = (next[t] as u128 + 1) * shares[b];
+                        let b_share = (next[b] as u128 + 1) * shares[t];
                         if t_share < b_share {
                             t
                         } else {
@@ -104,8 +384,8 @@ impl TaggedTrace {
             }
             let t = best.expect("fewer emitted packets than counted total");
             entries.push(TaggedPacket {
-                tenant: t as TenantId,
-                header: traces[t].entries()[next[t]].header,
+                tenant: parts[t].0,
+                header: parts[t].1.entries()[next[t]].header,
             });
             next[t] += 1;
         }
@@ -135,14 +415,15 @@ impl TaggedTrace {
         &self.entries
     }
 
-    /// Number of distinct tenant slots the trace addresses (highest tagged
-    /// tenant id + 1; 0 for an empty trace).
+    /// Number of distinct tenant handles the trace addresses.
     pub fn tenant_count(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|p| p.tenant as usize + 1)
-            .max()
-            .unwrap_or(0)
+        let mut seen: Vec<TenantId> = Vec::new();
+        for p in &self.entries {
+            if !seen.contains(&p.tenant) {
+                seen.push(p.tenant);
+            }
+        }
+        seen.len()
     }
 
     /// The headers of one tenant's packets, in arrival order.
@@ -180,10 +461,12 @@ impl TaggedTrace {
 /// Per-tenant accounting of one [`TenantRouter::classify_tagged`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantReport {
-    /// The tenant id.
+    /// The tenant's handle.
     pub tenant: TenantId,
     /// The tenant's roster name.
     pub name: String,
+    /// The tenant's scheduling weight.
+    pub weight: u32,
     /// Packets classified for this tenant.
     pub pkts: u64,
     /// Nanoseconds workers spent inside this tenant's classifier (summed
@@ -192,6 +475,11 @@ pub struct TenantReport {
     /// Millions of packets per second over the tenant's busy time — the
     /// tenant's service rate while it was actually being served.
     pub mpps: f64,
+    /// SLO-relative throughput: the tenant's share of the run's served
+    /// packets divided by its share of the served tenants' weights.  1.0
+    /// means the tenant received exactly its weighted fair share; 0.0
+    /// when it received no traffic.
+    pub slo_rel: f64,
     /// Latency percentiles over this tenant's per-sub-batch classify
     /// calls (one sample per tenant group actually served).
     pub batch_latency: LatencyPercentiles,
@@ -210,17 +498,87 @@ pub struct TenantRun {
     pub results: Vec<MatchResult>,
     /// Whole-run throughput over the shared worker pool.
     pub report: ThroughputReport,
-    /// Per-tenant accounting, indexed by tenant id.
+    /// Per-tenant accounting, in slot order (every tenant live at the end
+    /// of the run, plus any tenant that was served and then evicted
+    /// mid-run).
     pub tenants: Vec<TenantReport>,
-    /// Jain fairness over the busy-time rates of tenants that received
-    /// traffic.
+    /// Jain fairness (rate-based and weighted) over the tenants that
+    /// received traffic.
     pub fairness: FairnessSummary,
+    /// Packets whose handle resolved to no live tenant (evicted mid-run,
+    /// or fabricated): decided [`MatchResult::NoMatch`], never served by
+    /// a slot's next occupant.
+    pub unroutable: u64,
 }
 
 struct TenantEntry<C> {
+    id: TenantId,
     name: String,
+    weight: u32,
+    cache_share: u32,
     live: Arc<LiveClassifier<C>>,
     cache: Option<Arc<HotCache>>,
+    /// The cache's cumulative counters at admission time — the delta
+    /// baseline for a recycled slice (its counters carry over from the
+    /// previous occupant).
+    cache_admitted: CacheStats,
+    memory: MemoryReport,
+}
+
+impl<C> TenantEntry<C> {
+    /// The probe tag for this tenant at one classifier generation: the
+    /// admission epoch in the high bits next to the generation, so a
+    /// recycled cache slice can never serve an entry filled under a
+    /// previous occupant (or an earlier generation) — distinct for every
+    /// (epoch, generation) pair with generations below 2³².
+    fn cache_tag(&self, generation: u64) -> u64 {
+        ((self.id.epoch as u64) << 32).wrapping_add(generation)
+    }
+}
+
+/// One published roster snapshot; readers hold it by `Arc` exactly like a
+/// [`LiveClassifier`] snapshot.
+struct Roster<C> {
+    slots: Vec<Option<Arc<TenantEntry<C>>>>,
+}
+
+impl<C> Roster<C> {
+    fn get(&self, id: TenantId) -> Option<&Arc<TenantEntry<C>>> {
+        self.slots
+            .get(id.slot as usize)
+            .and_then(|s| s.as_ref())
+            .filter(|e| e.id == id)
+    }
+
+    fn live_entries(&self) -> impl Iterator<Item = &Arc<TenantEntry<C>>> {
+        self.slots.iter().flatten()
+    }
+
+    /// Occupied slots in service order: descending weight, ties to the
+    /// lower slot — heavier tenants are served first within a sub-batch.
+    fn service_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.slots.len())
+            .filter(|&s| self.slots[s].is_some())
+            .collect();
+        order.sort_by_key(|&s| {
+            let weight = self.slots[s].as_ref().expect("filtered occupied").weight;
+            (std::cmp::Reverse(weight), s)
+        });
+        order
+    }
+}
+
+/// Lifecycle state serialised behind one lock: admit/evict are rare
+/// control-plane operations, so a plain mutex (never touched by the
+/// serving path) is the right tool.
+struct AdmissionState {
+    next_epoch: u32,
+    /// Cache slices of evicted tenants, kept allocated for recycling —
+    /// admission on the datapath should not allocate megabytes.  Their
+    /// bytes stay charged against the budgets until reused.
+    free_caches: Vec<Arc<HotCache>>,
+    admitted: u64,
+    evicted: u64,
 }
 
 #[derive(Clone, Default)]
@@ -230,57 +588,262 @@ struct TenantAccum {
     latencies: Vec<u64>,
 }
 
-/// A multi-tenant serving front end: tenant id → [`LiveClassifier`],
-/// served on a shared worker pool with cross-tenant batching.  See the
-/// [module docs](self); construct through
-/// [`crate::EngineConfig::tenant_router`].
+/// A multi-tenant serving front end: [`TenantId`] → [`LiveClassifier`],
+/// served on a shared worker pool with cross-tenant batching, weighted
+/// fair scheduling, per-tenant memory budgets and runtime
+/// admission/eviction.  See the [module docs](self); construct through
+/// [`crate::EngineConfig::tenant_router`] from `(TenantSpec, classifier)`
+/// pairs.
 pub struct TenantRouter<C> {
-    tenants: Vec<TenantEntry<C>>,
+    roster: RwLock<Arc<Roster<C>>>,
+    admission: Mutex<AdmissionState>,
     workers: usize,
     batch: usize,
     progress: Option<Arc<std::sync::atomic::AtomicU64>>,
+    cache_geometry: Option<HotCacheConfig>,
+    memory_budget: Option<usize>,
 }
 
 impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
     pub(crate) fn from_config(
         config: &EngineConfig,
-        tenants: impl IntoIterator<Item = (String, C)>,
+        tenants: impl IntoIterator<Item = (TenantSpec, C)>,
     ) -> TenantRouter<C> {
-        let mut tenants: Vec<TenantEntry<C>> = tenants
-            .into_iter()
-            .map(|(name, classifier)| TenantEntry {
-                name,
-                live: Arc::new(LiveClassifier::new(classifier)),
-                cache: None,
-            })
-            .collect();
-        assert!(
-            !tenants.is_empty(),
-            "TenantRouter needs at least one tenant"
-        );
-        if let Some(geometry) = config.hot_cache_config() {
-            // The configured capacity is a *router-wide* entry budget:
-            // every tenant gets an equal slice, so one tenant's hot flows
-            // can never crowd a neighbour out of cache (the same isolation
-            // story as the per-tenant snapshots).  A slice rounding to
-            // zero entries degrades that tenant to pure pass-through,
-            // never to over-budget.
-            let per_tenant = HotCacheConfig::new(geometry.capacity / tenants.len(), geometry.assoc);
-            for entry in &mut tenants {
-                entry.cache = Some(Arc::new(HotCache::new(per_tenant)));
-            }
-        }
-        TenantRouter {
-            tenants,
+        let specs: Vec<(TenantSpec, C)> = tenants.into_iter().collect();
+        assert!(!specs.is_empty(), "TenantRouter needs at least one tenant");
+        let router = TenantRouter {
+            roster: RwLock::new(Arc::new(Roster { slots: Vec::new() })),
+            admission: Mutex::new(AdmissionState {
+                next_epoch: 1,
+                free_caches: Vec::new(),
+                admitted: 0,
+                evicted: 0,
+            }),
             workers: config.worker_count(),
             batch: config.batch(),
             progress: config.progress_counter().cloned(),
+            cache_geometry: config.hot_cache_config(),
+            memory_budget: config.memory_budget_bytes(),
+        };
+        // Construction slices the cache budget over the *whole* declared
+        // roster (capacity × share / Σ shares), so the initial slices are
+        // exactly proportional; runtime admissions compute their share
+        // against the then-live roster instead.
+        let total_shares: usize = specs
+            .iter()
+            .map(|(spec, _)| spec.cache_share_value() as usize)
+            .sum();
+        for (spec, classifier) in specs {
+            let name = spec.name().to_string();
+            router
+                .admit_inner(spec, classifier, Some(total_shares))
+                .unwrap_or_else(|e| {
+                    panic!("TenantRouter construction rejected tenant {name}: {e}")
+                });
         }
+        router
     }
 
-    /// Number of tenants in the roster.
+    fn roster_snapshot(&self) -> Arc<Roster<C>> {
+        Arc::clone(&self.roster.read().expect("roster lock poisoned"))
+    }
+
+    fn entry(&self, tenant: TenantId) -> Arc<TenantEntry<C>> {
+        self.roster_snapshot()
+            .get(tenant)
+            .cloned()
+            .unwrap_or_else(|| panic!("unknown or evicted tenant {tenant}"))
+    }
+
+    /// Admits a tenant at runtime: wraps the classifier in a fresh
+    /// [`LiveClassifier`], grants it a hot-cache slice (recycling an
+    /// evicted tenant's slice when one fits, else allocating from the
+    /// unused remainder of the router-wide entry budget), checks the
+    /// spec's and the router's memory budgets, and publishes a new roster
+    /// snapshot — serving workers pick it up at their next sub-batch
+    /// boundary, without ever blocking on the admission.
+    ///
+    /// Returns the new tenant's handle; its slot reuses the lowest
+    /// evicted slot, its epoch is globally fresh.
+    pub fn admit(&self, spec: TenantSpec, classifier: C) -> Result<TenantId, AdmissionError> {
+        self.admit_inner(spec, classifier, None)
+    }
+
+    /// `fixed_total_shares` is `Some` during construction, where the
+    /// slice denominator covers the whole declared roster rather than
+    /// the tenants admitted so far.
+    fn admit_inner(
+        &self,
+        spec: TenantSpec,
+        classifier: C,
+        fixed_total_shares: Option<usize>,
+    ) -> Result<TenantId, AdmissionError> {
+        let mut admission = self.admission.lock().expect("admission lock poisoned");
+        let roster = self.roster_snapshot();
+        let share = spec.cache_share_value() as usize;
+
+        // Decide the cache grant first so its bytes can be charged.
+        let mut reused = false;
+        let cache: Option<Arc<HotCache>> = self.cache_geometry.map(|geometry| {
+            let total_shares = fixed_total_shares.unwrap_or_else(|| {
+                roster
+                    .live_entries()
+                    .map(|e| e.cache_share as usize)
+                    .sum::<usize>()
+                    + share
+            });
+            let desired = geometry.capacity * share / total_shares.max(1);
+            // Recycle the largest freed slice that fits the grant.
+            let best_free = admission
+                .free_caches
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.slot_count() <= desired)
+                .max_by_key(|(_, c)| c.slot_count())
+                .map(|(i, _)| i);
+            match best_free {
+                Some(i) => {
+                    reused = true;
+                    admission.free_caches.swap_remove(i)
+                }
+                None => {
+                    // Fresh allocation, bounded by the un-allocated
+                    // remainder of the entry budget (live slices plus the
+                    // free pool); a grant rounding to zero slots degrades
+                    // the tenant to pass-through, never to over-budget.
+                    let allocated: usize = roster
+                        .live_entries()
+                        .filter_map(|e| e.cache.as_ref())
+                        .map(|c| c.slot_count())
+                        .chain(admission.free_caches.iter().map(|c| c.slot_count()))
+                        .sum();
+                    let remaining = geometry.capacity.saturating_sub(allocated);
+                    Arc::new(HotCache::new(HotCacheConfig::new(
+                        desired.min(remaining),
+                        geometry.assoc,
+                    )))
+                }
+            }
+        });
+
+        let classifier_bytes = classifier.memory_bytes();
+        let cache_bytes = cache.as_ref().map(|c| c.memory_bytes()).unwrap_or(0);
+        let memory = MemoryReport {
+            classifier_bytes,
+            cache_bytes,
+            total_bytes: classifier_bytes + cache_bytes,
+            budget_bytes: spec.memory_budget_bytes(),
+            arena: classifier.arena_stats(),
+        };
+        let reject = |admission: &mut AdmissionState, error: AdmissionError| {
+            // Return a recycled slice to the pool; a fresh one is simply
+            // dropped (its allocation was never published).
+            if reused {
+                if let Some(cache) = &cache {
+                    admission.free_caches.push(Arc::clone(cache));
+                }
+            }
+            Err(error)
+        };
+        if let Some(budget) = memory.budget_bytes {
+            if memory.total_bytes > budget {
+                return reject(
+                    &mut admission,
+                    AdmissionError::TenantOverBudget {
+                        name: spec.name().to_string(),
+                        needs: memory.total_bytes,
+                        budget,
+                    },
+                );
+            }
+        }
+        if let Some(budget) = self.memory_budget {
+            let in_use: usize = roster
+                .live_entries()
+                .map(|e| e.memory.total_bytes)
+                .chain(admission.free_caches.iter().map(|c| c.memory_bytes()))
+                .sum();
+            if in_use + memory.total_bytes > budget {
+                return reject(
+                    &mut admission,
+                    AdmissionError::RouterOverBudget {
+                        name: spec.name().to_string(),
+                        needs: memory.total_bytes,
+                        in_use,
+                        budget,
+                    },
+                );
+            }
+        }
+
+        let slot = roster
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .unwrap_or(roster.slots.len());
+        let id = TenantId {
+            slot: slot as u32,
+            epoch: admission.next_epoch,
+        };
+        admission.next_epoch += 1;
+        admission.admitted += 1;
+        let cache_admitted = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let entry = Arc::new(TenantEntry {
+            id,
+            name: spec.name().to_string(),
+            weight: spec.weight_value(),
+            cache_share: spec.cache_share_value(),
+            live: Arc::new(LiveClassifier::new(classifier)),
+            cache,
+            cache_admitted,
+            memory,
+        });
+        let mut slots = roster.slots.clone();
+        if slot == slots.len() {
+            slots.push(Some(entry));
+        } else {
+            slots[slot] = Some(entry);
+        }
+        *self.roster.write().expect("roster lock poisoned") = Arc::new(Roster { slots });
+        Ok(id)
+    }
+
+    /// Evicts a tenant: publishes a roster snapshot without it (serving
+    /// workers drop it at their next sub-batch boundary; in-flight groups
+    /// drain on their held snapshot) and retires its handle — packets
+    /// still tagged with it become [unroutable](TenantRun::unroutable).
+    /// The tenant's cache slice is kept allocated for recycling by a
+    /// later [`TenantRouter::admit`]; its entries are unreachable there
+    /// because probe tags fold in the admission epoch.
+    pub fn evict(&self, tenant: TenantId) -> Result<(), UnknownTenant> {
+        let mut admission = self.admission.lock().expect("admission lock poisoned");
+        let roster = self.roster_snapshot();
+        if roster.get(tenant).is_none() {
+            return Err(UnknownTenant(tenant));
+        }
+        let mut slots = roster.slots.clone();
+        let entry = slots[tenant.slot as usize].take().expect("resolved above");
+        if let Some(cache) = &entry.cache {
+            if cache.slot_count() > 0 {
+                admission.free_caches.push(Arc::clone(cache));
+            }
+        }
+        admission.evicted += 1;
+        *self.roster.write().expect("roster lock poisoned") = Arc::new(Roster { slots });
+        Ok(())
+    }
+
+    /// Number of live tenants on the roster.
     pub fn tenant_count(&self) -> usize {
-        self.tenants.len()
+        self.roster_snapshot().live_entries().count()
+    }
+
+    /// The live tenants' handles, in slot order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.roster_snapshot()
+            .live_entries()
+            .map(|e| e.id)
+            .collect()
     }
 
     /// Number of worker shards in the shared pool.
@@ -293,13 +856,57 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
         self.batch
     }
 
+    /// Total admissions and evictions over the router's lifetime
+    /// (construction admits every initial tenant).
+    pub fn admission_counts(&self) -> (u64, u64) {
+        let admission = self.admission.lock().expect("admission lock poisoned");
+        (admission.admitted, admission.evicted)
+    }
+
     /// The roster name of one tenant.
     ///
     /// # Panics
     ///
-    /// Panics if `tenant` is not in the roster.
-    pub fn name(&self, tenant: TenantId) -> &str {
-        &self.tenants[tenant as usize].name
+    /// Panics if the handle does not resolve to a live tenant.
+    pub fn name(&self, tenant: TenantId) -> String {
+        self.entry(tenant).name.clone()
+    }
+
+    /// One tenant's scheduling weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not resolve to a live tenant.
+    pub fn weight(&self, tenant: TenantId) -> u32 {
+        self.entry(tenant).weight
+    }
+
+    /// One tenant's memory accounting, as charged at admission time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not resolve to a live tenant.
+    pub fn memory_report(&self, tenant: TenantId) -> MemoryReport {
+        self.entry(tenant).memory
+    }
+
+    /// Bytes currently charged against the router-wide memory budget:
+    /// every live tenant's classifier and cache slice, plus the freed
+    /// cache slices kept allocated for recycling.
+    pub fn memory_in_use(&self) -> usize {
+        let admission = self.admission.lock().expect("admission lock poisoned");
+        let roster = self.roster_snapshot();
+        roster
+            .live_entries()
+            .map(|e| e.memory.total_bytes)
+            .chain(admission.free_caches.iter().map(|c| c.memory_bytes()))
+            .sum()
+    }
+
+    /// The router-wide memory budget admission checks against, if one was
+    /// configured ([`crate::EngineConfig::memory_budget`]).
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
     }
 
     /// Cumulative hit/miss/eviction counters of one tenant's hot-flow
@@ -308,22 +915,23 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
     ///
     /// # Panics
     ///
-    /// Panics if `tenant` is not in the roster.
+    /// Panics if the handle does not resolve to a live tenant.
     pub fn cache_stats(&self, tenant: TenantId) -> Option<CacheStats> {
-        self.tenants[tenant as usize]
-            .cache
-            .as_ref()
-            .map(|c| c.stats())
+        self.entry(tenant).cache.as_ref().map(|c| c.stats())
     }
 
-    /// Total cache slots actually allocated across all tenants — always
-    /// within the [`crate::EngineConfig::hot_cache`] capacity budget
-    /// (0 when no cache is configured).
+    /// Total cache slots actually allocated — live tenants' slices plus
+    /// freed slices awaiting recycling — always within the
+    /// [`crate::EngineConfig::hot_cache`] capacity budget (0 when no
+    /// cache is configured).
     pub fn cache_slot_total(&self) -> usize {
-        self.tenants
-            .iter()
+        let admission = self.admission.lock().expect("admission lock poisoned");
+        let roster = self.roster_snapshot();
+        roster
+            .live_entries()
             .filter_map(|e| e.cache.as_ref())
             .map(|c| c.slot_count())
+            .chain(admission.free_caches.iter().map(|c| c.slot_count()))
             .sum()
     }
 
@@ -334,79 +942,123 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
     ///
     /// # Panics
     ///
-    /// Panics if `tenant` is not in the roster.
-    pub fn live(&self, tenant: TenantId) -> &Arc<LiveClassifier<C>> {
-        &self.tenants[tenant as usize].live
+    /// Panics if the handle does not resolve to a live tenant.
+    pub fn live(&self, tenant: TenantId) -> Arc<LiveClassifier<C>> {
+        Arc::clone(&self.entry(tenant).live)
+    }
+
+    /// Interleaves per-tenant traffic with this router's scheduling
+    /// weights ([`TaggedTrace::interleave_weighted`] over the roster's
+    /// declared weights) — the stream shape the router's weighted fair
+    /// service is measured under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handle does not resolve to a live tenant.
+    pub fn interleave(
+        &self,
+        name: impl Into<String>,
+        traffic: &[(TenantId, &Trace)],
+    ) -> TaggedTrace {
+        let weights: Vec<u32> = traffic
+            .iter()
+            .map(|(id, _)| self.entry(*id).weight)
+            .collect();
+        TaggedTrace::interleave_weighted(name, traffic, &weights)
     }
 
     /// Classifies a tagged trace on the shared worker pool.
     ///
     /// The trace is split into the same deterministic balanced shards as
     /// the single-tenant engines; each worker walks its shard in
-    /// `batch`-sized sub-batches, groups each sub-batch by tenant, and
-    /// classifies every non-empty tenant group against one fresh snapshot
-    /// of that tenant — so a generation published mid-run lands at the
-    /// next (tenant, sub-batch) boundary, exactly like
-    /// [`crate::LiveEngine`].
+    /// `batch`-sized sub-batches, re-reads the published roster at every
+    /// sub-batch boundary (so admissions and evictions land mid-run
+    /// without blocking serving), groups the sub-batch by tenant, serves
+    /// the groups in descending weight order, and classifies every
+    /// non-empty group against one fresh snapshot of that tenant — so a
+    /// generation published mid-run lands at the next (tenant, sub-batch)
+    /// boundary, exactly like [`crate::LiveEngine`].
+    ///
+    /// Packets whose handle resolves to no live tenant are decided
+    /// [`MatchResult::NoMatch`] and counted in
+    /// [`TenantRun::unroutable`] — a slot's next occupant never serves a
+    /// retired handle's traffic.
     ///
     /// Results come back in trace order; [`TaggedTrace::tenant_results`]
     /// projects them per tenant.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace tags a tenant id outside the roster.
     pub fn classify_tagged(&self, trace: &TaggedTrace) -> TenantRun {
         let started = Instant::now();
-        let n_tenants = self.tenants.len();
-        // Per-tenant cache counters are cumulative; snapshot them here so
-        // the reports below can carry this run's delta.
-        let cache_before: Vec<Option<CacheStats>> = self
-            .tenants
-            .iter()
-            .map(|e| e.cache.as_ref().map(|c| c.stats()))
+        // Per-tenant cache counters are cumulative; snapshot the run-start
+        // roster's counters so the reports below can carry this run's
+        // delta (tenants admitted mid-run fall back to their
+        // admission-time baseline).
+        let start_roster = self.roster_snapshot();
+        let cache_before: Vec<(TenantId, CacheStats)> = start_roster
+            .live_entries()
+            .filter_map(|e| e.cache.as_ref().map(|c| (e.id, c.stats())))
             .collect();
         let workers = self.workers;
         let shards = shard_slices(trace.entries(), workers);
-        type Partial = (Vec<MatchResult>, u64, Vec<TenantAccum>);
-        let mut partials: Vec<Option<Partial>> = (0..workers).map(|_| None).collect();
+        type Partial<C> = (
+            Vec<MatchResult>,
+            u64,
+            Vec<(Arc<TenantEntry<C>>, TenantAccum)>,
+            u64,
+        );
+        let mut partials: Vec<Option<Partial<C>>> = (0..workers).map(|_| None).collect();
 
-        let serve_shard = |slice: &[TaggedPacket]| -> Partial {
+        let serve_shard = |slice: &[TaggedPacket]| -> Partial<C> {
             let worker_started = Instant::now();
             let mut results = Vec::with_capacity(slice.len());
-            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_tenants];
             let mut headers: Vec<PacketHeader> = Vec::new();
             let mut tenant_results: Vec<MatchResult> = Vec::new();
-            let mut accums = vec![TenantAccum::default(); n_tenants];
+            let mut accums: Vec<(Arc<TenantEntry<C>>, TenantAccum)> = Vec::new();
+            let mut unroutable = 0u64;
+            let mut roster = self.roster_snapshot();
+            let mut order = roster.service_order();
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); roster.slots.len()];
             for sub in slice.chunks(self.batch) {
+                // Pick up lifecycle changes at the sub-batch boundary —
+                // the roster analogue of the per-sub-batch classifier
+                // snapshot below.
+                let current = self.roster_snapshot();
+                if !Arc::ptr_eq(&current, &roster) {
+                    roster = current;
+                    order = roster.service_order();
+                    groups.resize_with(roster.slots.len(), Vec::new);
+                }
                 for group in &mut groups {
                     group.clear();
                 }
-                for (i, pkt) in sub.iter().enumerate() {
-                    let t = pkt.tenant as usize;
-                    assert!(
-                        t < n_tenants,
-                        "tagged packet for unknown tenant {} (roster has {n_tenants})",
-                        pkt.tenant
-                    );
-                    groups[t].push(i);
-                }
                 // Placeholder slots, then scatter each tenant group's
-                // results back to their arrival positions.
+                // results back to their arrival positions; unroutable
+                // packets keep the NoMatch placeholder.
                 let base = results.len();
                 results.resize(base + sub.len(), MatchResult::NoMatch);
-                for (t, group) in groups.iter().enumerate() {
+                for (i, pkt) in sub.iter().enumerate() {
+                    match roster.get(pkt.tenant) {
+                        Some(_) => groups[pkt.tenant.slot as usize].push(i),
+                        None => unroutable += 1,
+                    }
+                }
+                for &slot in &order {
+                    let group = &groups[slot];
                     if group.is_empty() {
                         continue;
                     }
+                    let entry = roster.slots[slot]
+                        .as_ref()
+                        .expect("service order is occupied");
                     headers.clear();
                     headers.extend(group.iter().map(|&i| sub[i].header));
                     // One snapshot per (tenant, sub-batch): the whole
                     // group drains on a single consistent generation.
-                    // With a hot cache, the snapshot's generation tags the
-                    // probe, so the group only consumes entries filled from
-                    // this exact generation of this tenant's ruleset.
-                    let entry = &self.tenants[t];
-                    let (tag, snapshot) = entry.live.snapshot_tagged();
+                    // With a hot cache, the probe tag folds the admission
+                    // epoch in next to the generation, so the group only
+                    // consumes entries filled from this exact generation
+                    // of this exact tenant.
+                    let (generation, snapshot) = entry.live.snapshot_tagged();
+                    let tag = entry.cache_tag(generation);
                     let group_started = Instant::now();
                     tenant_results.clear();
                     match &entry.cache {
@@ -422,7 +1074,13 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
                     for (&i, &result) in group.iter().zip(tenant_results.iter()) {
                         results[base + i] = result;
                     }
-                    let accum = &mut accums[t];
+                    let accum = match accums.iter_mut().find(|(e, _)| e.id == entry.id) {
+                        Some((_, accum)) => accum,
+                        None => {
+                            accums.push((Arc::clone(entry), TenantAccum::default()));
+                            &mut accums.last_mut().expect("just pushed").1
+                        }
+                    };
                     accum.pkts += group.len() as u64;
                     accum.busy_ns += busy_ns;
                     accum.latencies.push(busy_ns);
@@ -432,7 +1090,7 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
                 }
             }
             let wall_ns = worker_started.elapsed().as_nanos() as u64;
-            (results, wall_ns, accums)
+            (results, wall_ns, accums, unroutable)
         };
 
         if workers == 1 {
@@ -444,8 +1102,7 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
                 let mut handles = Vec::new();
                 for (i, slice) in shards.into_iter().enumerate() {
                     if slice.is_empty() {
-                        partials[i] =
-                            Some((Vec::new(), 0, vec![TenantAccum::default(); n_tenants]));
+                        partials[i] = Some((Vec::new(), 0, Vec::new(), 0));
                         continue;
                     }
                     let serve = &serve_shard;
@@ -459,9 +1116,11 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
 
         let mut results = Vec::with_capacity(trace.len());
         let mut per_worker = Vec::with_capacity(workers);
-        let mut merged = vec![TenantAccum::default(); n_tenants];
+        let mut merged: Vec<(Arc<TenantEntry<C>>, TenantAccum)> = Vec::new();
+        let mut unroutable = 0u64;
         for (worker, partial) in partials.into_iter().enumerate() {
-            let (shard_results, wall_ns, accums) = partial.expect("worker output missing");
+            let (shard_results, wall_ns, accums, shard_unroutable) =
+                partial.expect("worker output missing");
             let pkts = shard_results.len() as u64;
             per_worker.push(WorkerReport {
                 worker,
@@ -470,36 +1129,79 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
                 mpps: crate::mpps(pkts, wall_ns),
             });
             results.extend(shard_results);
-            for (into, from) in merged.iter_mut().zip(accums) {
-                into.pkts += from.pkts;
-                into.busy_ns += from.busy_ns;
-                into.latencies.extend(from.latencies);
+            unroutable += shard_unroutable;
+            for (entry, from) in accums {
+                match merged.iter_mut().find(|(e, _)| e.id == entry.id) {
+                    Some((_, into)) => {
+                        into.pkts += from.pkts;
+                        into.busy_ns += from.busy_ns;
+                        into.latencies.extend(from.latencies);
+                    }
+                    None => merged.push((entry, from)),
+                }
             }
         }
         debug_assert_eq!(results.len(), trace.len());
 
-        let tenants: Vec<TenantReport> = merged
-            .into_iter()
-            .enumerate()
-            .map(|(t, mut accum)| TenantReport {
-                tenant: t as TenantId,
-                name: self.tenants[t].name.clone(),
-                pkts: accum.pkts,
-                busy_ns: accum.busy_ns,
-                mpps: crate::mpps(accum.pkts, accum.busy_ns),
-                batch_latency: LatencyPercentiles::from_samples(&mut accum.latencies),
-                cache: self.tenants[t].cache.as_ref().map(|c| {
-                    c.stats()
-                        .delta_since(cache_before[t].as_ref().expect("snapshotted above"))
-                }),
+        // Report every tenant live at the end of the run plus any tenant
+        // that was served and then evicted mid-run, in slot order.
+        let end_roster = self.roster_snapshot();
+        let mut entries: Vec<Arc<TenantEntry<C>>> =
+            end_roster.live_entries().map(Arc::clone).collect();
+        for (entry, _) in &merged {
+            if !entries.iter().any(|e| e.id == entry.id) {
+                entries.push(Arc::clone(entry));
+            }
+        }
+        entries.sort_by_key(|e| e.id);
+
+        let served_pkts: u64 = merged.iter().map(|(_, a)| a.pkts).sum();
+        let served_weight: u64 = entries
+            .iter()
+            .filter(|e| {
+                merged
+                    .iter()
+                    .any(|(m, accum)| m.id == e.id && accum.pkts > 0)
+            })
+            .map(|e| e.weight as u64)
+            .sum();
+        let tenants: Vec<TenantReport> = entries
+            .iter()
+            .map(|entry| {
+                let mut accum = merged
+                    .iter()
+                    .find(|(e, _)| e.id == entry.id)
+                    .map(|(_, a)| a.clone())
+                    .unwrap_or_default();
+                let slo_rel = if accum.pkts == 0 || served_pkts == 0 || served_weight == 0 {
+                    0.0
+                } else {
+                    let pkt_share = accum.pkts as f64 / served_pkts as f64;
+                    let weight_share = entry.weight as f64 / served_weight as f64;
+                    pkt_share / weight_share
+                };
+                let before = cache_before
+                    .iter()
+                    .find(|(id, _)| *id == entry.id)
+                    .map(|(_, stats)| *stats)
+                    .unwrap_or(entry.cache_admitted);
+                TenantReport {
+                    tenant: entry.id,
+                    name: entry.name.clone(),
+                    weight: entry.weight,
+                    pkts: accum.pkts,
+                    busy_ns: accum.busy_ns,
+                    mpps: crate::mpps(accum.pkts, accum.busy_ns),
+                    slo_rel,
+                    batch_latency: LatencyPercentiles::from_samples(&mut accum.latencies),
+                    cache: entry.cache.as_ref().map(|c| c.stats().delta_since(&before)),
+                }
             })
             .collect();
-        let rates: Vec<f64> = tenants
-            .iter()
-            .filter(|t| t.pkts > 0)
-            .map(|t| t.mpps)
-            .collect();
-        let fairness = FairnessSummary::over_rates(&rates);
+        let served: Vec<&TenantReport> = tenants.iter().filter(|t| t.pkts > 0).collect();
+        let rates: Vec<f64> = served.iter().map(|t| t.mpps).collect();
+        let slo_rels: Vec<f64> = served.iter().map(|t| t.slo_rel).collect();
+        let fairness = FairnessSummary::over_rates(&rates).weighted_over(&slo_rels);
 
         let wall_ns = started.elapsed().as_nanos() as u64;
         let pkts = results.len() as u64;
@@ -513,16 +1215,24 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
             },
             tenants,
             fairness,
+            unroutable,
         }
     }
 
     /// Serves one tenant's headers solo through the shared-pool geometry
     /// (same workers/batch), as a plain [`Trace`] — the baseline the
     /// tenant-cell benchmark compares cross-tenant batching against.
-    /// Always uncached, so the baseline measures the classifier itself
-    /// and the solo run neither warms nor perturbs the tenant's cache.
+    /// Takes the tenant's [`TenantId`] handle (from
+    /// `admit`/construction), so solo baselines and router runs are
+    /// guaranteed like-for-like on the same live classifier.  Always
+    /// uncached, so the baseline measures the classifier itself and the
+    /// solo run neither warms nor perturbs the tenant's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not resolve to a live tenant.
     pub fn classify_solo(&self, tenant: TenantId, trace: &Trace) -> EngineRun {
-        let live = Arc::clone(&self.tenants[tenant as usize].live);
+        let live = self.live(tenant);
         crate::run_sharded(trace, self.workers, self.batch, |_, headers, results| {
             live.snapshot().classify_batch(headers, results);
         })
@@ -531,8 +1241,9 @@ impl<C: Classifier + Clone + Send + Sync> TenantRouter<C> {
 
 impl<C> std::fmt::Debug for TenantRouter<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let roster = self.roster.read().expect("roster lock poisoned");
         f.debug_struct("TenantRouter")
-            .field("tenants", &self.tenants.len())
+            .field("tenants", &roster.live_entries().count())
             .field("workers", &self.workers)
             .field("batch", &self.batch)
             .finish()
@@ -542,290 +1253,583 @@ impl<C> std::fmt::Debug for TenantRouter<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pclass_algos::update::RuleUpdate;
-    use pclass_algos::{HiCutsClassifier, HiCutsConfig, LinearClassifier};
+    use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
+    use pclass_algos::update::{classify_live_linear, RuleUpdate};
+    use pclass_algos::{FlatTreeClassifier, LinearClassifier};
     use pclass_classbench::{ClassBenchGenerator, SeedStyle, TraceGenerator};
-    use pclass_types::RuleSet;
+    use pclass_types::{Rule, RuleSet};
+    use std::sync::atomic::AtomicU64;
 
-    fn ruleset(rules: usize, seed: u64) -> RuleSet {
-        ClassBenchGenerator::new(SeedStyle::Acl, seed).generate(rules)
+    fn workload(seed: u64, rules: usize, packets: usize) -> (RuleSet, Trace) {
+        let rs = ClassBenchGenerator::new(SeedStyle::Acl, seed).generate(rules);
+        let trace = TraceGenerator::new(&rs, seed ^ 0xBEEF).generate(packets);
+        (rs, trace)
     }
 
-    fn trace_for(rs: &RuleSet, seed: u64, packets: usize) -> Trace {
-        TraceGenerator::new(rs, seed).generate(packets)
+    /// Distinct per-tenant workloads so cross-tenant leakage cannot hide
+    /// behind equal rulesets.
+    fn workloads(tenants: usize, packets: usize) -> Vec<(RuleSet, Trace)> {
+        (0..tenants)
+            .map(|t| workload(400 + 37 * t as u64, 40 + 20 * t, packets))
+            .collect()
+    }
+
+    fn flatten(rs: &RuleSet) -> FlatTreeClassifier {
+        HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten()
+    }
+
+    #[test]
+    fn spec_defaults_follow_the_weight() {
+        let spec = TenantSpec::new("t");
+        assert_eq!(spec.name(), "t");
+        assert_eq!(spec.weight_value(), 1);
+        assert_eq!(spec.cache_share_value(), 1);
+        assert!(spec.memory_budget_bytes().is_none());
+        // Weight 0 clamps to 1; the cache share follows the weight unless
+        // set explicitly (0 is a legal explicit share: no cache slice).
+        assert_eq!(TenantSpec::new("t").weight(0).weight_value(), 1);
+        assert_eq!(TenantSpec::new("t").weight(4).cache_share_value(), 4);
+        let spec = TenantSpec::new("t").weight(4).cache_share(0);
+        assert_eq!(spec.cache_share_value(), 0);
+        assert_eq!(
+            TenantSpec::new("t")
+                .memory_budget(4096)
+                .memory_budget_bytes(),
+            Some(4096)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weight set twice")]
+    fn spec_double_set_weight_is_rejected() {
+        let _ = TenantSpec::new("t").weight(2).weight(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory_budget set twice")]
+    fn spec_double_set_memory_budget_is_rejected() {
+        let _ = TenantSpec::new("t").memory_budget(1).memory_budget(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache_share set twice")]
+    fn spec_double_set_cache_share_is_rejected() {
+        let _ = TenantSpec::new("t").cache_share(1).cache_share(2);
     }
 
     #[test]
     fn interleave_is_proportional_and_order_preserving() {
-        let a = ruleset(30, 1);
-        let b = ruleset(30, 2);
-        let ta = trace_for(&a, 3, 300);
-        let tb = trace_for(&b, 4, 100);
-        let tagged = TaggedTrace::interleave("mix", &[ta.clone(), tb.clone()]);
+        let (rs_a, trace_a) = workload(11, 30, 100);
+        let (rs_b, trace_b) = workload(12, 50, 300);
+        let (a, b) = (TenantId::new(0, 1), TenantId::new(1, 2));
+        let tagged = TaggedTrace::interleave("mix", &[(a, &trace_a), (b, &trace_b)]);
         assert_eq!(tagged.len(), 400);
         assert_eq!(tagged.tenant_count(), 2);
         // Per-tenant order is preserved exactly.
-        let headers_a: Vec<_> = ta.entries().iter().map(|e| e.header).collect();
-        let headers_b: Vec<_> = tb.entries().iter().map(|e| e.header).collect();
-        assert_eq!(tagged.tenant_headers(0), headers_a);
-        assert_eq!(tagged.tenant_headers(1), headers_b);
-        // Proportional-fair: every prefix carries each tenant's share to
-        // within one packet of exact proportionality.
-        let mut seen = [0usize; 2];
+        assert_eq!(
+            tagged.tenant_headers(a),
+            trace_a.headers().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            tagged.tenant_headers(b),
+            trace_b.headers().copied().collect::<Vec<_>>()
+        );
+        // Every prefix carries the tenants near their offered 1:3 ratio.
+        let mut seen_a = 0usize;
         for (i, pkt) in tagged.entries().iter().enumerate() {
-            seen[pkt.tenant as usize] += 1;
-            let expect_a = (i + 1) as f64 * 300.0 / 400.0;
+            if pkt.tenant == a {
+                seen_a += 1;
+            }
+            let expected = (i + 1) as f64 / 4.0;
             assert!(
-                (seen[0] as f64 - expect_a).abs() <= 1.0,
-                "prefix {} has {} tenant-0 packets, expected ~{expect_a}",
+                (seen_a as f64 - expected).abs() <= 1.0,
+                "prefix {} carries {} packets of the 1/4-share tenant",
                 i + 1,
-                seen[0]
+                seen_a
             );
         }
-        // Deterministic.
-        assert_eq!(tagged, TaggedTrace::interleave("mix", &[ta, tb]));
+        let _ = (rs_a, rs_b);
+    }
+
+    #[test]
+    fn weighted_interleave_offers_weight_shares() {
+        // Equal offered ratio to the weights (300:100 at weights 3:1), so
+        // both traces drain together and every prefix tracks 3/4 : 1/4.
+        let (_, trace_a) = workload(13, 30, 300);
+        let (_, trace_b) = workload(14, 30, 100);
+        let (a, b) = (TenantId::new(0, 1), TenantId::new(1, 2));
+        let tagged =
+            TaggedTrace::interleave_weighted("wrr", &[(a, &trace_a), (b, &trace_b)], &[3, 1]);
+        let mut seen_a = 0usize;
+        for (i, pkt) in tagged.entries().iter().enumerate() {
+            if pkt.tenant == a {
+                seen_a += 1;
+            }
+            let expected = 3.0 * (i + 1) as f64 / 4.0;
+            assert!(
+                (seen_a as f64 - expected).abs() <= 1.0 + f64::EPSILON,
+                "prefix {} carries {} packets of the weight-3 tenant",
+                i + 1,
+                seen_a
+            );
+        }
+        // A lighter tenant keeps flowing after the heavy one drains.
+        let (_, short) = workload(15, 30, 8);
+        let wrr = TaggedTrace::interleave_weighted("drain", &[(a, &short), (b, &trace_b)], &[7, 1]);
+        assert_eq!(wrr.len(), 108);
+        assert_eq!(wrr.tenant_headers(b).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_interleave_weight_is_rejected() {
+        let (_, trace) = workload(16, 20, 10);
+        let _ = TaggedTrace::interleave_weighted("bad", &[(TenantId::new(0, 1), &trace)], &[0]);
     }
 
     #[test]
     fn single_tenant_router_matches_live_engine_packet_for_packet() {
-        let rs = ruleset(120, 11);
-        let trace = trace_for(&rs, 12, 900);
-        let tagged = TaggedTrace::interleave("solo", std::slice::from_ref(&trace));
-        for workers in [1usize, 3] {
-            let config = EngineConfig::new().workers(workers).batch_size(128);
-            let router =
-                config.tenant_router([("only".to_string(), LinearClassifier::new(rs.clone()))]);
-            let live = Arc::new(LiveClassifier::new(LinearClassifier::new(rs.clone())));
-            let engine = config.live_engine(live);
-            let run = router.classify_tagged(&tagged);
-            assert_eq!(run.results, engine.classify_trace(&trace).results);
-            assert_eq!(run.tenants.len(), 1);
-            assert_eq!(run.tenants[0].pkts, trace.len() as u64);
-            assert_eq!(run.fairness.jain_index, 1.0);
-        }
+        let (rs, trace) = workload(21, 80, 500);
+        let counter = Arc::new(AtomicU64::new(0));
+        let config = EngineConfig::new()
+            .workers(2)
+            .batch_size(64)
+            .progress(Arc::clone(&counter));
+        let live = Arc::new(LiveClassifier::new(LinearClassifier::new(rs.clone())));
+        let engine_run = config.live_engine(Arc::clone(&live)).classify_trace(&trace);
+
+        let router = config.tenant_router([(TenantSpec::new("t0"), LinearClassifier::new(rs))]);
+        let ids = router.tenant_ids();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0].slot(), 0);
+        assert_eq!(ids[0].epoch(), 1);
+        let tagged = TaggedTrace::interleave("solo", &[(ids[0], &trace)]);
+        let run = router.classify_tagged(&tagged);
+        assert_eq!(run.results, engine_run.results);
+        assert_eq!(run.report.pkts, engine_run.report.pkts);
+        assert_eq!(run.unroutable, 0);
+        // Both live front ends feed the same progress hook.
+        assert_eq!(counter.load(Ordering::Relaxed), 2 * trace.len() as u64);
     }
 
     #[test]
     fn interleaved_tenants_each_get_their_own_solo_results() {
-        let rulesets: Vec<RuleSet> = (0..4)
-            .map(|t| ruleset(60 + 10 * t, 20 + t as u64))
-            .collect();
-        let traces: Vec<Trace> = rulesets
-            .iter()
-            .enumerate()
-            .map(|(t, rs)| trace_for(rs, 30 + t as u64, 250))
-            .collect();
-        let tagged = TaggedTrace::interleave("quad", &traces);
-        let router = EngineConfig::new().workers(2).batch_size(64).tenant_router(
-            rulesets
-                .iter()
-                .enumerate()
-                .map(|(t, rs)| (format!("t{t}"), LinearClassifier::new(rs.clone()))),
+        let workloads = workloads(3, 150);
+        let router = EngineConfig::new().workers(2).batch_size(32).tenant_router(
+            workloads.iter().enumerate().map(|(t, (rs, _))| {
+                (
+                    TenantSpec::new(format!("t{t}")),
+                    LinearClassifier::new(rs.clone()),
+                )
+            }),
         );
+        let ids = router.tenant_ids();
+        let parts: Vec<(TenantId, &Trace)> = ids
+            .iter()
+            .zip(&workloads)
+            .map(|(&id, (_, trace))| (id, trace))
+            .collect();
+        let tagged = TaggedTrace::interleave("mixed", &parts);
         let run = router.classify_tagged(&tagged);
         assert_eq!(run.results.len(), tagged.len());
-        for (t, rs) in rulesets.iter().enumerate() {
-            let got = tagged.tenant_results(t as TenantId, &run.results);
-            let expected = traces[t].ground_truth(rs);
-            assert_eq!(got, expected, "tenant {t}");
-            assert_eq!(run.tenants[t].pkts, 250);
-            assert_eq!(router.name(t as TenantId), format!("t{t}"));
+        assert_eq!(run.unroutable, 0);
+        for (&id, (rs, trace)) in ids.iter().zip(&workloads) {
+            let projected = tagged.tenant_results(id, &run.results);
+            assert_eq!(projected, router.classify_solo(id, trace).results);
+            assert_eq!(projected, trace.ground_truth(rs));
         }
-        let total: u64 = run.tenants.iter().map(|t| t.pkts).sum();
-        assert_eq!(total, tagged.len() as u64);
+        assert!(run.fairness.weighted_jain > 0.0 && run.fairness.weighted_jain <= 1.0);
     }
 
     #[test]
-    fn churn_on_one_tenant_leaves_the_others_untouched() {
-        let rs0 = ruleset(80, 41);
-        let rs1 = ruleset(80, 42);
-        let flat_for =
-            |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten();
-        let router = EngineConfig::new().workers(2).tenant_router([
-            ("churny".to_string(), flat_for(&rs0)),
-            ("steady".to_string(), flat_for(&rs1)),
-        ]);
-        router
-            .live(0)
-            .apply_batch(&[RuleUpdate::Delete(5)])
-            .expect("delete applies");
-        assert_eq!(router.live(0).generation(), 1);
-        assert_eq!(router.live(1).generation(), 0, "tenant 1 never updated");
-        // Tenant 1 still serves its original ruleset; tenant 0 serves the
-        // post-delete one.
-        let t0 = trace_for(&rs0, 43, 200);
-        let t1 = trace_for(&rs1, 44, 200);
-        let tagged = TaggedTrace::interleave("pair", &[t0.clone(), t1.clone()]);
+    fn weighted_service_meets_slo_relative_shares() {
+        let (rs_a, trace_a) = workload(31, 60, 300);
+        let (rs_b, trace_b) = workload(32, 40, 100);
+        let router = EngineConfig::new()
+            .workers(2)
+            .batch_size(16)
+            .tenant_router([
+                (
+                    TenantSpec::new("heavy").weight(3),
+                    LinearClassifier::new(rs_a),
+                ),
+                (
+                    TenantSpec::new("light").weight(1),
+                    LinearClassifier::new(rs_b),
+                ),
+            ]);
+        let ids = router.tenant_ids();
+        assert_eq!(router.weight(ids[0]), 3);
+        assert_eq!(router.weight(ids[1]), 1);
+        // The router interleaves by its own declared weights.
+        let tagged = router.interleave("wrr", &[(ids[0], &trace_a), (ids[1], &trace_b)]);
         let run = router.classify_tagged(&tagged);
-        assert_eq!(
-            tagged.tenant_results(1, &run.results),
-            t1.ground_truth(&rs1)
-        );
-        let live0 = router.live(0).snapshot();
-        for (header, got) in t0
-            .entries()
-            .iter()
-            .map(|e| e.header)
-            .zip(tagged.tenant_results(0, &run.results))
-        {
-            assert_eq!(got, live0.classify(&header));
+        // Offered load matches the weights exactly, so every tenant's
+        // SLO-relative throughput is exactly its fair share.
+        for report in &run.tenants {
+            assert!(
+                (report.slo_rel - 1.0).abs() < 1e-9,
+                "tenant {} slo_rel {}",
+                report.name,
+                report.slo_rel
+            );
         }
+        assert!((run.fairness.weighted_jain - 1.0).abs() < 1e-9);
+        assert_eq!(run.tenants[0].weight, 3);
+        assert_eq!(run.tenants[0].pkts, 300);
+        assert_eq!(run.tenants[1].pkts, 100);
     }
 
     #[test]
     fn accounting_covers_only_tenants_with_traffic() {
-        let rs = ruleset(50, 51);
-        let trace = trace_for(&rs, 52, 300);
-        let router = EngineConfig::new().tenant_router([
-            ("busy".to_string(), LinearClassifier::new(rs.clone())),
-            ("idle".to_string(), LinearClassifier::new(rs.clone())),
-        ]);
-        // All traffic tagged for tenant 0.
-        let tagged = TaggedTrace::interleave("one-sided", std::slice::from_ref(&trace));
+        let workloads = workloads(2, 120);
+        let router =
+            EngineConfig::new().tenant_router(workloads.iter().enumerate().map(|(t, (rs, _))| {
+                (
+                    TenantSpec::new(format!("t{t}")),
+                    LinearClassifier::new(rs.clone()),
+                )
+            }));
+        let ids = router.tenant_ids();
+        let tagged = TaggedTrace::interleave("only-t0", &[(ids[0], &workloads[0].1)]);
         let run = router.classify_tagged(&tagged);
-        assert_eq!(run.tenants[0].pkts, 300);
+        // Both tenants are reported, but only the served one has counts;
+        // an idle tenant has no SLO-relative share, and fairness covers
+        // the served set only.
+        assert_eq!(run.tenants.len(), 2);
+        assert_eq!(run.tenants[0].pkts, 120);
+        assert!((run.tenants[0].slo_rel - 1.0).abs() < 1e-9);
         assert_eq!(run.tenants[1].pkts, 0);
-        assert_eq!(run.tenants[1].batch_latency, LatencyPercentiles::default());
-        // Fairness is over served tenants only — one busy tenant is fair.
-        assert_eq!(run.fairness.jain_index, 1.0);
-        assert!(run.tenants[0].busy_ns > 0);
+        assert_eq!(run.tenants[1].slo_rel, 0.0);
+        assert_eq!(run.fairness.min_mpps, run.fairness.max_mpps);
+        assert!((run.fairness.weighted_jain - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn empty_tagged_trace_is_served() {
-        let rs = ruleset(20, 61);
-        let router = EngineConfig::new()
-            .workers(4)
-            .tenant_router([("only".to_string(), LinearClassifier::new(rs))]);
-        let run = router.classify_tagged(&TaggedTrace::new("empty", vec![]));
+        let (rs, _) = workload(41, 30, 0);
+        let router =
+            EngineConfig::new().tenant_router([(TenantSpec::new("t0"), LinearClassifier::new(rs))]);
+        let run = router.classify_tagged(&TaggedTrace::new("empty", Vec::new()));
         assert!(run.results.is_empty());
-        assert_eq!(run.report.pkts, 0);
+        assert_eq!(run.unroutable, 0);
+        assert_eq!(run.tenants.len(), 1);
         assert_eq!(run.tenants[0].pkts, 0);
     }
 
     #[test]
-    #[should_panic(expected = "unknown tenant")]
-    fn unknown_tenant_id_panics() {
-        let rs = ruleset(20, 71);
+    fn retired_or_fabricated_handles_are_unroutable() {
+        let (rs, trace) = workload(51, 50, 200);
+        let truth = trace.ground_truth(&rs);
         let router = EngineConfig::new()
-            .tenant_router([("only".to_string(), LinearClassifier::new(rs.clone()))]);
-        let header = trace_for(&rs, 72, 1).entries()[0].header;
-        let tagged = TaggedTrace::new("bad", vec![TaggedPacket { tenant: 7, header }]);
-        router.classify_tagged(&tagged);
+            .workers(2)
+            .batch_size(32)
+            .tenant_router([(TenantSpec::new("t0"), LinearClassifier::new(rs))]);
+        let id = router.tenant_ids()[0];
+        let ghost = TenantId::new(5, 99);
+        // Alternate live and fabricated tags through one trace.
+        let entries: Vec<TaggedPacket> = trace
+            .headers()
+            .enumerate()
+            .map(|(i, h)| TaggedPacket {
+                tenant: if i % 2 == 0 { id } else { ghost },
+                header: *h,
+            })
+            .collect();
+        let tagged = TaggedTrace::new("mixed", entries);
+        let run = router.classify_tagged(&tagged);
+        assert_eq!(run.unroutable, 100);
+        for (i, (result, expected)) in run.results.iter().zip(&truth).enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(result, expected);
+            } else {
+                assert_eq!(*result, MatchResult::NoMatch);
+            }
+        }
+        // After eviction the tenant's own handle is retired too: nothing
+        // is served, nothing panics — the traffic is just unroutable.
+        router.evict(id).expect("live tenant evicts");
+        let run = router.classify_tagged(&tagged);
+        assert_eq!(run.unroutable, tagged.len() as u64);
+        assert!(run.results.iter().all(|r| *r == MatchResult::NoMatch));
     }
 
     #[test]
-    fn per_tenant_caches_stay_within_the_router_entry_budget() {
-        let rs = ruleset(30, 91);
-        let make = |n: usize| {
-            EngineConfig::new()
-                .hot_cache(pclass_algos::HotCacheConfig::new(1024, 4))
-                .tenant_router((0..n).map(|t| (format!("t{t}"), LinearClassifier::new(rs.clone()))))
-        };
-        for n in [1usize, 3, 5] {
-            let router = make(n);
-            assert!(
-                router.cache_slot_total() <= 1024,
-                "{n} tenants allocated {} slots over the 1024 budget",
-                router.cache_slot_total()
-            );
-            for t in 0..n {
-                assert_eq!(
-                    router.cache_stats(t as TenantId),
-                    Some(pclass_types::CacheStats::default()),
-                    "fresh cache, tenant {t}"
-                );
-            }
-        }
-        // A budget smaller than the roster degrades to pass-through, never
-        // to over-budget.
-        let starved = EngineConfig::new()
-            .hot_cache(pclass_algos::HotCacheConfig::new(1, 4))
-            .tenant_router((0..3).map(|t| (format!("t{t}"), LinearClassifier::new(rs.clone()))));
-        assert_eq!(starved.cache_slot_total(), 0);
-        // No cache configured: no slots, no stats.
-        let uncached = EngineConfig::new()
-            .tenant_router([("only".to_string(), LinearClassifier::new(rs.clone()))]);
-        assert_eq!(uncached.cache_slot_total(), 0);
-        assert_eq!(uncached.cache_stats(0), None);
+    fn admit_and_evict_cycle_reuses_slots_with_fresh_epochs() {
+        let workloads = workloads(2, 100);
+        let router =
+            EngineConfig::new().tenant_router(workloads.iter().enumerate().map(|(t, (rs, _))| {
+                (
+                    TenantSpec::new(format!("t{t}")),
+                    LinearClassifier::new(rs.clone()),
+                )
+            }));
+        let ids = router.tenant_ids();
+        assert_eq!(router.admission_counts(), (2, 0));
+        router.evict(ids[0]).expect("live tenant evicts");
+        assert_eq!(router.tenant_count(), 1);
+        assert_eq!(router.evict(ids[0]), Err(UnknownTenant(ids[0])));
+
+        let (rs2, trace2) = workload(777, 30, 100);
+        let id2 = router
+            .admit(
+                TenantSpec::new("t2").weight(2),
+                LinearClassifier::new(rs2.clone()),
+            )
+            .expect("admission fits");
+        // The freed slot is reused, the epoch is globally fresh — the old
+        // handle can never alias the new tenant.
+        assert_eq!(id2.slot(), ids[0].slot());
+        assert!(id2.epoch() > ids[1].epoch());
+        assert_ne!(id2, ids[0]);
+        assert_eq!(router.admission_counts(), (3, 1));
+        assert_eq!(router.name(id2), "t2");
+        assert_eq!(router.weight(id2), 2);
+        let tagged = TaggedTrace::interleave("solo", &[(id2, &trace2)]);
+        let run = router.classify_tagged(&tagged);
+        assert_eq!(run.results, trace2.ground_truth(&rs2));
+    }
+
+    #[test]
+    fn cache_slices_follow_shares_within_the_entry_budget() {
+        let workloads = workloads(3, 10);
+        let router = EngineConfig::new()
+            .hot_cache(HotCacheConfig::new(1024, 4))
+            .tenant_router(workloads.iter().enumerate().map(|(t, (rs, _))| {
+                (
+                    TenantSpec::new(format!("t{t}")).cache_share(if t == 0 { 2 } else { 1 }),
+                    LinearClassifier::new(rs.clone()),
+                )
+            }));
+        let ids = router.tenant_ids();
+        // Shares 2:1:1 over 1024 entries → 512/256/256, all allocated.
+        assert_eq!(router.cache_slot_total(), 1024);
+        let big = router.memory_report(ids[0]).cache_bytes;
+        let small = router.memory_report(ids[1]).cache_bytes;
+        assert!(
+            big > small,
+            "share-2 slice ({big}) must out-size share-1 ({small})"
+        );
+        assert_eq!(
+            router.memory_report(ids[1]).cache_bytes,
+            router.memory_report(ids[2]).cache_bytes
+        );
+    }
+
+    #[test]
+    fn recycled_cache_slices_cannot_serve_stale_hits() {
+        let (rs, trace) = workload(61, 60, 400);
+        let truth = trace.ground_truth(&rs);
+        let router = EngineConfig::new()
+            .batch_size(64)
+            .hot_cache(HotCacheConfig::new(1024, 4))
+            .tenant_router([(TenantSpec::new("t0"), LinearClassifier::new(rs.clone()))]);
+        let id = router.tenant_ids()[0];
+        let tagged = TaggedTrace::interleave("solo", &[(id, &trace)]);
+        // Warm the slice: the second pass hits on every flow.
+        let first = router.classify_tagged(&tagged);
+        assert_eq!(first.results, truth);
+        let first_cache = first.tenants[0].cache.expect("cache configured");
+        let warm = router.classify_tagged(&tagged);
+        assert_eq!(warm.results, truth);
+        let warm_cache = warm.tenants[0].cache.expect("cache configured");
+        assert!(
+            warm_cache.hits > first_cache.hits,
+            "second pass must hit the warm slice"
+        );
+        assert_eq!(warm_cache.misses, 0);
+
+        // Evict and readmit the *same* ruleset: the freed slice (still
+        // physically holding the old tenant's entries) is recycled, but
+        // the new admission epoch changes every probe tag — identical
+        // headers must all miss on the first pass.
+        router.evict(id).expect("live tenant evicts");
+        let id2 = router
+            .admit(TenantSpec::new("t0b"), LinearClassifier::new(rs))
+            .expect("admission fits");
+        assert_eq!(
+            router.cache_slot_total(),
+            1024,
+            "the slice is recycled, not reallocated"
+        );
+        let tagged2 = TaggedTrace::interleave("solo2", &[(id2, &trace)]);
+        let cold = router.classify_tagged(&tagged2);
+        assert_eq!(cold.results, truth);
+        let cold_cache = cold.tenants[0].cache.expect("cache configured");
+        // Behaviourally indistinguishable from the original fresh slice:
+        // the same intra-run hits on repeated flows, the same misses —
+        // none of the previous epoch's warm entries are reachable (they
+        // would have turned the misses into hits, as the warm pass did).
+        assert_eq!(
+            cold_cache, first_cache,
+            "a recycled slice must never serve a previous epoch's entries"
+        );
+        assert_eq!(cold_cache.misses, first_cache.misses);
+        // ... and it warms again under the new epoch.
+        let rewarm = router.classify_tagged(&tagged2);
+        assert_eq!(rewarm.tenants[0].cache.expect("cache configured").misses, 0);
     }
 
     #[test]
     fn cached_router_serves_identically_and_isolates_churn() {
-        let rs0 = ruleset(80, 95);
-        let rs1 = ruleset(80, 96);
-        let flat_for =
-            |rs: &RuleSet| HiCutsClassifier::build(rs, &HiCutsConfig::paper_defaults()).flatten();
+        let workloads = workloads(2, 300);
         let router = EngineConfig::new()
             .workers(2)
-            .batch_size(64)
-            .hot_cache(pclass_algos::HotCacheConfig::new(1024, 4))
-            .tenant_router([
-                ("churny".to_string(), flat_for(&rs0)),
-                ("steady".to_string(), flat_for(&rs1)),
-            ]);
-        let t0 = trace_for(&rs0, 97, 400);
-        let t1 = trace_for(&rs1, 98, 400);
-        let tagged = TaggedTrace::interleave("pair", &[t0.clone(), t1.clone()]);
-        // Cold pass and warm pass both match ground truth; the warm pass
-        // reports hits in the per-run delta.
-        for pass in 0..2 {
+            .batch_size(32)
+            .hot_cache(HotCacheConfig::new(2048, 4))
+            .tenant_router(
+                workloads
+                    .iter()
+                    .enumerate()
+                    .map(|(t, (rs, _))| (TenantSpec::new(format!("t{t}")), flatten(rs))),
+            );
+        let ids = router.tenant_ids();
+        let parts: Vec<(TenantId, &Trace)> = ids
+            .iter()
+            .zip(&workloads)
+            .map(|(&id, (_, trace))| (id, trace))
+            .collect();
+        let tagged = TaggedTrace::interleave("mixed", &parts);
+        for _ in 0..2 {
             let run = router.classify_tagged(&tagged);
-            assert_eq!(
-                tagged.tenant_results(0, &run.results),
-                t0.ground_truth(&rs0),
-                "tenant 0, pass {pass}"
-            );
-            assert_eq!(
-                tagged.tenant_results(1, &run.results),
-                t1.ground_truth(&rs1),
-                "tenant 1, pass {pass}"
-            );
-            for report in &run.tenants {
-                let cache = report.cache.expect("cache configured");
+            for (&id, (rs, trace)) in ids.iter().zip(&workloads) {
                 assert_eq!(
-                    cache.hits + cache.misses,
-                    report.pkts,
-                    "per-run delta covers exactly this run's packets"
+                    tagged.tenant_results(id, &run.results),
+                    trace.ground_truth(rs)
                 );
-                if pass == 1 {
-                    assert!(cache.hits > 0, "warm pass must hit ({})", report.name);
-                }
             }
         }
-        // Churn tenant 0: its stale entries die by generation, tenant 1's
-        // warm cache keeps serving the same (still correct) results.
-        router
-            .live(0)
-            .apply_batch(&[RuleUpdate::Delete(5)])
-            .expect("delete applies");
-        let run = router.classify_tagged(&tagged);
-        let live0 = router.live(0).snapshot();
-        for (header, got) in t0
-            .entries()
+        // Churn tenant 0: its cache is invalidated by the generation tag,
+        // tenant 1 keeps serving (and hitting) untouched.
+        let victims: Vec<Rule> = workloads[0].0.rules().to_vec();
+        let updates: Vec<RuleUpdate> = victims
             .iter()
-            .map(|e| e.header)
-            .zip(tagged.tenant_results(0, &run.results))
-        {
-            assert_eq!(got, live0.classify(&header), "post-churn tenant 0");
-        }
+            .take(victims.len() / 2)
+            .map(|r| RuleUpdate::Delete(r.id))
+            .collect();
+        router
+            .live(ids[0])
+            .apply_batch(&updates)
+            .expect("churn batch applies");
+        let run = router.classify_tagged(&tagged);
+        let survivors: Vec<Rule> = victims.iter().skip(victims.len() / 2).cloned().collect();
+        let expected: Vec<MatchResult> = workloads[0]
+            .1
+            .headers()
+            .map(|h| classify_live_linear(&survivors, h))
+            .collect();
+        assert_eq!(tagged.tenant_results(ids[0], &run.results), expected);
         assert_eq!(
-            tagged.tenant_results(1, &run.results),
-            t1.ground_truth(&rs1),
-            "tenant 1 untouched by tenant 0 churn"
+            tagged.tenant_results(ids[1], &run.results),
+            workloads[1].1.ground_truth(&workloads[1].0)
         );
-        let steady = run.tenants[1].cache.expect("cache configured");
-        assert!(steady.hits > 0, "tenant 1 cache stays warm across churn");
+        assert!(
+            run.tenants[1].cache.expect("cache configured").hits > 0,
+            "the untouched tenant keeps hitting its warm slice"
+        );
+    }
+
+    #[test]
+    fn per_tenant_memory_budget_rejects_oversized_tenants() {
+        let (rs, _) = workload(71, 50, 0);
+        let classifier = LinearClassifier::new(rs.clone());
+        let bytes = classifier.memory_bytes();
+        let router =
+            EngineConfig::new().tenant_router([(TenantSpec::new("t0"), classifier.clone())]);
+        let err = router
+            .admit(
+                TenantSpec::new("tiny").memory_budget(bytes - 1),
+                classifier.clone(),
+            )
+            .expect_err("budget below the classifier size must reject");
+        assert_eq!(
+            err,
+            AdmissionError::TenantOverBudget {
+                name: "tiny".to_string(),
+                needs: bytes,
+                budget: bytes - 1,
+            }
+        );
+        assert!(err.to_string().contains("over its"));
+        assert_eq!(
+            router.tenant_count(),
+            1,
+            "a rejected tenant is not admitted"
+        );
+        // A sufficient budget admits and is recorded in the report.
+        let id = router
+            .admit(TenantSpec::new("fits").memory_budget(bytes), classifier)
+            .expect("budget at the classifier size admits");
+        let report = router.memory_report(id);
+        assert_eq!(report.classifier_bytes, bytes);
+        assert_eq!(report.cache_bytes, 0);
+        assert_eq!(report.total_bytes, bytes);
+        assert_eq!(report.budget_bytes, Some(bytes));
+    }
+
+    #[test]
+    fn router_wide_memory_budget_bounds_the_roster() {
+        let (rs, _) = workload(72, 50, 0);
+        let classifier = LinearClassifier::new(rs);
+        let bytes = classifier.memory_bytes();
+        // Room for one tenant and a half: the first admission fits, the
+        // second must be refused with the roster's usage in the error.
+        let router = EngineConfig::new()
+            .memory_budget(bytes + bytes / 2)
+            .tenant_router([(TenantSpec::new("t0"), classifier.clone())]);
+        assert_eq!(router.memory_in_use(), bytes);
+        let err = router
+            .admit(TenantSpec::new("t1"), classifier)
+            .expect_err("the roster budget is exhausted");
+        assert_eq!(
+            err,
+            AdmissionError::RouterOverBudget {
+                name: "t1".to_string(),
+                needs: bytes,
+                in_use: bytes,
+                budget: bytes + bytes / 2,
+            }
+        );
+        assert!(err.to_string().contains("router"));
+        assert_eq!(router.tenant_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected tenant")]
+    fn construction_panics_on_over_budget_declarations() {
+        let (rs, _) = workload(73, 40, 0);
+        let _ = EngineConfig::new().tenant_router([(
+            TenantSpec::new("t0").memory_budget(1),
+            LinearClassifier::new(rs),
+        )]);
     }
 
     #[test]
     fn classify_solo_matches_ground_truth() {
-        let rs = ruleset(90, 81);
-        let trace = trace_for(&rs, 82, 400);
-        let router = EngineConfig::new()
-            .workers(2)
-            .tenant_router([("only".to_string(), LinearClassifier::new(rs.clone()))]);
-        let run = router.classify_solo(0, &trace);
-        assert_eq!(run.results, trace.ground_truth(&rs));
+        let workloads = workloads(2, 200);
+        let router = EngineConfig::new().workers(3).batch_size(16).tenant_router(
+            workloads.iter().enumerate().map(|(t, (rs, _))| {
+                (
+                    TenantSpec::new(format!("t{t}")),
+                    LinearClassifier::new(rs.clone()),
+                )
+            }),
+        );
+        for (&id, (rs, trace)) in router.tenant_ids().iter().zip(&workloads) {
+            let run = router.classify_solo(id, trace);
+            assert_eq!(run.results, trace.ground_truth(rs));
+            assert_eq!(run.report.per_worker.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or evicted tenant")]
+    fn solo_serving_a_retired_handle_panics() {
+        let (rs, trace) = workload(81, 30, 50);
+        let router =
+            EngineConfig::new().tenant_router([(TenantSpec::new("t0"), LinearClassifier::new(rs))]);
+        let id = router.tenant_ids()[0];
+        router.evict(id).expect("live tenant evicts");
+        let _ = router.classify_solo(id, &trace);
     }
 }

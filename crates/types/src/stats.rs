@@ -156,43 +156,99 @@ impl CacheStats {
     }
 }
 
+/// Per-tenant memory accounting of a multi-tenant roster entry: the
+/// serving structure, the tenant's hot-cache slice, and the budget the
+/// tenant was admitted under.
+///
+/// Produced by `pclass_engine::TenantRouter` at admission time and
+/// recorded in `BENCH_throughput.json` tenant cells (schema
+/// `pclass-throughput/v7`); it lives here, next to [`ArenaStats`], so
+/// every crate that serializes measurements shares one definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Bytes of the tenant's classifier ([`crate::RuleSet`] + search
+    /// structure, via `Classifier::memory_bytes`).
+    pub classifier_bytes: usize,
+    /// Bytes of the tenant's hot-flow cache slice (0 when the router is
+    /// uncached or the slice rounded to zero slots).
+    pub cache_bytes: usize,
+    /// `classifier_bytes + cache_bytes` — what admission charges against
+    /// the budgets.
+    pub total_bytes: usize,
+    /// The per-tenant budget the spec declared, if any
+    /// (`TenantSpec::memory_budget`).
+    pub budget_bytes: Option<usize>,
+    /// Arena layout statistics when the classifier is a flat decision-tree
+    /// arena (`Classifier::arena_stats`), `None` for pointer trees and
+    /// other structures.
+    pub arena: Option<ArenaStats>,
+}
+
 /// Cross-tenant fairness summary of one multi-tenant serving run,
-/// computed over the per-tenant service rates (Mpps of busy time).
+/// computed over the per-tenant service rates (Mpps of busy time) and,
+/// for the weighted index, over the weight-normalised service shares.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FairnessSummary {
     /// Jain's fairness index `(Σx)² / (n·Σx²)` over the per-tenant rates:
     /// 1.0 when every tenant is served at the same rate, approaching `1/n`
     /// when one tenant monopolises the worker pool.
     pub jain_index: f64,
+    /// Jain's index over the per-tenant *SLO-relative* throughputs
+    /// (served share ÷ weight share, `TenantReport::slo_rel` in
+    /// `pclass-engine`): 1.0 when every tenant receives exactly its
+    /// weighted fair share of the served packets, regardless of how
+    /// expensive its individual packets are.  Equal to [`jain_index`
+    /// over the rates](FairnessSummary::over_rates) until
+    /// [`FairnessSummary::weighted_over`] installs the share-based index.
+    pub weighted_jain: f64,
     /// The slowest tenant's rate.
     pub min_mpps: f64,
     /// The fastest tenant's rate.
     pub max_mpps: f64,
 }
 
+/// Jain's fairness index `(Σx)² / (n·Σx²)`; empty or all-zero sets are
+/// perfectly fair by convention.
+fn jain(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (xs.len() as f64 * sq)
+    }
+}
+
 impl FairnessSummary {
     /// Summarises a set of per-tenant rates.  An empty set (no tenant
-    /// served a packet) is perfectly fair by convention.
+    /// served a packet) is perfectly fair by convention.  The weighted
+    /// index starts out equal to the rate-based index; callers with
+    /// per-tenant weights refine it through
+    /// [`FairnessSummary::weighted_over`].
     pub fn over_rates(rates: &[f64]) -> FairnessSummary {
-        if rates.is_empty() {
-            return FairnessSummary {
-                jain_index: 1.0,
-                min_mpps: 0.0,
-                max_mpps: 0.0,
-            };
-        }
-        let sum: f64 = rates.iter().sum();
-        let sq: f64 = rates.iter().map(|r| r * r).sum();
-        let jain_index = if sq == 0.0 {
-            1.0
-        } else {
-            sum * sum / (rates.len() as f64 * sq)
-        };
+        let jain_index = jain(rates);
         FairnessSummary {
             jain_index,
-            min_mpps: rates.iter().copied().fold(f64::INFINITY, f64::min),
+            weighted_jain: jain_index,
+            min_mpps: if rates.is_empty() {
+                0.0
+            } else {
+                rates.iter().copied().fold(f64::INFINITY, f64::min)
+            },
             max_mpps: rates.iter().copied().fold(0.0, f64::max),
         }
+    }
+
+    /// Installs the weighted fairness index: Jain's index over the
+    /// per-tenant SLO-relative throughputs (each tenant's served share
+    /// divided by its weight share).  All-equal inputs — every tenant at
+    /// exactly its weighted fair share — yield 1.0.
+    pub fn weighted_over(mut self, slo_rels: &[f64]) -> FairnessSummary {
+        self.weighted_jain = jain(slo_rels);
+        self
     }
 }
 
@@ -383,8 +439,44 @@ mod tests {
         assert_eq!((skew.min_mpps, skew.max_mpps), (0.0, 4.0));
         let none = FairnessSummary::over_rates(&[]);
         assert_eq!(none.jain_index, 1.0);
+        assert_eq!((none.min_mpps, none.max_mpps), (0.0, 0.0));
         let idle = FairnessSummary::over_rates(&[0.0, 0.0]);
         assert_eq!(idle.jain_index, 1.0, "all-idle is fair by convention");
+    }
+
+    #[test]
+    fn weighted_jain_tracks_slo_relative_shares_not_rates() {
+        // A big tenant serving expensive packets has a low busy-time rate,
+        // so the rate index drops — but if every tenant received exactly
+        // its weighted fair share of the packets, the weighted index over
+        // the SLO-relative throughputs (all 1.0) stays perfect.
+        let summary = FairnessSummary::over_rates(&[0.5, 4.0, 4.0]).weighted_over(&[1.0, 1.0, 1.0]);
+        assert!(summary.jain_index < 1.0);
+        assert!((summary.weighted_jain - 1.0).abs() < 1e-12);
+        // One tenant at twice its fair share, one at half: Jain over
+        // (2, 0.5) = 6.25/8.5.
+        let skew = FairnessSummary::over_rates(&[1.0, 1.0]).weighted_over(&[2.0, 0.5]);
+        assert!((skew.weighted_jain - 6.25 / 8.5).abs() < 1e-12);
+        // Until weights are installed, the weighted index mirrors the
+        // rate index.
+        let plain = FairnessSummary::over_rates(&[1.0, 3.0]);
+        assert_eq!(plain.weighted_jain, plain.jain_index);
+    }
+
+    #[test]
+    fn memory_report_totals_are_consistent() {
+        let report = MemoryReport {
+            classifier_bytes: 1_000,
+            cache_bytes: 24,
+            total_bytes: 1_024,
+            budget_bytes: Some(2_048),
+            arena: None,
+        };
+        assert_eq!(
+            report.total_bytes,
+            report.classifier_bytes + report.cache_bytes
+        );
+        assert!(report.total_bytes <= report.budget_bytes.unwrap());
     }
 
     #[test]

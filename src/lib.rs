@@ -68,13 +68,13 @@ pub mod prelude {
     pub use pclass_energy::device::{DeviceModel, TechnologyNode};
     pub use pclass_energy::sa1100::Sa1100Model;
     pub use pclass_engine::{
-        Engine, EngineConfig, EngineRun, LiveClassifier, LiveEngine, SharedClassifier,
-        TaggedPacket, TaggedTrace, TenantId, TenantReport, TenantRouter, TenantRun,
-        ThroughputReport, WorkerReport,
+        AdmissionError, Engine, EngineConfig, EngineRun, LiveClassifier, LiveEngine,
+        SharedClassifier, TaggedPacket, TaggedTrace, TenantId, TenantReport, TenantRouter,
+        TenantRun, TenantSpec, ThroughputReport, UnknownTenant, WorkerReport,
     };
     pub use pclass_tcam::TcamClassifier;
     pub use pclass_types::{
         Dimension, DimensionSpec, FairnessSummary, FieldRange, LatencyPercentiles, MatchResult,
-        PacketHeader, Prefix, Rule, RuleBuilder, RuleId, RuleSet, Trace,
+        MemoryReport, PacketHeader, Prefix, Rule, RuleBuilder, RuleId, RuleSet, Trace,
     };
 }

@@ -17,6 +17,11 @@
 //! applying updates to one tenant's live cell changes that tenant's
 //! decisions (to match a fresh rebuild of its surviving ruleset) while
 //! every other tenant's decisions stay bit-identical.
+//!
+//! Tenants are declared through [`TenantSpec`]s and addressed by the
+//! opaque [`TenantId`] handles construction returns (see
+//! `tests/tenant_policy.rs` for the runtime admission/eviction
+//! lifecycle).
 
 use packet_classifier::prelude::*;
 use pclass_algos::hicuts::{HiCutsClassifier, HiCutsConfig};
@@ -57,8 +62,10 @@ proptest! {
         let live = Arc::new(LiveClassifier::new(LinearClassifier::new(rs.clone())));
         let engine_run = config.live_engine(Arc::clone(&live)).classify_trace(&trace);
 
-        let router = config.tenant_router([("t0".to_string(), LinearClassifier::new(rs))]);
-        let tagged = TaggedTrace::interleave("solo", std::slice::from_ref(&trace));
+        let router =
+            config.tenant_router([(TenantSpec::new("t0"), LinearClassifier::new(rs))]);
+        let ids = router.tenant_ids();
+        let tagged = TaggedTrace::interleave("solo", &[(ids[0], &trace)]);
         let run = router.classify_tagged(&tagged);
 
         prop_assert_eq!(&run.results, &engine_run.results);
@@ -80,17 +87,22 @@ proptest! {
             .workers(workers)
             .batch_size(32)
             .tenant_router(workloads.iter().enumerate().map(|(t, (rs, _))| {
-                (format!("t{t}"), LinearClassifier::new(rs.clone()))
+                (TenantSpec::new(format!("t{t}")), LinearClassifier::new(rs.clone()))
             }));
+        let ids = router.tenant_ids();
 
-        let traces: Vec<Trace> = workloads.iter().map(|(_, tr)| tr.clone()).collect();
-        let tagged = TaggedTrace::interleave("mixed", &traces);
+        let parts: Vec<(TenantId, &Trace)> = ids
+            .iter()
+            .zip(&workloads)
+            .map(|(&id, (_, trace))| (id, trace))
+            .collect();
+        let tagged = TaggedTrace::interleave("mixed", &parts);
         let run = router.classify_tagged(&tagged);
         prop_assert_eq!(run.results.len(), tagged.len());
 
-        for (t, (rs, trace)) in workloads.iter().enumerate() {
-            let projected = tagged.tenant_results(t as TenantId, &run.results);
-            let solo = router.classify_solo(t as TenantId, trace);
+        for (&id, (t, (rs, trace))) in ids.iter().zip(workloads.iter().enumerate()) {
+            let projected = tagged.tenant_results(id, &run.results);
+            let solo = router.classify_solo(id, trace);
             prop_assert_eq!(&projected, &solo.results, "tenant {} vs its solo run", t);
             prop_assert_eq!(projected, trace.ground_truth(rs), "tenant {} vs ground truth", t);
         }
@@ -109,10 +121,12 @@ fn churn_on_one_tenant_is_invisible_to_the_others() {
         workloads
             .iter()
             .enumerate()
-            .map(|(t, (rs, _))| (format!("t{t}"), flatten(rs))),
+            .map(|(t, (rs, _))| (TenantSpec::new(format!("t{t}")), flatten(rs))),
     );
+    let ids = router.tenant_ids();
     let traces: Vec<Trace> = workloads.iter().map(|(_, tr)| tr.clone()).collect();
-    let tagged = TaggedTrace::interleave("mixed", &traces);
+    let parts: Vec<(TenantId, &Trace)> = ids.iter().copied().zip(traces.iter()).collect();
+    let tagged = TaggedTrace::interleave("mixed", &parts);
     let before = router.classify_tagged(&tagged);
 
     // Delete the first quarter of tenant 1's rules through its live cell.
@@ -128,15 +142,15 @@ fn churn_on_one_tenant_is_invisible_to_the_others() {
         .map(|&id| pclass_algos::update::RuleUpdate::Delete(id))
         .collect();
     router
-        .live(1)
+        .live(ids[1])
         .apply_batch(&updates)
         .expect("churn batch applies");
 
     let after = router.classify_tagged(&tagged);
-    for t in [0u32, 2] {
+    for t in [0usize, 2] {
         assert_eq!(
-            tagged.tenant_results(t, &before.results),
-            tagged.tenant_results(t, &after.results),
+            tagged.tenant_results(ids[t], &before.results),
+            tagged.tenant_results(ids[t], &after.results),
             "tenant {t} observed another tenant's churn"
         );
     }
@@ -151,7 +165,7 @@ fn churn_on_one_tenant_is_invisible_to_the_others() {
         .map(|h| pclass_algos::update::classify_live_linear(&survivors, h))
         .collect();
     assert_eq!(
-        tagged.tenant_results(1, &after.results),
+        tagged.tenant_results(ids[1], &after.results),
         expected,
         "churned tenant must serve its surviving ruleset"
     );
